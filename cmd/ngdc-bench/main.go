@@ -1,0 +1,126 @@
+// Command ngdc-bench regenerates every table and figure of the paper's
+// evaluation from the simulated framework. Each subcommand prints the
+// same rows/series the corresponding figure reports; EXPERIMENTS.md
+// records how the measured shapes compare with the paper. The generators
+// themselves live in internal/experiments, where they are unit-tested.
+//
+// Usage:
+//
+//	ngdc-bench <experiment> [flags]
+//
+// Common flags: -seed N (default 1), -quick (shrunken sweeps).
+//
+// Experiments:
+//
+//	ddss-latency        Fig 3a — DDSS put() latency per coherence model
+//	storm               Fig 3b — STORM vs STORM-DDSS query time
+//	lock-cascade        Fig 5  — lock cascading latency (-mode shared|exclusive)
+//	coopcache           Fig 6  — data-center throughput (-proxies N)
+//	monitor-accuracy    Fig 8a — monitoring accuracy under load
+//	monitor-throughput  Fig 8b — LB throughput improvement per Zipf alpha (-rubis)
+//	sdp                 §3     — SDP family bandwidth (AZ-SDP)
+//	flowcontrol         §6     — packetized vs credit-based flow control
+//	reconfig            §6     — history-aware reconfiguration ablation
+//	dyncache            §3     — dynamic-content caching coherence
+//	qos                 §3     — soft QoS / admission control under overload
+//	multicast           framework — multicast dissemination latency
+//	integrated          §6     — full-stack integrated evaluation
+//	all                 run every experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ngdc/internal/experiments"
+	"ngdc/internal/metrics"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "simulation seed")
+	quick := fs.Bool("quick", false, "shrunken sweeps and windows")
+	mode := fs.String("mode", "shared", "lock-cascade: shared or exclusive")
+	proxies := fs.Int("proxies", 2, "coopcache: proxy nodes")
+	rubis := fs.Bool("rubis", false, "monitor-throughput: RUBiS mix instead of Zipf")
+	measure := fs.Duration("measure", 0, "override the virtual measurement window")
+
+	switch cmd {
+	case "-h", "--help", "help":
+		usage()
+		return
+	}
+	fs.Parse(args)
+	opt := experiments.Options{
+		Seed:    *seed,
+		Quick:   *quick,
+		Mode:    *mode,
+		Proxies: *proxies,
+		RUBiS:   *rubis,
+		Measure: *measure,
+	}
+
+	if cmd == "all" {
+		for _, e := range experiments.All() {
+			tb, err := e.Run(opt)
+			if err != nil {
+				fail(fmt.Errorf("%s (%s): %w", e.ID, e.Figure, err))
+			}
+			fmt.Println(tb)
+		}
+		return
+	}
+	run, ok := commands()[cmd]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ngdc-bench: unknown experiment %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	tb, err := run(opt)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(tb)
+}
+
+// commands maps subcommand names to generators that honour the parsed
+// flags (the catalogue's closures pin variants for `all`).
+func commands() map[string]func(experiments.Options) (*metrics.Table, error) {
+	return map[string]func(experiments.Options) (*metrics.Table, error){
+		"ddss-latency":       experiments.DDSSLatency,
+		"storm":              experiments.Storm,
+		"lock-cascade":       experiments.LockCascade,
+		"coopcache":          experiments.CoopCache,
+		"monitor-accuracy":   experiments.MonitorAccuracy,
+		"monitor-throughput": experiments.MonitorThroughput,
+		"sdp":                experiments.SDP,
+		"flowcontrol":        experiments.FlowControl,
+		"reconfig":           experiments.Reconfig,
+		"dyncache":           experiments.DynCache,
+		"qos":                experiments.QoS,
+		"multicast":          experiments.Multicast,
+		"integrated":         experiments.Integrated,
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ngdc-bench:", err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: ngdc-bench <experiment> [-seed N] [-quick] [flags]
+
+experiments:`)
+	for _, e := range experiments.All() {
+		fmt.Fprintf(os.Stderr, "  %-34s %s (%s)\n", e.Name, e.Figure, e.ID)
+	}
+	fmt.Fprintln(os.Stderr, "  all                                run every experiment")
+}

@@ -1,0 +1,90 @@
+package ngdc_test
+
+import (
+	"fmt"
+	"time"
+
+	"ngdc"
+)
+
+// ExampleNew wires a framework and runs a process that uses the shared
+// state substrate.
+func ExampleNew() {
+	f := ngdc.New(ngdc.DefaultConfig())
+	defer f.Shutdown()
+	f.Go("app", func(p *ngdc.Proc) {
+		c := f.Sharing.Client(1)
+		h, err := c.Allocate(p, "greeting", 32, ngdc.NullCoherence, 0)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := h.Put(p, []byte("hello")); err != nil {
+			panic(err)
+		}
+		buf := make([]byte, 5)
+		if _, err := h.Get(p, buf); err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s after %v\n", buf, p.Now() > 0)
+	})
+	if err := f.Run(); err != nil {
+		panic(err)
+	}
+	// Output: hello after true
+}
+
+// ExampleLockCascade measures a Fig 5 cascade and reports whether the
+// paper's scheme wins.
+func ExampleLockCascade() {
+	dqnl, err := ngdc.LockCascade(ngdc.DQNL, ngdc.SharedLock, 8, 1)
+	if err != nil {
+		panic(err)
+	}
+	nco, err := ngdc.LockCascade(ngdc.NCoSED, ngdc.SharedLock, 8, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("N-CoSED faster:", nco.Last < dqnl.Last)
+	// Output: N-CoSED faster: true
+}
+
+// ExampleFramework_Dial shows the SDP family behind a familiar
+// connection API.
+func ExampleFramework_Dial() {
+	f := ngdc.New(ngdc.Config{Nodes: 2, Seed: 1})
+	defer f.Shutdown()
+	c1, c2 := f.Dial(ngdc.ZSDP, 0, 1)
+	f.GoDaemon("server", func(p *ngdc.Proc) {
+		msg, err := c2.Recv(p)
+		if err != nil {
+			return
+		}
+		c2.Send(p, append(msg, " world"...))
+	})
+	f.Go("client", func(p *ngdc.Proc) {
+		c1.Send(p, []byte("hello"))
+		reply, _ := c1.Recv(p)
+		fmt.Printf("%s\n", reply)
+	})
+	if err := f.Run(); err != nil {
+		panic(err)
+	}
+	// Output: hello world
+}
+
+// ExampleFramework_Monitor reads a node's kernel statistics one-sidedly.
+func ExampleFramework_Monitor() {
+	f := ngdc.New(ngdc.Config{Nodes: 3, Seed: 1})
+	defer f.Shutdown()
+	st := f.Monitor(ngdc.RDMASync, 0, []int{2}, 10*time.Millisecond)
+	st.Start()
+	f.Go("probe", func(p *ngdc.Proc) {
+		f.Node(2).SetThreads(12)
+		snap := st.Sample(p, 0)
+		fmt.Println("threads:", snap.Threads)
+	})
+	if err := f.Run(); err != nil {
+		panic(err)
+	}
+	// Output: threads: 12
+}

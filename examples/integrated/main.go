@@ -1,0 +1,31 @@
+// Integrated: the paper's bottom line (§6) as one program — the same
+// shifting two-service workload served by the traditional stack and by
+// the full RDMA framework, end to end.
+package main
+
+import (
+	"fmt"
+
+	"ngdc"
+)
+
+func main() {
+	fmt.Println("integrated evaluation: identical hardware and workload, two stacks")
+	fmt.Printf("%-16s %8s %8s %10s %14s %16s\n",
+		"stack", "TPS", "p95 ms", "reconfigs", "sibling fills", "backend fetches")
+	var base float64
+	for _, stack := range []ngdc.IntegratedStack{ngdc.TraditionalStack, ngdc.RDMAFramework} {
+		res, err := ngdc.RunIntegrated(ngdc.DefaultIntegratedConfig(stack))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-16s %8.0f %8.1f %10d %14d %16d\n",
+			stack, res.TPS, res.P95Ms, res.Reconfigs, res.SiblingFills, res.BackendFetches)
+		if stack == ngdc.TraditionalStack {
+			base = res.TPS
+		} else if base > 0 {
+			fmt.Printf("\nthe framework delivers %.1fx the throughput of the traditional stack\n",
+				res.TPS/base)
+		}
+	}
+}

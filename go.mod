@@ -1,0 +1,3 @@
+module ngdc
+
+go 1.22

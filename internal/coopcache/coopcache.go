@@ -1,0 +1,320 @@
+// Package coopcache implements the paper's cooperative caching service
+// (§5.1, [Narravula et al., CCGrid'06]) over the simulated multi-tier
+// data-center, in the five configurations of Fig 6:
+//
+//   - AC    — plain per-proxy (Apache) caching: every proxy caches
+//     independently; a miss goes to the backend.
+//   - BCC   — Basic RDMA-based Cooperative Cache: proxies share their
+//     caches through a distributed directory; remote hits are fetched with
+//     one-sided RDMA reads and also cached locally, so popular documents
+//     get duplicated across proxies.
+//   - CCWR  — Cooperative Cache Without Redundancy: as BCC, but a document
+//     has at most one cached copy cluster-wide; remote hits are served
+//     directly from the holder without local duplication, so the aggregate
+//     capacity is the sum of all proxy caches.
+//   - MTACC — Multi-Tier Aggregate Cooperative Cache: CCWR plus the memory
+//     of additional (application-server) tiers joined into the cache pool.
+//   - HYBCC — Hybrid: the MTACC pool and placement, plus BCC-style local
+//     duplication for small documents that have proven hot at this proxy
+//     (replicating a small hot file is cheap and converts its many remote
+//     hits into local ones; everything else stays single-copy to preserve
+//     aggregate capacity).
+//
+// Document lookup uses a home-hashed distributed directory whose entries
+// are read and updated with one-sided verbs operations, so directory
+// traffic also rides the RDMA cost model.
+package coopcache
+
+import (
+	"fmt"
+	"time"
+
+	"ngdc/internal/cluster"
+	"ngdc/internal/fabric"
+	"ngdc/internal/lru"
+	"ngdc/internal/sim"
+	"ngdc/internal/verbs"
+)
+
+// Scheme selects the cooperative-caching configuration.
+type Scheme int
+
+// The five configurations of Fig 6.
+const (
+	AC Scheme = iota
+	BCC
+	CCWR
+	MTACC
+	HYBCC
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case AC:
+		return "AC"
+	case BCC:
+		return "BCC"
+	case CCWR:
+		return "CCWR"
+	case MTACC:
+		return "MTACC"
+	case HYBCC:
+		return "HYBCC"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Schemes lists all configurations in Fig 6's order.
+var Schemes = []Scheme{AC, BCC, CCWR, MTACC, HYBCC}
+
+// Config describes one Fig 6 experiment.
+type Config struct {
+	Scheme     Scheme
+	Proxies    int
+	AppServers int
+	// ProxyMem and AppServerMem are per-node cache capacities in bytes.
+	ProxyMem     int64
+	AppServerMem int64
+	// FileSize is the uniform document size in bytes (Fig 6 sweeps
+	// 8k..64k). Ignored when DocSizes is set.
+	FileSize int64
+	// DocSizes, when non-nil, gives each document its own size (heavy-tail
+	// mixes); it overrides FileSize and WorkingSet.
+	DocSizes []int64
+	// WorkingSet is the number of distinct documents.
+	WorkingSet int
+	// ZipfAlpha shapes document popularity.
+	ZipfAlpha float64
+	// ClientsPerProxy is the closed-loop client concurrency.
+	ClientsPerProxy int
+	// HybridThreshold is HYBCC's duplicate-below size bound.
+	HybridThreshold int64
+	// Warmup and Measure are the virtual warm-up and measurement windows.
+	Warmup, Measure time.Duration
+	Seed            int64
+}
+
+// DefaultConfig returns a Fig 6-shaped experiment: a working set about
+// four times one proxy's cache.
+func DefaultConfig(scheme Scheme, proxies int, fileSize int64) Config {
+	proxyMem := int64(8 << 20)
+	return Config{
+		Scheme:          scheme,
+		Proxies:         proxies,
+		AppServers:      2,
+		ProxyMem:        proxyMem,
+		AppServerMem:    8 << 20,
+		FileSize:        fileSize,
+		WorkingSet:      int(6 * proxyMem / fileSize),
+		ZipfAlpha:       0.9,
+		ClientsPerProxy: 8,
+		HybridThreshold: 16 << 10,
+		Warmup:          500 * time.Millisecond,
+		Measure:         2 * time.Second,
+		Seed:            1,
+	}
+}
+
+// RequestCPU is the per-request HTTP processing cost on a proxy.
+const RequestCPU = 25 * time.Microsecond
+
+// backendParallelism bounds concurrent origin fetches cluster-wide.
+const backendParallelism = 8
+
+// Stats is the outcome of a run.
+type Stats struct {
+	Scheme     Scheme
+	Requests   int64
+	TPS        float64
+	LocalHits  int64
+	RemoteHits int64
+	Misses     int64
+	// DuplicateBytes is the aggregate cache space holding second or later
+	// copies of a document at the end of the run (the redundancy CCWR
+	// eliminates).
+	DuplicateBytes int64
+}
+
+// HitRate returns the fraction of requests served from some cache.
+func (s Stats) HitRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.LocalHits+s.RemoteHits) / float64(s.Requests)
+}
+
+// DataCenter is a built cooperative-caching deployment.
+type DataCenter struct {
+	cfg Config
+	env *sim.Env
+	nw  *verbs.Network
+
+	proxies  []*cacheNode
+	appTier  []*cacheNode
+	backend  *sim.Resource
+	inflight map[int]*sim.Future[int] // doc -> fetch in progress (dedup)
+
+	measuring bool
+	stats     Stats
+}
+
+// cacheNode is a node participating in the cache pool.
+type cacheNode struct {
+	node  *cluster.Node
+	dev   *verbs.Device
+	cache *lru.Cache[int]
+	// dir is this node's shard of the distributed directory:
+	// doc -> node IDs currently holding it (only for docs homed here).
+	dir map[int]map[int]bool
+	// freq counts this proxy's requests per document; HYBCC uses it to
+	// decide which documents are hot enough to be worth duplicating.
+	freq map[int]int
+	// replica is HYBCC's bounded private replica area: duplicated hot
+	// documents live here so they can never crowd out single copies.
+	replica *lru.Cache[int]
+}
+
+// sizeOf returns a document's size under the configuration.
+func (cfg *Config) sizeOf(doc int) int64 {
+	if cfg.DocSizes != nil {
+		return cfg.DocSizes[doc%len(cfg.DocSizes)]
+	}
+	return cfg.FileSize
+}
+
+// docCount returns the working-set size.
+func (cfg *Config) docCount() int {
+	if cfg.DocSizes != nil {
+		return len(cfg.DocSizes)
+	}
+	return cfg.WorkingSet
+}
+
+// Build constructs the deployment on a fresh environment.
+func Build(cfg Config) *DataCenter {
+	env := sim.NewEnv(cfg.Seed)
+	nw := verbs.NewNetwork(env, fabric.DefaultParams())
+	dc := &DataCenter{cfg: cfg, env: env, nw: nw, inflight: map[int]*sim.Future[int]{}}
+	dc.backend = sim.NewResource(env, "backend", backendParallelism)
+	id := 0
+	for i := 0; i < cfg.Proxies; i++ {
+		n := cluster.NewNode(env, id, 2, cfg.ProxyMem*4)
+		id++
+		cn := &cacheNode{
+			node: n,
+			dev:  nw.Attach(n),
+			dir:  map[int]map[int]bool{},
+			freq: map[int]int{},
+		}
+		if cfg.Scheme == HYBCC {
+			// Carve a bounded replica area out of the proxy's memory.
+			cn.cache = lru.New[int](cfg.ProxyMem - cfg.ProxyMem/8)
+			cn.replica = lru.New[int](cfg.ProxyMem / 8)
+		} else {
+			cn.cache = lru.New[int](cfg.ProxyMem)
+		}
+		dc.proxies = append(dc.proxies, cn)
+	}
+	for i := 0; i < cfg.AppServers; i++ {
+		n := cluster.NewNode(env, id, 2, cfg.AppServerMem*4)
+		id++
+		dc.appTier = append(dc.appTier, &cacheNode{
+			node:  n,
+			dev:   nw.Attach(n),
+			cache: lru.New[int](cfg.AppServerMem),
+		})
+	}
+	return dc
+}
+
+// Env exposes the simulation environment (for embedding in larger
+// scenarios).
+func (dc *DataCenter) Env() *sim.Env { return dc.env }
+
+// pool returns the cache nodes a scheme may place documents on.
+func (dc *DataCenter) pool() []*cacheNode {
+	if dc.cfg.Scheme == MTACC || dc.cfg.Scheme == HYBCC {
+		return append(append([]*cacheNode{}, dc.proxies...), dc.appTier...)
+	}
+	return dc.proxies
+}
+
+// nodeByID finds a cache node by cluster node ID.
+func (dc *DataCenter) nodeByID(id int) *cacheNode {
+	for _, cn := range dc.proxies {
+		if cn.node.ID == id {
+			return cn
+		}
+	}
+	for _, cn := range dc.appTier {
+		if cn.node.ID == id {
+			return cn
+		}
+	}
+	return nil
+}
+
+// dirHome returns the proxy holding a document's directory entry.
+func (dc *DataCenter) dirHome(doc int) *cacheNode {
+	return dc.proxies[doc%len(dc.proxies)]
+}
+
+// dirCost charges the wire cost of one directory operation issued by
+// proxy against a document's home shard: free when the shard is local, a
+// one-sided read or atomic otherwise.
+func (dc *DataCenter) dirCost(p *sim.Proc, from *cacheNode, doc int, update bool) {
+	home := dc.dirHome(doc)
+	if home == from {
+		return
+	}
+	pp := dc.nw.Params()
+	if update {
+		p.Sleep(pp.IBAtomicLatency)
+	} else {
+		p.Sleep(pp.IBReadLatency)
+	}
+}
+
+// dirLookup returns the lowest-ID holder of doc other than the requester,
+// or nil. The deterministic choice keeps runs reproducible (map iteration
+// order would not be).
+func (dc *DataCenter) dirLookup(p *sim.Proc, from *cacheNode, doc int) *cacheNode {
+	dc.dirCost(p, from, doc, false)
+	holders := dc.dirHome(doc).dir[doc]
+	best := -1
+	for id := range holders {
+		if cn := dc.nodeByID(id); cn == nil || cn == from {
+			continue
+		}
+		if best == -1 || id < best {
+			best = id
+		}
+	}
+	if best == -1 {
+		return nil
+	}
+	return dc.nodeByID(best)
+}
+
+// dirAdd registers holder in doc's directory entry.
+func (dc *DataCenter) dirAdd(p *sim.Proc, from *cacheNode, doc int, holder *cacheNode) {
+	dc.dirCost(p, from, doc, true)
+	home := dc.dirHome(doc)
+	if home.dir[doc] == nil {
+		home.dir[doc] = map[int]bool{}
+	}
+	home.dir[doc][holder.node.ID] = true
+}
+
+// dirRemove unregisters holder from doc's directory entry.
+func (dc *DataCenter) dirRemove(p *sim.Proc, from *cacheNode, doc int, holderID int) {
+	dc.dirCost(p, from, doc, true)
+	home := dc.dirHome(doc)
+	if home.dir[doc] != nil {
+		delete(home.dir[doc], holderID)
+		if len(home.dir[doc]) == 0 {
+			delete(home.dir, doc)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package coopcache
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ngdc/internal/sim"
+	"ngdc/internal/workload"
+)
+
+// serveRequest processes one client request for doc at proxy px and
+// returns how it was satisfied.
+type outcome int
+
+const (
+	outLocal outcome = iota
+	outRemote
+	outMiss
+)
+
+// serveRequest is the proxy request pipeline: HTTP processing, cache
+// lookup under the configured scheme, and response egress to the client.
+func (dc *DataCenter) serveRequest(p *sim.Proc, px *cacheNode, doc int) outcome {
+	size := dc.cfg.sizeOf(doc)
+	px.node.Exec(p, RequestCPU)
+
+	out := dc.lookup(p, px, doc, 0)
+
+	// Response egress to the client over the front-side network.
+	pp := dc.nw.Params()
+	px.node.Exec(p, pp.TCPCPUTime(int(size)))
+	px.dev.NIC().AcquireTx(p, pp.TCPTxTime(int(size)))
+	return out
+}
+
+// lookup resolves the document under the scheme, filling caches as a side
+// effect. depth guards the single retry after waiting out a concurrent
+// fetch.
+func (dc *DataCenter) lookup(p *sim.Proc, px *cacheNode, doc int, depth int) outcome {
+	size := dc.cfg.sizeOf(doc)
+	pp := dc.nw.Params()
+
+	scheme := dc.cfg.Scheme
+	if scheme == HYBCC {
+		px.freq[doc]++
+	}
+
+	if px.cache.Get(doc) || (px.replica != nil && px.replica.Get(doc)) {
+		p.Sleep(pp.CopyTime(int(size)))
+		return outLocal
+	}
+
+	if scheme != AC {
+		if holder := dc.dirLookup(p, px, doc); holder != nil && holder.cache.Get(doc) {
+			dc.remoteFetch(p, holder, size)
+			switch {
+			case scheme == BCC:
+				// Duplicate locally for future requests.
+				dc.insert(p, px, px, doc)
+			case scheme == HYBCC && size <= dc.cfg.HybridThreshold && px.freq[doc] >= hybridHotCount:
+				// Hybrid: this small document keeps getting requested
+				// here — replicate it into the bounded replica area
+				// (a private copy; the directory keeps pointing at the
+				// single authoritative copy).
+				p.Sleep(pp.CopyTime(int(size)))
+				px.replica.Put(doc, size)
+			}
+			return outRemote
+		}
+	}
+
+	// Nobody has it: fetch from the origin, deduplicating concurrent
+	// fetches of the same document.
+	if fut, ok := dc.inflight[doc]; ok && depth == 0 {
+		fut.Wait(p)
+		return dc.lookup(p, px, doc, 1)
+	}
+	fut := sim.NewFuture[int](dc.env, fmt.Sprintf("fetch-doc%d", doc))
+	dc.inflight[doc] = fut
+	dc.backend.Use(p, 1, pp.BackendTime(int(size)))
+	target := px
+	if scheme == MTACC || scheme == HYBCC {
+		target = dc.placeMostFree(px)
+	}
+	dc.insert(p, px, target, doc)
+	delete(dc.inflight, doc)
+	fut.Resolve(0)
+	return outMiss
+}
+
+// insert places doc into target's cache, charging the push cost when the
+// target is remote and maintaining the directory for cooperative schemes.
+func (dc *DataCenter) insert(p *sim.Proc, px, target *cacheNode, doc int) {
+	size := dc.cfg.sizeOf(doc)
+	pp := dc.nw.Params()
+	if target != px {
+		// One-sided RDMA write of the document into the target's cache
+		// memory.
+		px.dev.NIC().AcquireTx(p, pp.IBTxTime(int(size)))
+		p.Sleep(pp.IBWriteLatency)
+	}
+	evicted := target.cache.Put(doc, size)
+	if dc.cfg.Scheme != AC {
+		dc.dirAdd(p, px, doc, target)
+		for _, v := range evicted {
+			dc.dirRemove(p, px, v, target.node.ID)
+		}
+	}
+}
+
+// placeMostFree picks the pool node with the most free cache space,
+// preferring the requesting proxy on ties.
+func (dc *DataCenter) placeMostFree(px *cacheNode) *cacheNode {
+	best := px
+	for _, cn := range dc.pool() {
+		if cn.cache.Free() > best.cache.Free() {
+			best = cn
+		}
+	}
+	return best
+}
+
+// remoteFetch charges a one-sided RDMA read of size bytes from holder.
+func (dc *DataCenter) remoteFetch(p *sim.Proc, holder *cacheNode, size int64) {
+	pp := dc.nw.Params()
+	p.Sleep(pp.IBReadLatency / 2)
+	holder.dev.NIC().Tx().Acquire(p, 1)
+	p.Sleep(pp.IBTxTime(int(size)))
+	holder.dev.NIC().Tx().Release(1)
+	p.Sleep(pp.IBReadLatency / 2)
+}
+
+// hybridHotCount is how many requests a document must accumulate at one
+// proxy before HYBCC considers it worth duplicating there.
+const hybridHotCount = 8
+
+// RunLoad drives the configured closed-loop clients through warm-up and
+// measurement and returns the statistics. The environment is shut down
+// afterwards.
+func (dc *DataCenter) RunLoad() (Stats, error) {
+	cfg := dc.cfg
+	for pi, px := range dc.proxies {
+		for c := 0; c < cfg.ClientsPerProxy; c++ {
+			px := px
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(pi*1000+c)))
+			zipf := workload.NewZipf(rng, cfg.ZipfAlpha, cfg.docCount())
+			dc.env.GoDaemon(fmt.Sprintf("client-%d-%d", pi, c), func(p *sim.Proc) {
+				for {
+					doc := zipf.Next()
+					out := dc.serveRequest(p, px, doc)
+					if dc.measuring {
+						dc.stats.Requests++
+						switch out {
+						case outLocal:
+							dc.stats.LocalHits++
+						case outRemote:
+							dc.stats.RemoteHits++
+						case outMiss:
+							dc.stats.Misses++
+						}
+					}
+				}
+			})
+		}
+	}
+	dc.env.At(sim.Time(cfg.Warmup), func() { dc.measuring = true })
+	if err := dc.env.RunUntil(sim.Time(cfg.Warmup + cfg.Measure)); err != nil {
+		return Stats{}, err
+	}
+	dc.stats.Scheme = cfg.Scheme
+	dc.stats.TPS = float64(dc.stats.Requests) / cfg.Measure.Seconds()
+	dc.stats.DuplicateBytes = dc.duplicateBytes()
+	dc.env.Shutdown()
+	return dc.stats, nil
+}
+
+// duplicateBytes sums cache space beyond the first copy of each document.
+func (dc *DataCenter) duplicateBytes() int64 {
+	copies := map[int]int{}
+	nodes := append(append([]*cacheNode{}, dc.proxies...), dc.appTier...)
+	for _, cn := range nodes {
+		for _, doc := range cn.cache.Keys() {
+			copies[doc]++
+		}
+		if cn.replica != nil {
+			for _, doc := range cn.replica.Keys() {
+				copies[doc]++
+			}
+		}
+	}
+	var dup int64
+	for doc, n := range copies {
+		if n > 1 {
+			dup += int64(n-1) * dc.cfg.sizeOf(doc)
+		}
+	}
+	return dup
+}
+
+// Run builds and drives one experiment.
+func Run(cfg Config) (Stats, error) {
+	return Build(cfg).RunLoad()
+}
+
+// Sweep runs Fig 6's file-size sweep for one scheme and proxy count,
+// returning TPS per file size.
+func Sweep(scheme Scheme, proxies int, fileSizes []int64) (map[int64]Stats, error) {
+	out := map[int64]Stats{}
+	for _, fs := range fileSizes {
+		st, err := Run(DefaultConfig(scheme, proxies, fs))
+		if err != nil {
+			return nil, err
+		}
+		out[fs] = st
+	}
+	return out, nil
+}

@@ -1,0 +1,145 @@
+// Package core assembles the paper's three-layer framework into one
+// object: a simulated RDMA-capable data-center with
+//
+//	layer 1 — advanced communication protocols (sockets: SDP family),
+//	layer 2 — service primitives (ddss: soft shared state, dlm: locks),
+//	layer 3 — advanced services (coopcache, monitor, reconfig),
+//
+// all running over a shared cluster, fabric and virtual clock. It is the
+// type a downstream user starts from: build a Framework, attach the
+// primitives and services the application needs, spawn processes, run.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ngdc/internal/cluster"
+	"ngdc/internal/ddss"
+	"ngdc/internal/dlm"
+	"ngdc/internal/fabric"
+	"ngdc/internal/monitor"
+	"ngdc/internal/sim"
+	"ngdc/internal/sockets"
+	"ngdc/internal/verbs"
+)
+
+// Config sizes a framework instance.
+type Config struct {
+	// Nodes is the cluster size.
+	Nodes int
+	// CoresPerNode and MemPerNode describe each machine.
+	CoresPerNode int
+	MemPerNode   int64
+	// Params is the fabric cost model; zero value means DefaultParams.
+	Params fabric.Params
+	// LockKind selects the distributed lock manager design.
+	LockKind dlm.Kind
+	// NumLocks sizes the lock namespace.
+	NumLocks int
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed int64
+}
+
+// DefaultConfig returns a small data-center: 8 dual-core nodes with the
+// paper's N-CoSED lock manager.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:        8,
+		CoresPerNode: 2,
+		MemPerNode:   64 << 20,
+		Params:       fabric.DefaultParams(),
+		LockKind:     dlm.NCoSED,
+		NumLocks:     64,
+		Seed:         1,
+	}
+}
+
+// Framework is a fully wired simulated data-center.
+type Framework struct {
+	Env     *sim.Env
+	Network *verbs.Network
+	Cluster *cluster.Cluster
+
+	// Sharing is the distributed data sharing substrate (layer 2).
+	Sharing *ddss.Substrate
+	// Locks is the distributed lock manager (layer 2).
+	Locks *dlm.Manager
+}
+
+// New builds a framework from the configuration.
+func New(cfg Config) *Framework {
+	if cfg.Nodes <= 0 {
+		panic("core: need at least one node")
+	}
+	if cfg.CoresPerNode <= 0 {
+		cfg.CoresPerNode = 2
+	}
+	if cfg.MemPerNode <= 0 {
+		cfg.MemPerNode = 64 << 20
+	}
+	if cfg.Params == (fabric.Params{}) {
+		cfg.Params = fabric.DefaultParams()
+	}
+	if cfg.NumLocks <= 0 {
+		cfg.NumLocks = 64
+	}
+	env := sim.NewEnv(cfg.Seed)
+	cl := cluster.New(env, cfg.Nodes, cfg.CoresPerNode, cfg.MemPerNode)
+	nw := verbs.NewNetwork(env, cfg.Params)
+	for _, n := range cl.Nodes {
+		nw.Attach(n)
+	}
+	return &Framework{
+		Env:     env,
+		Network: nw,
+		Cluster: cl,
+		Sharing: ddss.New(nw, cl.Nodes),
+		Locks:   dlm.New(cfg.LockKind, nw, cl.Nodes, cfg.NumLocks),
+	}
+}
+
+// Node returns the node with the given ID.
+func (f *Framework) Node(id int) *cluster.Node { return f.Cluster.Node(id) }
+
+// Device returns a node's verbs device.
+func (f *Framework) Device(id int) *verbs.Device { return f.Network.Device(id) }
+
+// Dial opens a sockets connection between two nodes using the given SDP
+// flavour (layer 1).
+func (f *Framework) Dial(scheme sockets.Scheme, a, b int) (*sockets.Conn, *sockets.Conn) {
+	da, db := f.Device(a), f.Device(b)
+	if da == nil || db == nil {
+		panic(fmt.Sprintf("core: dial between unknown nodes %d,%d", a, b))
+	}
+	return sockets.Dial(scheme, da, db, sockets.DefaultOptions())
+}
+
+// Monitor wires a resource-monitoring station (layer 3) on node front
+// observing the target nodes. Call Start on the result before Run.
+func (f *Framework) Monitor(scheme monitor.Scheme, front int, targets []int, interval time.Duration) *monitor.Station {
+	var tn []*cluster.Node
+	for _, id := range targets {
+		n := f.Node(id)
+		if n == nil {
+			panic(fmt.Sprintf("core: monitor target %d unknown", id))
+		}
+		tn = append(tn, n)
+	}
+	return monitor.NewStation(scheme, f.Network, f.Node(front), tn, interval)
+}
+
+// Go spawns an application process.
+func (f *Framework) Go(name string, fn func(p *sim.Proc)) { f.Env.Go(name, fn) }
+
+// GoDaemon spawns a service process exempt from deadlock detection.
+func (f *Framework) GoDaemon(name string, fn func(p *sim.Proc)) { f.Env.GoDaemon(name, fn) }
+
+// Run drives the simulation to completion.
+func (f *Framework) Run() error { return f.Env.Run() }
+
+// RunFor drives the simulation for d of virtual time.
+func (f *Framework) RunFor(d time.Duration) error { return f.Env.RunUntil(f.Env.Now().Add(d)) }
+
+// Shutdown releases all process goroutines.
+func (f *Framework) Shutdown() { f.Env.Shutdown() }

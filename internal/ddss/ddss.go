@@ -1,0 +1,249 @@
+// Package ddss implements the paper's Distributed Data Sharing Substrate
+// (§4.1, [Vaidyanathan et al., HiPC'06]): a soft shared state built from
+// one-sided RDMA operations, offering allocate/free/get/put over named
+// segments with a choice of coherence models.
+//
+// A segment lives in registered memory on a home node, laid out as
+//
+//	[ lock word : 8 ][ version : 8 ][ timestamp : 8 ][ length : 8 ][ data … ]
+//
+// and is manipulated exclusively with one-sided verbs (RDMA read/write,
+// compare-and-swap, fetch-and-add), so no process on the home node is
+// involved in data sharing — the property that makes the substrate cheap
+// and load-resilient.
+//
+// Coherence models (Fig 3a):
+//
+//   - Null: no coherence; put is a bare RDMA write, get a bare read.
+//   - Write: writers serialize through the segment lock; readers are
+//     unsynchronized.
+//   - Read: writers publish a new version after the data write; readers
+//     validate the version around the data read and retry on a torn read.
+//   - Strict: every operation (read or write) holds the segment lock.
+//   - Version: each put bumps the version with a fetch-and-add; gets
+//     return data tagged with the version they observed.
+//   - Delta: the segment keeps the last K versions in a slot ring; readers
+//     may fetch any retained delta.
+//   - Temporal: readers may serve from a node-local cached copy until a
+//     TTL expires; puts write data and timestamp.
+//
+// The IPC management module of the paper (virtualizing the substrate
+// across processes of one node) is modelled as a constant per-operation
+// charge (IPCOverhead).
+package ddss
+
+import (
+	"fmt"
+	"time"
+
+	"ngdc/internal/cluster"
+	"ngdc/internal/sim"
+	"ngdc/internal/verbs"
+)
+
+// Coherence selects a segment's coherence model.
+type Coherence int
+
+// The coherence models of the paper's Fig 3a, plus Temporal.
+const (
+	Null Coherence = iota
+	Write
+	Read
+	Strict
+	Version
+	Delta
+	Temporal
+)
+
+func (c Coherence) String() string {
+	switch c {
+	case Null:
+		return "Null"
+	case Write:
+		return "Write"
+	case Read:
+		return "Read"
+	case Strict:
+		return "Strict"
+	case Version:
+		return "Version"
+	case Delta:
+		return "Delta"
+	case Temporal:
+		return "Temporal"
+	default:
+		return fmt.Sprintf("Coherence(%d)", int(c))
+	}
+}
+
+// Models lists every coherence model, in the order Fig 3a plots them.
+var Models = []Coherence{Null, Read, Write, Strict, Version, Delta}
+
+// Segment header layout.
+const (
+	hdrLock    = 0
+	hdrVersion = 8
+	hdrTS      = 16
+	hdrLen     = 24
+	hdrSize    = 32
+)
+
+// DeltaSlots is the number of retained versions for Delta segments.
+const DeltaSlots = 4
+
+// IPCOverhead models the per-operation cost of the IPC-management module
+// that multiplexes the substrate across local processes.
+const IPCOverhead = 300 * time.Nanosecond
+
+// DefaultTTL is the staleness bound of Temporal segments.
+const DefaultTTL = 5 * time.Millisecond
+
+// segment is the substrate-wide metadata of one named allocation.
+type segment struct {
+	key   string
+	size  int
+	coh   Coherence
+	home  int // node ID
+	mr    *verbs.MR
+	freed bool
+}
+
+// dataOff returns the byte offset of version v's data slot.
+func (s *segment) dataOff(v uint64) int {
+	if s.coh == Delta {
+		return hdrSize + int(v%DeltaSlots)*s.size
+	}
+	return hdrSize
+}
+
+// Substrate is the cluster-wide data sharing service.
+type Substrate struct {
+	nw    *verbs.Network
+	nodes []*cluster.Node
+
+	segs map[string]*segment
+	// Ops counts substrate operations, for instrumentation.
+	Ops int64
+}
+
+// New builds a substrate over the given nodes.
+func New(nw *verbs.Network, nodes []*cluster.Node) *Substrate {
+	s := &Substrate{nw: nw, nodes: nodes, segs: map[string]*segment{}}
+	for _, n := range nodes {
+		nw.Attach(n)
+	}
+	return s
+}
+
+// Client returns a node-local handle to the substrate.
+func (s *Substrate) Client(nodeID int) *Client {
+	dev := s.nw.Device(nodeID)
+	if dev == nil {
+		panic(fmt.Sprintf("ddss: node %d not part of substrate", nodeID))
+	}
+	return &Client{ss: s, dev: dev, cache: map[string]*cachedCopy{}}
+}
+
+// PlaceLeastLoaded returns the substrate node with the most free memory —
+// the data-placement module's default policy.
+func (s *Substrate) PlaceLeastLoaded() int {
+	best := s.nodes[0]
+	for _, n := range s.nodes[1:] {
+		if n.MemFree() > best.MemFree() {
+			best = n
+		}
+	}
+	return best.ID
+}
+
+// Client is a per-node (per-process group) access point.
+type Client struct {
+	ss    *Substrate
+	dev   *verbs.Device
+	cache map[string]*cachedCopy // Temporal-coherence local copies
+}
+
+type cachedCopy struct {
+	data    []byte
+	fetched sim.Time
+}
+
+// Handle is an open reference to a segment.
+type Handle struct {
+	c   *Client
+	seg *segment
+}
+
+// Allocate creates a named segment of size bytes with the given coherence
+// on the home node (NodeAuto picks the least-loaded node). It charges the
+// memory registration cost and fails if the name exists or memory is
+// exhausted.
+func (c *Client) Allocate(p *sim.Proc, key string, size int, coh Coherence, home int) (*Handle, error) {
+	if _, ok := c.ss.segs[key]; ok {
+		return nil, fmt.Errorf("ddss: allocate %q: already exists", key)
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("ddss: allocate %q: bad size %d", key, size)
+	}
+	if home == NodeAuto {
+		home = c.ss.PlaceLeastLoaded()
+	}
+	homeDev := c.ss.nw.Device(home)
+	if homeDev == nil {
+		return nil, fmt.Errorf("ddss: allocate %q: no node %d", key, home)
+	}
+	bytes := hdrSize + size
+	if coh == Delta {
+		bytes = hdrSize + DeltaSlots*size
+	}
+	if !homeDev.Node.Alloc(int64(bytes)) {
+		return nil, fmt.Errorf("ddss: allocate %q: node %d out of memory", key, home)
+	}
+	p.Sleep(IPCOverhead)
+	mr := homeDev.Register(p, make([]byte, bytes))
+	seg := &segment{key: key, size: size, coh: coh, home: home, mr: mr}
+	c.ss.segs[key] = seg
+	return &Handle{c: c, seg: seg}, nil
+}
+
+// NodeAuto asks Allocate to pick the home node by the placement policy.
+const NodeAuto = -1
+
+// Open returns a handle to an existing segment.
+func (c *Client) Open(key string) (*Handle, error) {
+	seg, ok := c.ss.segs[key]
+	if !ok || seg.freed {
+		return nil, fmt.Errorf("ddss: open %q: no such segment", key)
+	}
+	return &Handle{c: c, seg: seg}, nil
+}
+
+// Free releases the segment's memory and unregisters it.
+func (h *Handle) Free(p *sim.Proc) error {
+	if h.seg.freed {
+		return fmt.Errorf("ddss: free %q: already freed", h.seg.key)
+	}
+	p.Sleep(IPCOverhead)
+	h.seg.freed = true
+	h.seg.mr.Deregister()
+	home := h.c.ss.nw.Device(h.seg.home).Node
+	bytes := hdrSize + h.seg.size
+	if h.seg.coh == Delta {
+		bytes = hdrSize + DeltaSlots*h.seg.size
+	}
+	home.Free(int64(bytes))
+	delete(h.c.ss.segs, h.seg.key)
+	return nil
+}
+
+// Key returns the segment name.
+func (h *Handle) Key() string { return h.seg.key }
+
+// Size returns the segment's data capacity in bytes.
+func (h *Handle) Size() int { return h.seg.size }
+
+// Model returns the segment's coherence model.
+func (h *Handle) Model() Coherence { return h.seg.coh }
+
+// HomeNode returns the node ID holding the segment.
+func (h *Handle) HomeNode() int { return h.seg.home }

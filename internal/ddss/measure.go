@@ -1,0 +1,62 @@
+package ddss
+
+import (
+	"fmt"
+	"time"
+
+	"ngdc/internal/cluster"
+	"ngdc/internal/fabric"
+	"ngdc/internal/sim"
+	"ngdc/internal/verbs"
+)
+
+// MeasurePutLatency measures the uncontended put() latency of one
+// coherence model for a given message size — one Fig 3a data point. The
+// segment lives on a remote home node, as in the paper's measurement.
+func MeasurePutLatency(coh Coherence, msgSize int, seed int64) (time.Duration, error) {
+	return measureOp(coh, msgSize, seed, true)
+}
+
+// MeasureGetLatency is the get() counterpart of MeasurePutLatency.
+func MeasureGetLatency(coh Coherence, msgSize int, seed int64) (time.Duration, error) {
+	return measureOp(coh, msgSize, seed, false)
+}
+
+func measureOp(coh Coherence, msgSize int, seed int64, put bool) (time.Duration, error) {
+	env := sim.NewEnv(seed)
+	defer env.Shutdown()
+	nw := verbs.NewNetwork(env, fabric.DefaultParams())
+	home := cluster.NewNode(env, 0, 2, 1<<30)
+	client := cluster.NewNode(env, 1, 2, 1<<30)
+	ss := New(nw, []*cluster.Node{home, client})
+	var lat time.Duration
+	var opErr error
+	env.Go("probe", func(p *sim.Proc) {
+		c := ss.Client(client.ID)
+		h, err := c.Allocate(p, "probe", msgSize, coh, home.ID)
+		if err != nil {
+			opErr = err
+			return
+		}
+		buf := make([]byte, msgSize)
+		// Seed the segment so gets read real data.
+		if _, err := h.Put(p, buf); err != nil {
+			opErr = err
+			return
+		}
+		start := p.Now()
+		if put {
+			_, opErr = h.Put(p, buf)
+		} else {
+			_, opErr = h.Get(p, buf)
+		}
+		lat = time.Duration(p.Now() - start)
+	})
+	if err := env.Run(); err != nil {
+		return 0, err
+	}
+	if opErr != nil {
+		return 0, fmt.Errorf("ddss: measure: %w", opErr)
+	}
+	return lat, nil
+}

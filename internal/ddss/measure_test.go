@@ -1,0 +1,52 @@
+package ddss
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMeasurePutLatencyAllModels(t *testing.T) {
+	for _, m := range append(append([]Coherence{}, Models...), Temporal) {
+		lat, err := MeasurePutLatency(m, 64, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if lat <= 0 || lat > time.Millisecond {
+			t.Fatalf("%v: implausible put latency %v", m, lat)
+		}
+	}
+}
+
+func TestMeasureGetLatencyAllModels(t *testing.T) {
+	for _, m := range Models {
+		lat, err := MeasureGetLatency(m, 64, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if lat <= 0 || lat > time.Millisecond {
+			t.Fatalf("%v: implausible get latency %v", m, lat)
+		}
+	}
+}
+
+func TestMeasureLatencyScalesWithSize(t *testing.T) {
+	small, err := MeasurePutLatency(Null, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := MeasurePutLatency(Null, 256<<10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big <= small {
+		t.Fatalf("put latency not size-sensitive: %v vs %v", small, big)
+	}
+}
+
+func TestMeasureDeterministic(t *testing.T) {
+	a, _ := MeasurePutLatency(Strict, 1024, 3)
+	b, _ := MeasurePutLatency(Strict, 1024, 3)
+	if a != b {
+		t.Fatalf("same seed gave %v and %v", a, b)
+	}
+}

@@ -1,0 +1,294 @@
+package ddss
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"ngdc/internal/sim"
+)
+
+// lockRetry is the backoff between contended segment-lock attempts.
+const lockRetry = 2 * time.Microsecond
+
+// localAtomicCost is the cost of a CPU atomic on node-local shared state
+// (the data-placement module's local fast path).
+const localAtomicCost = 100 * time.Nanosecond
+
+// isLocal reports whether the segment lives on the caller's node; the
+// data-placement module then uses memory operations instead of the wire.
+func (h *Handle) isLocal() bool { return h.seg.home == h.c.dev.Node.ID }
+
+// write moves data into the segment: an RDMA write remotely, a memory
+// copy locally.
+func (h *Handle) write(p *sim.Proc, off int, data []byte) error {
+	if h.isLocal() {
+		p.Sleep(h.c.dev.Params().CopyTime(len(data)))
+		copy(h.seg.mr.Bytes()[off:off+len(data)], data)
+		return nil
+	}
+	return h.c.dev.Write(p, h.seg.mr.Addr(), off, data)
+}
+
+// read moves data out of the segment: an RDMA read remotely, a memory
+// copy locally.
+func (h *Handle) read(p *sim.Proc, buf []byte, off int) error {
+	if h.isLocal() {
+		p.Sleep(h.c.dev.Params().CopyTime(len(buf)))
+		copy(buf, h.seg.mr.Bytes()[off:off+len(buf)])
+		return nil
+	}
+	return h.c.dev.Read(p, buf, h.seg.mr.Addr(), off)
+}
+
+// fetchAdd bumps a header word, using a CPU atomic locally.
+func (h *Handle) fetchAdd(p *sim.Proc, off int, delta uint64) (uint64, error) {
+	if h.isLocal() {
+		p.Sleep(localAtomicCost)
+		old := h.seg.mr.Uint64At(off)
+		h.seg.mr.PutUint64At(off, old+delta)
+		return old, nil
+	}
+	return h.c.dev.FetchAdd(p, h.seg.mr.Addr(), off, delta)
+}
+
+// compareSwap CASes a header word, using a CPU atomic locally.
+func (h *Handle) compareSwap(p *sim.Proc, off int, compare, swap uint64) (uint64, error) {
+	if h.isLocal() {
+		p.Sleep(localAtomicCost)
+		old := h.seg.mr.Uint64At(off)
+		if old == compare {
+			h.seg.mr.PutUint64At(off, swap)
+		}
+		return old, nil
+	}
+	return h.c.dev.CompareSwap(p, h.seg.mr.Addr(), off, compare, swap)
+}
+
+// acquireLock spins on the segment lock word with one-sided CAS.
+func (h *Handle) acquireLock(p *sim.Proc) error {
+	me := uint64(h.c.dev.Node.ID + 1)
+	for {
+		old, err := h.compareSwap(p, hdrLock, 0, me)
+		if err != nil {
+			return err
+		}
+		if old == 0 {
+			return nil
+		}
+		p.Sleep(lockRetry)
+	}
+}
+
+// releaseLock clears the lock word with a one-sided write.
+func (h *Handle) releaseLock(p *sim.Proc) error {
+	var zero [8]byte
+	return h.write(p, hdrLock, zero[:])
+}
+
+// writeU64 writes a header word one-sidedly.
+func (h *Handle) writeU64(p *sim.Proc, off int, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return h.write(p, off, b[:])
+}
+
+// readU64 reads a header word one-sidedly.
+func (h *Handle) readU64(p *sim.Proc, off int) (uint64, error) {
+	var b [8]byte
+	if err := h.read(p, b[:], off); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// Put writes data into the segment under its coherence model and returns
+// the version the write produced (meaningful for Version/Delta).
+func (h *Handle) Put(p *sim.Proc, data []byte) (uint64, error) {
+	if h.seg.freed {
+		return 0, fmt.Errorf("ddss: put %q: segment freed", h.seg.key)
+	}
+	if len(data) > h.seg.size {
+		return 0, fmt.Errorf("ddss: put %q: %d bytes exceed segment size %d", h.seg.key, len(data), h.seg.size)
+	}
+	h.c.ss.Ops++
+	p.Sleep(IPCOverhead)
+	switch h.seg.coh {
+	case Null:
+		return 0, h.write(p, hdrSize, data)
+
+	case Write, Strict:
+		if err := h.acquireLock(p); err != nil {
+			return 0, err
+		}
+		if err := h.write(p, hdrSize, data); err != nil {
+			return 0, err
+		}
+		var v uint64
+		if h.seg.coh == Strict {
+			// Strict also publishes a version so readers can detect
+			// in-place updates.
+			var err error
+			if v, err = h.fetchAdd(p, hdrVersion, 1); err != nil {
+				return 0, err
+			}
+			v++
+		}
+		return v, h.releaseLock(p)
+
+	case Read:
+		// Write data first, then publish the new version; readers
+		// validate the version around their read.
+		if err := h.write(p, hdrSize, data); err != nil {
+			return 0, err
+		}
+		old, err := h.fetchAdd(p, hdrVersion, 1)
+		return old + 1, err
+
+	case Version:
+		if err := h.write(p, hdrSize, data); err != nil {
+			return 0, err
+		}
+		old, err := h.fetchAdd(p, hdrVersion, 1)
+		return old + 1, err
+
+	case Delta:
+		// Claim the next version slot, then fill it.
+		old, err := h.fetchAdd(p, hdrVersion, 1)
+		if err != nil {
+			return 0, err
+		}
+		v := old + 1
+		return v, h.write(p, h.seg.dataOff(v), data)
+
+	case Temporal:
+		if err := h.write(p, hdrSize, data); err != nil {
+			return 0, err
+		}
+		return 0, h.writeU64(p, hdrTS, uint64(p.Now()))
+
+	default:
+		return 0, fmt.Errorf("ddss: unknown coherence %v", h.seg.coh)
+	}
+}
+
+// Get reads up to len(buf) bytes from the segment under its coherence
+// model, returning the observed version (where meaningful).
+func (h *Handle) Get(p *sim.Proc, buf []byte) (uint64, error) {
+	if h.seg.freed {
+		return 0, fmt.Errorf("ddss: get %q: segment freed", h.seg.key)
+	}
+	if len(buf) > h.seg.size {
+		return 0, fmt.Errorf("ddss: get %q: %d bytes exceed segment size %d", h.seg.key, len(buf), h.seg.size)
+	}
+	h.c.ss.Ops++
+	p.Sleep(IPCOverhead)
+	switch h.seg.coh {
+	case Null, Write:
+		return 0, h.read(p, buf, hdrSize)
+
+	case Strict:
+		if err := h.acquireLock(p); err != nil {
+			return 0, err
+		}
+		if err := h.read(p, buf, hdrSize); err != nil {
+			return 0, err
+		}
+		v, err := h.readU64(p, hdrVersion)
+		if err != nil {
+			return 0, err
+		}
+		return v, h.releaseLock(p)
+
+	case Read, Version:
+		// Validate the version around the data read; retry torn reads.
+		for {
+			v1, err := h.readU64(p, hdrVersion)
+			if err != nil {
+				return 0, err
+			}
+			if err := h.read(p, buf, hdrSize); err != nil {
+				return 0, err
+			}
+			v2, err := h.readU64(p, hdrVersion)
+			if err != nil {
+				return 0, err
+			}
+			if v1 == v2 {
+				return v2, nil
+			}
+		}
+
+	case Delta:
+		v, err := h.readU64(p, hdrVersion)
+		if err != nil {
+			return 0, err
+		}
+		if v == 0 {
+			return 0, h.read(p, buf, h.seg.dataOff(0))
+		}
+		return v, h.read(p, buf, h.seg.dataOff(v))
+
+	case Temporal:
+		cc := h.c.cache[h.seg.key]
+		if cc != nil && time.Duration(p.Now()-cc.fetched) < DefaultTTL {
+			// Serve from the node-local copy: only a memory copy.
+			p.Sleep(h.c.dev.Params().CopyTime(len(buf)))
+			copy(buf, cc.data)
+			return 0, nil
+		}
+		if err := h.read(p, buf, hdrSize); err != nil {
+			return 0, err
+		}
+		cp := make([]byte, len(buf))
+		copy(cp, buf)
+		h.c.cache[h.seg.key] = &cachedCopy{data: cp, fetched: p.Now()}
+		return 0, nil
+
+	default:
+		return 0, fmt.Errorf("ddss: unknown coherence %v", h.seg.coh)
+	}
+}
+
+// GetDelta reads the retained version v of a Delta segment; it fails if
+// the version has been overwritten (older than DeltaSlots behind) or not
+// yet produced.
+func (h *Handle) GetDelta(p *sim.Proc, buf []byte, v uint64) error {
+	if h.seg.coh != Delta {
+		return fmt.Errorf("ddss: getdelta on %v segment", h.seg.coh)
+	}
+	h.c.ss.Ops++
+	p.Sleep(IPCOverhead)
+	cur, err := h.readU64(p, hdrVersion)
+	if err != nil {
+		return err
+	}
+	if v > cur || v+DeltaSlots <= cur {
+		return fmt.Errorf("ddss: getdelta %q: version %d not retained (current %d)", h.seg.key, v, cur)
+	}
+	return h.read(p, buf, h.seg.dataOff(v))
+}
+
+// WaitVersion blocks until the segment's version reaches at least v,
+// polling the version word with one-sided reads (local reads when the
+// segment is home). It returns the observed version. This is the
+// substrate's wait() primitive: services use it to block on a producer's
+// next update without any producer-side involvement.
+func (h *Handle) WaitVersion(p *sim.Proc, v uint64, pollEvery time.Duration) (uint64, error) {
+	if pollEvery <= 0 {
+		pollEvery = 50 * time.Microsecond
+	}
+	for {
+		if h.seg.freed {
+			return 0, fmt.Errorf("ddss: waitversion %q: segment freed", h.seg.key)
+		}
+		cur, err := h.readU64(p, hdrVersion)
+		if err != nil {
+			return 0, err
+		}
+		if cur >= v {
+			return cur, nil
+		}
+		p.Sleep(pollEvery)
+	}
+}

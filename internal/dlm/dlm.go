@@ -1,0 +1,224 @@
+// Package dlm implements the paper's distributed lock management services
+// in three designs, matching §4.2 and [Narravula et al., CCGrid'07]:
+//
+//   - SRSL — Send/Receive-based Server Locking: the traditional baseline.
+//     Every lock and unlock is a two-sided message to the lock's home-node
+//     server process, which maintains the wait queue and sends grants.
+//
+//   - DQNL — Distributed Queue-based Non-shared Locking [Devulapalli &
+//     Wyckoff, ICPP'05]: a distributed MCS-style queue built from one-sided
+//     compare-and-swap on a per-lock tail word at the home node. Fully
+//     one-sided, but it supports only exclusive semantics: shared requests
+//     are serialized through the same queue, so N concurrent readers pay N
+//     sequential grant hand-offs.
+//
+//   - N-CoSED — Network-based Combined Shared/Exclusive Distributed
+//     locking: the paper's design. Each lock is a 64-bit word at its home
+//     node, the high 32 bits holding the exclusive-queue tail and the low
+//     32 bits the shared-holder count. Shared lock/unlock are pure
+//     fetch-and-add fast paths; exclusive lock is a compare-and-swap fast
+//     path; contended hand-offs use short messages, and a cohort of shared
+//     waiters is granted in one burst rather than one at a time.
+//
+// All three operate over the verbs layer, so their relative costs come out
+// of the same fabric model the rest of the repository uses.
+package dlm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"ngdc/internal/cluster"
+	"ngdc/internal/sim"
+	"ngdc/internal/verbs"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes.
+const (
+	Shared Mode = iota
+	Exclusive
+)
+
+func (m Mode) String() string {
+	if m == Shared {
+		return "shared"
+	}
+	return "exclusive"
+}
+
+// Kind selects a lock-manager design.
+type Kind int
+
+// The implemented designs.
+const (
+	SRSL Kind = iota
+	DQNL
+	NCoSED
+)
+
+func (k Kind) String() string {
+	switch k {
+	case SRSL:
+		return "SRSL"
+	case DQNL:
+		return "DQNL"
+	case NCoSED:
+		return "N-CoSED"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ServerCPU is the home-server processing cost per SRSL message; the
+// one-sided designs exist to avoid exactly this work.
+const ServerCPU = 1500 * time.Nanosecond
+
+// PollInterval is the local-memory polling granularity used by the
+// one-sided designs when waiting for a peer's RDMA write to land.
+const PollInterval = time.Microsecond
+
+// Manager is a cluster-wide lock service of one design.
+type Manager struct {
+	Kind  Kind
+	nw    *verbs.Network
+	nodes []*cluster.Node
+	locks int
+
+	clients map[int]Client
+}
+
+// Client is a node's handle to the lock service. At most one outstanding
+// request per (client, lock) is supported, matching the paper's usage.
+type Client interface {
+	// Lock blocks until the lock is held in the given mode.
+	Lock(p *sim.Proc, lock int, mode Mode)
+	// TryLock attempts a non-blocking acquire, reporting success. A
+	// failed attempt leaves no queue state behind.
+	TryLock(p *sim.Proc, lock int, mode Mode) bool
+	// Unlock releases a held lock.
+	Unlock(p *sim.Proc, lock int, mode Mode)
+	// NodeID returns the owning node.
+	NodeID() int
+}
+
+// New builds a lock manager of the given design over the nodes. Lock l is
+// homed on nodes[l % len(nodes)]. numLocks bounds the lock namespace.
+func New(kind Kind, nw *verbs.Network, nodes []*cluster.Node, numLocks int) *Manager {
+	m := &Manager{Kind: kind, nw: nw, nodes: nodes, locks: numLocks, clients: map[int]Client{}}
+	switch kind {
+	case SRSL:
+		newSRSL(m)
+	case DQNL:
+		newDQNL(m)
+	case NCoSED:
+		newNCoSED(m)
+	default:
+		panic("dlm: unknown kind")
+	}
+	return m
+}
+
+// Client returns the handle of the given node. It panics if the node was
+// not part of the manager's construction.
+func (m *Manager) Client(nodeID int) Client {
+	c, ok := m.clients[nodeID]
+	if !ok {
+		panic(fmt.Sprintf("dlm: node %d has no client", nodeID))
+	}
+	return c
+}
+
+// NumLocks returns the size of the lock namespace.
+func (m *Manager) NumLocks() int { return m.locks }
+
+// home returns the home node index (into m.nodes) of a lock.
+func (m *Manager) home(lock int) int { return lock % len(m.nodes) }
+
+// homeNodeID returns the cluster node ID homing a lock.
+func (m *Manager) homeNodeID(lock int) int { return m.nodes[m.home(lock)].ID }
+
+// checkLock panics on an out-of-range lock ID (a programming error).
+func (m *Manager) checkLock(lock int) {
+	if lock < 0 || lock >= m.locks {
+		panic(fmt.Sprintf("dlm: lock %d out of range [0,%d)", lock, m.locks))
+	}
+}
+
+// Wire message layout: op(1) lock(4) from(4) arg(4), little-endian.
+const msgSize = 13
+
+// Message opcodes.
+const (
+	opLockReq uint8 = iota + 1
+	opUnlockReq
+	opGrant
+	opEnqueue        // N-CoSED: "I am queued directly behind you"
+	opSharedRegister // N-CoSED: "notify me when the exclusive chain drains"
+	opWaitDrain      // N-CoSED: "grant me when the shared holders drain"
+	opTryLockReq     // SRSL: non-blocking acquire attempt
+)
+
+type wire struct {
+	op   uint8
+	lock int
+	from int
+	arg  int
+}
+
+func (w wire) encode() []byte {
+	b := make([]byte, msgSize)
+	b[0] = w.op
+	binary.LittleEndian.PutUint32(b[1:], uint32(w.lock))
+	binary.LittleEndian.PutUint32(b[5:], uint32(w.from))
+	binary.LittleEndian.PutUint32(b[9:], uint32(w.arg))
+	return b
+}
+
+func decodeWire(b []byte) wire {
+	if len(b) < msgSize {
+		return wire{}
+	}
+	return wire{
+		op:   b[0],
+		lock: int(binary.LittleEndian.Uint32(b[1:])),
+		from: int(binary.LittleEndian.Uint32(b[5:])),
+		arg:  int(binary.LittleEndian.Uint32(b[9:])),
+	}
+}
+
+// grantTable tracks per-lock grant futures for a client; one outstanding
+// request per lock.
+type grantTable struct {
+	env     *sim.Env
+	name    string
+	pending map[int]*sim.Future[int]
+}
+
+func newGrantTable(env *sim.Env, name string) *grantTable {
+	return &grantTable{env: env, name: name, pending: map[int]*sim.Future[int]{}}
+}
+
+// arm registers a future for a lock; granting twice or double-arming
+// panics (protocol bug).
+func (g *grantTable) arm(lock int) *sim.Future[int] {
+	if _, ok := g.pending[lock]; ok {
+		panic(fmt.Sprintf("dlm: %s: double outstanding request on lock %d", g.name, lock))
+	}
+	f := sim.NewFuture[int](g.env, fmt.Sprintf("%s/grant%d", g.name, lock))
+	g.pending[lock] = f
+	return f
+}
+
+// grant resolves the future for a lock.
+func (g *grantTable) grant(lock, arg int) {
+	f, ok := g.pending[lock]
+	if !ok {
+		panic(fmt.Sprintf("dlm: %s: grant for lock %d with no waiter", g.name, lock))
+	}
+	delete(g.pending, lock)
+	f.Resolve(arg)
+}

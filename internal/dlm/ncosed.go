@@ -1,0 +1,333 @@
+package dlm
+
+import (
+	"fmt"
+
+	"ngdc/internal/sim"
+	"ngdc/internal/verbs"
+)
+
+// N-CoSED: network-based combined shared/exclusive distributed locking,
+// the paper's design. Each lock is one 64-bit word at its home node:
+//
+//	[ exclusive-queue tail : 32 ][ shared-holder count : 32 ]
+//
+// Fast paths are entirely one-sided:
+//
+//   - shared lock    = fetch-and-add(+1); granted if the tail half is 0
+//   - shared unlock  = fetch-and-add(-1)
+//   - exclusive lock = compare-and-swap installing us as tail; granted if
+//     the word was (0, 0)
+//   - exclusive unlock = compare-and-swap back to (0, 0)
+//
+// Contended hand-offs use short messages: an exclusive requester that
+// displaced a previous tail enqueues behind it peer-to-peer; one that
+// found shared holders asks the home agent to grant it when the count
+// drains; shared requesters that found an exclusive chain undo their
+// increment and register with the home agent, which grants the whole
+// cohort in one burst when the chain drains — the property that keeps the
+// shared-cascade latency of Fig 5a flat.
+
+const (
+	ncosedAgentSvc  = "ncosed-agent"
+	ncosedClientSvc = "ncosed-grant"
+)
+
+func ncWord(tail uint64, cnt uint64) uint64 { return tail<<32 | cnt&0xffffffff }
+func ncTail(w uint64) uint64                { return w >> 32 }
+func ncCnt(w uint64) uint64                 { return w & 0xffffffff }
+
+type ncosedLockState struct {
+	pendingShared []int // node IDs awaiting the end of the exclusive chain
+	pendingDrain  int   // node ID + 1 awaiting shared-holder drain, 0 if none
+	polling       bool
+}
+
+type ncosedClientImpl struct {
+	m   *Manager
+	dev *verbs.Device
+
+	// tails holds the home lock words for locks homed on this node.
+	tails  *verbs.MR
+	grants *grantTable
+
+	// Exclusive-chain state: our direct successor per lock, and an armed
+	// future when Unlock is waiting for the successor announcement.
+	succ     map[int]int
+	succWait map[int]*sim.Future[int]
+
+	// Home-agent state for locks homed here.
+	agentState map[int]*ncosedLockState
+}
+
+func newNCoSED(m *Manager) {
+	for _, node := range m.nodes {
+		dev := m.nw.Attach(node)
+		c := &ncosedClientImpl{
+			m:          m,
+			dev:        dev,
+			tails:      dev.RegisterAtSetup(make([]byte, 8*m.locks)),
+			grants:     newGrantTable(node.Env(), fmt.Sprintf("%s/ncosed", node.Name)),
+			succ:       map[int]int{},
+			succWait:   map[int]*sim.Future[int]{},
+			agentState: map[int]*ncosedLockState{},
+		}
+		m.clients[node.ID] = c
+		env := node.Env()
+		env.GoDaemon(fmt.Sprintf("%s/ncosed-client", node.Name), c.clientLoop)
+		env.GoDaemon(fmt.Sprintf("%s/ncosed-agent", node.Name), c.agentLoop)
+	}
+}
+
+// wordAddr returns the home word address of a lock.
+func (c *ncosedClientImpl) wordAddr(lock int) (verbs.RemoteAddr, int) {
+	home := c.m.clients[c.m.homeNodeID(lock)].(*ncosedClientImpl)
+	return home.tails.Addr(), 8 * lock
+}
+
+// clientLoop dispatches grants and successor announcements.
+func (c *ncosedClientImpl) clientLoop(p *sim.Proc) {
+	for {
+		msg := c.dev.Recv(p, ncosedClientSvc)
+		w := decodeWire(msg.Data)
+		switch w.op {
+		case opGrant:
+			c.grants.grant(w.lock, w.arg)
+		case opEnqueue:
+			if fut, ok := c.succWait[w.lock]; ok {
+				delete(c.succWait, w.lock)
+				fut.Resolve(w.from)
+			} else {
+				c.succ[w.lock] = w.from + 1
+			}
+		}
+	}
+}
+
+// agentLoop is the home-node agent: it only participates in contended
+// hand-offs (shared cohort grants and shared-drain waits).
+func (c *ncosedClientImpl) agentLoop(p *sim.Proc) {
+	for {
+		msg := c.dev.Recv(p, ncosedAgentSvc)
+		w := decodeWire(msg.Data)
+		st := c.agentLockState(w.lock)
+		switch w.op {
+		case opSharedRegister:
+			st.pendingShared = append(st.pendingShared, w.from)
+		case opWaitDrain:
+			if st.pendingDrain != 0 {
+				panic("dlm: ncosed: two drain waiters on one lock")
+			}
+			st.pendingDrain = w.from + 1
+		}
+		c.ensurePoller(w.lock, st)
+	}
+}
+
+func (c *ncosedClientImpl) agentLockState(lock int) *ncosedLockState {
+	st, ok := c.agentState[lock]
+	if !ok {
+		st = &ncosedLockState{}
+		c.agentState[lock] = st
+	}
+	return st
+}
+
+// ensurePoller starts the per-lock home poller if it is not running. The
+// poller watches the (local) lock word and performs the deferred grants;
+// it exits when nothing is pending.
+func (c *ncosedClientImpl) ensurePoller(lock int, st *ncosedLockState) {
+	if st.polling {
+		return
+	}
+	st.polling = true
+	name := fmt.Sprintf("%s/ncosed-poll%d", c.dev.Node.Name, lock)
+	c.dev.Env().Go(name, func(p *sim.Proc) {
+		defer func() { st.polling = false }()
+		off := 8 * lock
+		for {
+			w := c.tails.Uint64At(off)
+			if st.pendingDrain != 0 && ncCnt(w) == 0 {
+				d := st.pendingDrain - 1
+				st.pendingDrain = 0
+				g := wire{op: opGrant, lock: lock, from: c.dev.Node.ID}
+				if err := c.dev.Send(p, d, ncosedClientSvc, g.encode()); err != nil {
+					panic(err)
+				}
+				continue
+			}
+			if len(st.pendingShared) > 0 && ncTail(w) == 0 {
+				// The exclusive chain has drained: admit the whole cohort
+				// as holders in one local update, then grant them
+				// back-to-back.
+				cohort := st.pendingShared
+				st.pendingShared = nil
+				c.tails.PutUint64At(off, ncWord(0, ncCnt(w)+uint64(len(cohort))))
+				for _, nodeID := range cohort {
+					g := wire{op: opGrant, lock: lock, from: c.dev.Node.ID}
+					if err := c.dev.Send(p, nodeID, ncosedClientSvc, g.encode()); err != nil {
+						panic(err)
+					}
+				}
+				continue
+			}
+			if st.pendingDrain == 0 && len(st.pendingShared) == 0 {
+				return
+			}
+			p.Sleep(PollInterval)
+		}
+	})
+}
+
+// Lock implements Client.
+func (c *ncosedClientImpl) Lock(p *sim.Proc, lock int, mode Mode) {
+	c.m.checkLock(lock)
+	if mode == Shared {
+		c.lockShared(p, lock)
+	} else {
+		c.lockExclusive(p, lock)
+	}
+}
+
+func (c *ncosedClientImpl) lockShared(p *sim.Proc, lock int) {
+	addr, off := c.wordAddr(lock)
+	old, err := c.dev.FetchAdd(p, addr, off, 1)
+	if err != nil {
+		panic(err)
+	}
+	if ncTail(old) == 0 {
+		return // no exclusive chain: we are a holder, purely one-sided
+	}
+	// An exclusive chain is active: undo our increment (the count must
+	// reflect holders only, or drain detection breaks) and register with
+	// the home agent for the cohort grant.
+	if _, err := c.dev.FetchAdd(p, addr, off, ^uint64(0)); err != nil {
+		panic(err)
+	}
+	fut := c.grants.arm(lock)
+	reg := wire{op: opSharedRegister, lock: lock, from: c.dev.Node.ID}
+	if err := c.dev.Send(p, c.m.homeNodeID(lock), ncosedAgentSvc, reg.encode()); err != nil {
+		panic(err)
+	}
+	fut.Wait(p)
+}
+
+func (c *ncosedClientImpl) lockExclusive(p *sim.Proc, lock int) {
+	me := uint64(c.dev.Node.ID + 1)
+	addr, off := c.wordAddr(lock)
+	expect := uint64(0)
+	var old uint64
+	for {
+		var err error
+		old, err = c.dev.CompareSwap(p, addr, off, expect, ncWord(me, ncCnt(expect)))
+		if err != nil {
+			panic(err)
+		}
+		if old == expect {
+			break
+		}
+		expect = old
+	}
+	prevTail, cnt := ncTail(old), ncCnt(old)
+	switch {
+	case prevTail == 0 && cnt == 0:
+		return // free lock: acquired with a single CAS
+	case prevTail == 0:
+		// Shared holders present: ask the home agent to grant us once the
+		// count drains to zero.
+		fut := c.grants.arm(lock)
+		req := wire{op: opWaitDrain, lock: lock, from: c.dev.Node.ID}
+		if err := c.dev.Send(p, c.m.homeNodeID(lock), ncosedAgentSvc, req.encode()); err != nil {
+			panic(err)
+		}
+		fut.Wait(p)
+	default:
+		// Queue behind the previous tail, peer-to-peer.
+		fut := c.grants.arm(lock)
+		enq := wire{op: opEnqueue, lock: lock, from: c.dev.Node.ID}
+		if err := c.dev.Send(p, int(prevTail-1), ncosedClientSvc, enq.encode()); err != nil {
+			panic(err)
+		}
+		fut.Wait(p)
+	}
+}
+
+// TryLock implements Client. Exclusive: one CAS on the free word.
+// Shared: a fetch-and-add, undone if an exclusive chain is active —
+// exactly the fast paths, with no registration on failure.
+func (c *ncosedClientImpl) TryLock(p *sim.Proc, lock int, mode Mode) bool {
+	c.m.checkLock(lock)
+	addr, off := c.wordAddr(lock)
+	if mode == Shared {
+		old, err := c.dev.FetchAdd(p, addr, off, 1)
+		if err != nil {
+			panic(err)
+		}
+		if ncTail(old) == 0 {
+			return true
+		}
+		if _, err := c.dev.FetchAdd(p, addr, off, ^uint64(0)); err != nil {
+			panic(err)
+		}
+		return false
+	}
+	me := uint64(c.dev.Node.ID + 1)
+	old, err := c.dev.CompareSwap(p, addr, off, 0, ncWord(me, 0))
+	if err != nil {
+		panic(err)
+	}
+	return old == 0
+}
+
+// Unlock implements Client.
+func (c *ncosedClientImpl) Unlock(p *sim.Proc, lock int, mode Mode) {
+	c.m.checkLock(lock)
+	addr, off := c.wordAddr(lock)
+	if mode == Shared {
+		if _, err := c.dev.FetchAdd(p, addr, off, ^uint64(0)); err != nil {
+			panic(err)
+		}
+		return
+	}
+	me := uint64(c.dev.Node.ID + 1)
+	for {
+		// If a successor already announced itself, hand over directly.
+		if s, ok := c.succ[lock]; ok {
+			delete(c.succ, lock)
+			g := wire{op: opGrant, lock: lock, from: c.dev.Node.ID}
+			if err := c.dev.Send(p, s-1, ncosedClientSvc, g.encode()); err != nil {
+				panic(err)
+			}
+			return
+		}
+		old, err := c.dev.CompareSwap(p, addr, off, ncWord(me, 0), 0)
+		if err != nil {
+			panic(err)
+		}
+		if old == ncWord(me, 0) {
+			return // freed with a single CAS
+		}
+		if ncTail(old) == me {
+			// A shared requester's transient increment is in flight (it
+			// will undo itself); retry shortly.
+			p.Sleep(PollInterval)
+			continue
+		}
+		// The tail moved past us: a successor exists and its announcement
+		// is in flight. Wait for it, then hand over.
+		if _, ok := c.succ[lock]; ok {
+			continue // announcement landed while we were CASing
+		}
+		fut := sim.NewFuture[int](c.dev.Env(), fmt.Sprintf("succ%d", lock))
+		c.succWait[lock] = fut
+		s := fut.Wait(p)
+		g := wire{op: opGrant, lock: lock, from: c.dev.Node.ID}
+		if err := c.dev.Send(p, s, ncosedClientSvc, g.encode()); err != nil {
+			panic(err)
+		}
+		return
+	}
+}
+
+// NodeID implements Client.
+func (c *ncosedClientImpl) NodeID() int { return c.dev.Node.ID }

@@ -1,0 +1,187 @@
+package dlm
+
+import (
+	"fmt"
+
+	"ngdc/internal/sim"
+	"ngdc/internal/verbs"
+)
+
+// SRSL: Send/Receive-based Server Locking. Each lock's home node runs a
+// server process that owns the lock state; clients interact with it purely
+// through two-sided messages. Every operation therefore costs two message
+// hops plus server CPU, and grant cascades are serialized through the
+// server — the costs the one-sided designs remove.
+
+const (
+	srslService = "srsl"       // requests, served by the home server
+	srslClient  = "srsl-grant" // grants, served by the client agent
+
+	// srslDenied flags a refused TryLock in a grant message's arg.
+	srslDenied = 1 << 8
+)
+
+// srslLockState is the server-side state of one lock.
+type srslLockState struct {
+	exclHolder int // node ID + 1, 0 when none
+	sharedCnt  int
+	queue      []wire // waiting requests in FIFO order
+}
+
+type srslServer struct {
+	m     *Manager
+	dev   *verbs.Device
+	locks map[int]*srslLockState
+}
+
+type srslClientImpl struct {
+	m      *Manager
+	dev    *verbs.Device
+	grants *grantTable
+}
+
+func newSRSL(m *Manager) {
+	for _, node := range m.nodes {
+		dev := m.nw.Attach(node)
+		srv := &srslServer{m: m, dev: dev, locks: map[int]*srslLockState{}}
+		cl := &srslClientImpl{m: m, dev: dev, grants: newGrantTable(node.Env(), fmt.Sprintf("%s/srsl", node.Name))}
+		m.clients[node.ID] = cl
+		env := node.Env()
+		env.GoDaemon(fmt.Sprintf("%s/srsl-server", node.Name), srv.serve)
+		env.GoDaemon(fmt.Sprintf("%s/srsl-client", node.Name), cl.serve)
+	}
+}
+
+// serve is the home-node lock server loop.
+func (s *srslServer) serve(p *sim.Proc) {
+	for {
+		msg := s.dev.Recv(p, srslService)
+		// The server is an ordinary process: each request costs CPU and
+		// competes with whatever else runs on the home node.
+		s.dev.Node.Exec(p, ServerCPU)
+		w := decodeWire(msg.Data)
+		st := s.state(w.lock)
+		switch w.op {
+		case opLockReq:
+			if s.grantable(st, Mode(w.arg)) {
+				s.apply(st, w)
+				s.sendGrant(p, w)
+			} else {
+				st.queue = append(st.queue, w)
+			}
+		case opTryLockReq:
+			// Non-blocking: grant or deny immediately, never queue. The
+			// verdict rides in the grant's arg (mode | denied bit).
+			verdict := w
+			verdict.op = opLockReq
+			if s.grantable(st, Mode(w.arg)) {
+				s.apply(st, verdict)
+			} else {
+				verdict.arg |= srslDenied
+			}
+			s.sendGrant(p, verdict)
+		case opUnlockReq:
+			if Mode(w.arg) == Exclusive {
+				st.exclHolder = 0
+			} else {
+				st.sharedCnt--
+			}
+			s.drain(p, st)
+		}
+	}
+}
+
+func (s *srslServer) state(lock int) *srslLockState {
+	st, ok := s.locks[lock]
+	if !ok {
+		st = &srslLockState{}
+		s.locks[lock] = st
+	}
+	return st
+}
+
+func (s *srslServer) grantable(st *srslLockState, mode Mode) bool {
+	if mode == Exclusive {
+		return st.exclHolder == 0 && st.sharedCnt == 0
+	}
+	return st.exclHolder == 0
+}
+
+func (s *srslServer) apply(st *srslLockState, w wire) {
+	if Mode(w.arg) == Exclusive {
+		st.exclHolder = w.from + 1
+	} else {
+		st.sharedCnt++
+	}
+}
+
+// drain grants queued requests in FIFO order while they remain
+// compatible: a burst of shared requests at the head is granted together;
+// an exclusive request is granted alone.
+func (s *srslServer) drain(p *sim.Proc, st *srslLockState) {
+	for len(st.queue) > 0 {
+		head := st.queue[0]
+		if !s.grantable(st, Mode(head.arg)) {
+			return
+		}
+		st.queue = st.queue[1:]
+		s.apply(st, head)
+		// Each grant costs server CPU and a message: the cascade is
+		// serialized through this loop.
+		s.dev.Node.Exec(p, ServerCPU)
+		s.sendGrant(p, head)
+	}
+}
+
+func (s *srslServer) sendGrant(p *sim.Proc, req wire) {
+	g := wire{op: opGrant, lock: req.lock, from: s.dev.Node.ID, arg: req.arg}
+	if err := s.dev.Send(p, req.from, srslClient, g.encode()); err != nil {
+		panic(err)
+	}
+}
+
+// serve is the client-side grant dispatcher.
+func (c *srslClientImpl) serve(p *sim.Proc) {
+	for {
+		msg := c.dev.Recv(p, srslClient)
+		w := decodeWire(msg.Data)
+		if w.op == opGrant {
+			c.grants.grant(w.lock, w.arg)
+		}
+	}
+}
+
+// Lock implements Client.
+func (c *srslClientImpl) Lock(p *sim.Proc, lock int, mode Mode) {
+	c.m.checkLock(lock)
+	fut := c.grants.arm(lock)
+	req := wire{op: opLockReq, lock: lock, from: c.dev.Node.ID, arg: int(mode)}
+	if err := c.dev.Send(p, c.m.homeNodeID(lock), srslService, req.encode()); err != nil {
+		panic(err)
+	}
+	fut.Wait(p)
+}
+
+// TryLock implements Client: one round trip to the server, which grants
+// or denies without queueing.
+func (c *srslClientImpl) TryLock(p *sim.Proc, lock int, mode Mode) bool {
+	c.m.checkLock(lock)
+	fut := c.grants.arm(lock)
+	req := wire{op: opTryLockReq, lock: lock, from: c.dev.Node.ID, arg: int(mode)}
+	if err := c.dev.Send(p, c.m.homeNodeID(lock), srslService, req.encode()); err != nil {
+		panic(err)
+	}
+	return fut.Wait(p)&srslDenied == 0
+}
+
+// Unlock implements Client.
+func (c *srslClientImpl) Unlock(p *sim.Proc, lock int, mode Mode) {
+	c.m.checkLock(lock)
+	req := wire{op: opUnlockReq, lock: lock, from: c.dev.Node.ID, arg: int(mode)}
+	if err := c.dev.Send(p, c.m.homeNodeID(lock), srslService, req.encode()); err != nil {
+		panic(err)
+	}
+}
+
+// NodeID implements Client.
+func (c *srslClientImpl) NodeID() int { return c.dev.Node.ID }

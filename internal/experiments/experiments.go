@@ -1,0 +1,449 @@
+// Package experiments is the library behind cmd/ngdc-bench: every paper
+// table/figure as a function returning a rendered metrics.Table. Keeping
+// the generators here (rather than in the command) makes the whole
+// evaluation surface unit-testable; the Quick option shrinks sweeps and
+// measurement windows so the full catalogue runs in seconds under
+// `go test`.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ngdc/internal/coopcache"
+	"ngdc/internal/ddss"
+	"ngdc/internal/dlm"
+	"ngdc/internal/dyncache"
+	"ngdc/internal/integrated"
+	"ngdc/internal/metrics"
+	"ngdc/internal/monitor"
+	"ngdc/internal/multicast"
+	"ngdc/internal/qos"
+	"ngdc/internal/reconfig"
+	"ngdc/internal/sockets"
+	"ngdc/internal/storm"
+)
+
+// Options tunes a run.
+type Options struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Quick shrinks sweeps and windows for fast smoke runs.
+	Quick bool
+	// Proxies selects the Fig 6 variant (2 → 6a, 8 → 6b).
+	Proxies int
+	// Mode selects the Fig 5 variant ("shared" → 5a, else 5b).
+	Mode string
+	// RUBiS selects the auction mix for Fig 8b.
+	RUBiS bool
+	// Measure overrides the virtual measurement window (0 = default).
+	Measure time.Duration
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// Experiment is one regenerable paper result.
+type Experiment struct {
+	// ID is the index used in DESIGN.md/EXPERIMENTS.md (e.g. "E1").
+	ID string
+	// Figure names the paper artefact (e.g. "Fig 3a").
+	Figure string
+	// Name is the ngdc-bench subcommand.
+	Name string
+	// Run produces the rendered table.
+	Run func(Options) (*metrics.Table, error)
+}
+
+// All returns the full catalogue in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "E1", Figure: "Fig 3a", Name: "ddss-latency", Run: DDSSLatency},
+		{ID: "E2", Figure: "Fig 3b", Name: "storm", Run: Storm},
+		{ID: "E3", Figure: "Fig 5a", Name: "lock-cascade -mode shared", Run: func(o Options) (*metrics.Table, error) {
+			o.Mode = "shared"
+			return LockCascade(o)
+		}},
+		{ID: "E4", Figure: "Fig 5b", Name: "lock-cascade -mode exclusive", Run: func(o Options) (*metrics.Table, error) {
+			o.Mode = "exclusive"
+			return LockCascade(o)
+		}},
+		{ID: "E5", Figure: "Fig 6a", Name: "coopcache -proxies 2", Run: func(o Options) (*metrics.Table, error) {
+			o.Proxies = 2
+			return CoopCache(o)
+		}},
+		{ID: "E6", Figure: "Fig 6b", Name: "coopcache -proxies 8", Run: func(o Options) (*metrics.Table, error) {
+			o.Proxies = 8
+			return CoopCache(o)
+		}},
+		{ID: "E7", Figure: "Fig 8a", Name: "monitor-accuracy", Run: MonitorAccuracy},
+		{ID: "E8", Figure: "Fig 8b", Name: "monitor-throughput", Run: MonitorThroughput},
+		{ID: "E9", Figure: "§6 flow control", Name: "flowcontrol", Run: FlowControl},
+		{ID: "E10", Figure: "§3 AZ-SDP", Name: "sdp", Run: SDP},
+		{ID: "E11", Figure: "§6 reconfiguration", Name: "reconfig", Run: Reconfig},
+		{ID: "E12", Figure: "§3 dynamic content", Name: "dyncache", Run: DynCache},
+		{ID: "E13", Figure: "§3 QoS", Name: "qos", Run: QoS},
+		{ID: "E14", Figure: "multicast", Name: "multicast", Run: Multicast},
+		{ID: "E16", Figure: "§6 integrated", Name: "integrated", Run: Integrated},
+	}
+}
+
+// DDSSLatency regenerates Fig 3a.
+func DDSSLatency(o Options) (*metrics.Table, error) {
+	sizes := []int{1, 64, 1 << 10, 4 << 10, 16 << 10, 64 << 10}
+	if o.Quick {
+		sizes = []int{1, 4 << 10}
+	}
+	cols := []string{"size"}
+	for _, m := range ddss.Models {
+		cols = append(cols, m.String())
+	}
+	tb := metrics.NewTable("Fig 3a — DDSS put() latency (µs) per coherence model", cols...)
+	for _, sz := range sizes {
+		row := []any{sz}
+		for _, m := range ddss.Models {
+			lat, err := ddss.MeasurePutLatency(m, sz, o.seed())
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, float64(lat)/float64(time.Microsecond))
+		}
+		tb.AddRow(row...)
+	}
+	return tb, nil
+}
+
+// Storm regenerates Fig 3b.
+func Storm(o Options) (*metrics.Table, error) {
+	records := []int{1000, 5000, 10000, 50000, 100000}
+	if o.Quick {
+		records = []int{1000, 5000}
+	}
+	tb := metrics.NewTable("Fig 3b — STORM query execution time (ms)",
+		"records", "STORM", "STORM-DDSS", "improvement%")
+	for _, rec := range records {
+		tcp, dd, err := storm.Compare(rec, 4, storm.Selector{Modulo: 3}, o.seed())
+		if err != nil {
+			return nil, err
+		}
+		imp := metrics.PercentImprovement(1/float64(tcp.Elapsed), 1/float64(dd.Elapsed))
+		tb.AddRow(rec,
+			float64(tcp.Elapsed)/float64(time.Millisecond),
+			float64(dd.Elapsed)/float64(time.Millisecond),
+			imp)
+	}
+	return tb, nil
+}
+
+// LockCascade regenerates Fig 5a (shared) or 5b (exclusive).
+func LockCascade(o Options) (*metrics.Table, error) {
+	mode, sub := dlm.Shared, "5a"
+	if o.Mode == "exclusive" {
+		mode, sub = dlm.Exclusive, "5b"
+	}
+	waiters := []int{1, 2, 4, 8, 16}
+	if o.Quick {
+		waiters = []int{2, 8}
+	}
+	tb := metrics.NewTable(
+		fmt.Sprintf("Fig %s — %v-lock cascading latency (µs, release to last grant)", sub, mode),
+		"waiters", "SRSL", "DQNL", "N-CoSED", "N-CoSED gain vs DQNL%")
+	for _, n := range waiters {
+		var vals []time.Duration
+		for _, kind := range []dlm.Kind{dlm.SRSL, dlm.DQNL, dlm.NCoSED} {
+			r, err := dlm.Cascade(kind, mode, n, o.seed())
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, r.Last)
+		}
+		gain := metrics.PercentImprovement(1/float64(vals[1]), 1/float64(vals[2]))
+		tb.AddRow(n,
+			float64(vals[0])/float64(time.Microsecond),
+			float64(vals[1])/float64(time.Microsecond),
+			float64(vals[2])/float64(time.Microsecond),
+			gain)
+	}
+	return tb, nil
+}
+
+// CoopCache regenerates Fig 6a/6b.
+func CoopCache(o Options) (*metrics.Table, error) {
+	proxies := o.Proxies
+	if proxies == 0 {
+		proxies = 2
+	}
+	sub := "6a"
+	if proxies >= 8 {
+		sub = "6b"
+	}
+	sizes := []int64{8 << 10, 16 << 10, 32 << 10, 64 << 10}
+	if o.Quick {
+		sizes = []int64{32 << 10}
+	}
+	cols := []string{"file size"}
+	for _, s := range coopcache.Schemes {
+		cols = append(cols, s.String())
+	}
+	tb := metrics.NewTable(
+		fmt.Sprintf("Fig %s — data-center throughput (TPS), %d proxy nodes", sub, proxies), cols...)
+	for _, fsz := range sizes {
+		row := []any{fmt.Sprintf("%dk", fsz>>10)}
+		for _, scheme := range coopcache.Schemes {
+			cfg := coopcache.DefaultConfig(scheme, proxies, fsz)
+			cfg.Seed = o.seed()
+			if o.Measure > 0 {
+				cfg.Measure = o.Measure
+			} else if o.Quick {
+				cfg.Measure = 400 * time.Millisecond
+				cfg.Warmup = 150 * time.Millisecond
+			}
+			st, err := coopcache.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, st.TPS)
+		}
+		tb.AddRow(row...)
+	}
+	return tb, nil
+}
+
+// MonitorAccuracy regenerates Fig 8a.
+func MonitorAccuracy(o Options) (*metrics.Table, error) {
+	tb := metrics.NewTable("Fig 8a — monitoring accuracy (deviation of reported vs actual threads)",
+		"scheme", "mean |dev|", "max |dev|", "samples")
+	for _, sc := range monitor.Schemes {
+		cfg := monitor.DefaultAccuracyConfig(sc)
+		cfg.Seed = o.seed()
+		if o.Quick {
+			cfg.Duration = 600 * time.Millisecond
+		}
+		res, err := monitor.Accuracy(cfg)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(sc.String(), res.MeanAbsDeviation(), res.MaxAbsDeviation(), len(res.Samples))
+	}
+	return tb, nil
+}
+
+// MonitorThroughput regenerates Fig 8b.
+func MonitorThroughput(o Options) (*metrics.Table, error) {
+	cols := []string{"alpha"}
+	for _, sc := range monitor.Schemes {
+		cols = append(cols, sc.String())
+	}
+	title := "Fig 8b — throughput improvement over Socket-Async (%), Zipf trace"
+	alphas := []float64{0.9, 0.75, 0.5, 0.25}
+	if o.Quick {
+		alphas = []float64{0.9}
+	}
+	if o.RUBiS {
+		title = "Fig 8b — throughput improvement over Socket-Async (%), RUBiS mix"
+		alphas = []float64{0}
+	}
+	tb := metrics.NewTable(title, cols...)
+	for _, a := range alphas {
+		imp, _, err := improvementQuick(a, o)
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("%.2f", a)
+		if o.RUBiS {
+			label = "RUBiS"
+		}
+		row := []any{label}
+		for _, sc := range monitor.Schemes {
+			row = append(row, imp[sc])
+		}
+		tb.AddRow(row...)
+	}
+	return tb, nil
+}
+
+func improvementQuick(alpha float64, o Options) (map[monitor.Scheme]float64, map[monitor.Scheme]monitor.LBStats, error) {
+	if !o.Quick {
+		return monitor.Improvement(alpha, o.RUBiS, o.seed())
+	}
+	stats := map[monitor.Scheme]monitor.LBStats{}
+	for _, sc := range monitor.Schemes {
+		cfg := monitor.DefaultLBConfig(sc, alpha)
+		cfg.RUBiS = o.RUBiS
+		cfg.Seed = o.seed()
+		cfg.Measure = 500 * time.Millisecond
+		s, err := monitor.RunLB(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats[sc] = s
+	}
+	base := stats[monitor.SocketAsync].TPS
+	imp := map[monitor.Scheme]float64{}
+	for sc, s := range stats {
+		imp[sc] = metrics.PercentImprovement(base, s.TPS)
+	}
+	return imp, stats, nil
+}
+
+// FlowControl regenerates the §6 packetized-flow-control comparison.
+func FlowControl(o Options) (*metrics.Table, error) {
+	sizes := []int{1, 16, 64, 256, 1 << 10, 8 << 10}
+	msgs := 3000
+	if o.Quick {
+		sizes = []int{64}
+		msgs = 500
+	}
+	tb := metrics.NewTable("§6 — credit-based vs packetized flow control (MB/s)",
+		"msg size", "BSDP (credit)", "P-SDP (packetized)", "speedup x")
+	for _, sz := range sizes {
+		bsdp, err := sockets.Bandwidth(sockets.BSDP, sz, msgs, sockets.DefaultOptions(), o.seed())
+		if err != nil {
+			return nil, err
+		}
+		psdp, err := sockets.Bandwidth(sockets.PSDP, sz, msgs, sockets.DefaultOptions(), o.seed())
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(sz, bsdp/1e6, psdp/1e6, metrics.Ratio(psdp, bsdp))
+	}
+	return tb, nil
+}
+
+// SDP regenerates the §3 SDP-family bandwidth comparison.
+func SDP(o Options) (*metrics.Table, error) {
+	schemes := []sockets.Scheme{sockets.TCP, sockets.BSDP, sockets.ZSDP, sockets.AZSDP}
+	sizes := []int{1 << 10, 8 << 10, 32 << 10, 128 << 10, 512 << 10}
+	msgs := 200
+	if o.Quick {
+		sizes = []int{32 << 10}
+		msgs = 50
+	}
+	cols := []string{"msg size"}
+	for _, sc := range schemes {
+		cols = append(cols, sc.String())
+	}
+	tb := metrics.NewTable("§3 — streaming bandwidth (MB/s) of the SDP family", cols...)
+	for _, sz := range sizes {
+		row := []any{fmt.Sprintf("%dk", sz>>10)}
+		for _, sc := range schemes {
+			bw, err := sockets.Bandwidth(sc, sz, msgs, sockets.DefaultOptions(), o.seed())
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, bw/1e6)
+		}
+		tb.AddRow(row...)
+	}
+	return tb, nil
+}
+
+// Reconfig regenerates the §6 reconfiguration ablation.
+func Reconfig(o Options) (*metrics.Table, error) {
+	tb := metrics.NewTable("§6 — dynamic reconfiguration ablation",
+		"policy", "TPS", "node moves", "CAS conflicts")
+	for _, p := range []reconfig.Policy{reconfig.Naive, reconfig.HistoryAware} {
+		cfg := reconfig.DefaultConfig(p)
+		cfg.Seed = o.seed()
+		if o.Quick {
+			cfg.Measure = time.Second
+		}
+		res, err := reconfig.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(p.String(), res.TPS, res.Reconfigs, res.CASConflicts)
+	}
+	return tb, nil
+}
+
+// DynCache regenerates the §3 dynamic-content coherence comparison.
+func DynCache(o Options) (*metrics.Table, error) {
+	tb := metrics.NewTable("§3 — dynamic-content caching with multi-dependency coherence",
+		"scheme", "TPS", "hit%", "renders", "stale served", "mean ms")
+	for _, sc := range dyncache.Schemes {
+		cfg := dyncache.DefaultConfig(sc)
+		cfg.Seed = o.seed()
+		if o.Quick {
+			cfg.Measure = 500 * time.Millisecond
+		}
+		st, err := dyncache.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		hit := 0.0
+		if st.Requests > 0 {
+			hit = 100 * float64(st.CoherentHits) / float64(st.Requests)
+		}
+		tb.AddRow(sc.String(), st.TPS, hit, st.Renders, st.StaleServed, st.MeanLatencyMs)
+	}
+	return tb, nil
+}
+
+// QoS regenerates the §3 admission-control comparison.
+func QoS(o Options) (*metrics.Table, error) {
+	tb := metrics.NewTable("§3 — soft QoS under 2x overload (premium vs basic)",
+		"policy", "class", "TPS", "p95 ms", "rejected")
+	for _, p := range []qos.Policy{qos.NoControl, qos.PriorityAdmission} {
+		cfg := qos.DefaultConfig(p)
+		cfg.Seed = o.seed()
+		if o.Quick {
+			cfg.Measure = 700 * time.Millisecond
+		}
+		st, err := qos.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(p.String(), "premium", st.Premium.TPS, st.Premium.P95Ms, st.Premium.Rejected)
+		tb.AddRow(p.String(), "basic", st.Basic.TPS, st.Basic.P95Ms, st.Basic.Rejected)
+	}
+	return tb, nil
+}
+
+// Multicast regenerates the multicast-primitive latency sweep.
+func Multicast(o Options) (*metrics.Table, error) {
+	sizes := []int{2, 4, 8, 16, 32, 64}
+	if o.Quick {
+		sizes = []int{4, 16}
+	}
+	tb := metrics.NewTable("framework — multicast dissemination latency (µs, to last member)",
+		"group size", "serial", "binomial", "speedup x")
+	for _, n := range sizes {
+		serial, err := multicast.MeasureLatency(multicast.Serial, n, 4096, o.seed())
+		if err != nil {
+			return nil, err
+		}
+		binom, err := multicast.MeasureLatency(multicast.Binomial, n, 4096, o.seed())
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(n,
+			float64(serial)/float64(time.Microsecond),
+			float64(binom)/float64(time.Microsecond),
+			metrics.Ratio(float64(serial), float64(binom)))
+	}
+	return tb, nil
+}
+
+// Integrated regenerates the §6 full-stack comparison.
+func Integrated(o Options) (*metrics.Table, error) {
+	tb := metrics.NewTable("§6 — integrated evaluation: full stacks on the same workload",
+		"stack", "TPS", "p95 ms", "reconfigs", "sibling fills", "backend fetches")
+	for _, st := range []integrated.Stack{integrated.Traditional, integrated.RDMAStack} {
+		cfg := integrated.DefaultConfig(st)
+		cfg.Seed = o.seed()
+		if o.Quick {
+			cfg.Measure = time.Second
+		}
+		res, err := integrated.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(st.String(), res.TPS, res.P95Ms, res.Reconfigs, res.SiblingFills, res.BackendFetches)
+	}
+	return tb, nil
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCatalogueComplete(t *testing.T) {
+	all := All()
+	if len(all) < 15 {
+		t.Fatalf("catalogue has %d experiments", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Figure == "" || e.Name == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment ID %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+// TestEveryExperimentRunsQuick executes the whole catalogue with Quick
+// options: every figure generator must produce a titled, non-empty table.
+func TestEveryExperimentRunsQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tb, err := e.Run(Options{Quick: true})
+			if err != nil {
+				t.Fatalf("%s (%s): %v", e.ID, e.Figure, err)
+			}
+			if tb.Title == "" || len(tb.Columns) == 0 || len(tb.Rows) == 0 {
+				t.Fatalf("%s: empty table", e.ID)
+			}
+			out := tb.String()
+			if !strings.Contains(out, tb.Columns[0]) {
+				t.Fatalf("%s: render missing header:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestSeedDefaulting(t *testing.T) {
+	if (Options{}).seed() != 1 || (Options{Seed: 9}).seed() != 9 {
+		t.Fatal("seed defaulting wrong")
+	}
+}
+
+func TestQuickAndFullSameShape(t *testing.T) {
+	// Quick runs use the same generators: a spot check that the DDSS
+	// table keeps its column structure across modes.
+	quick, err := DDSSLatency(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quick.Columns) != 7 { // size + 6 models
+		t.Fatalf("columns = %v", quick.Columns)
+	}
+}

@@ -1,0 +1,194 @@
+// Package fabric models the wire level of the simulated System Area
+// Network: the cost parameters of an InfiniBand-class interconnect and of
+// the host-based TCP/IP stack, and the per-node NIC transmit engines whose
+// serialization delay creates bandwidth contention.
+//
+// The parameter defaults are calibrated to the 2007-era hardware of the
+// paper's testbed (InfiniBand DDR HCAs, host TCP over the same wire). The
+// absolute values are documented estimates; every experiment in this
+// repository reports shapes (orderings, ratios, crossovers), which depend
+// only on the relative structure: one-sided RDMA operations cost a few
+// microseconds and no remote CPU, host TCP costs tens of microseconds plus
+// CPU work on both hosts.
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"ngdc/internal/cluster"
+	"ngdc/internal/sim"
+)
+
+// Params holds the fabric cost model.
+type Params struct {
+	// IBSendLatency is the one-way base latency of a two-sided IB
+	// send/recv message.
+	IBSendLatency time.Duration
+	// IBWriteLatency is the end-to-end latency of a 1-byte RDMA write.
+	IBWriteLatency time.Duration
+	// IBReadLatency is the round-trip latency of a 1-byte RDMA read.
+	IBReadLatency time.Duration
+	// IBAtomicLatency is the round-trip latency of a remote atomic
+	// (compare-and-swap or fetch-and-add).
+	IBAtomicLatency time.Duration
+	// IBBandwidth is the IB wire bandwidth in bytes/second.
+	IBBandwidth float64
+	// IBPerMsgTx is the NIC occupancy per IB message independent of size
+	// (descriptor processing, doorbell, header) — it bounds small-message
+	// rate.
+	IBPerMsgTx time.Duration
+	// SDPPerChunkCPU is the host-side per-chunk overhead of the copy-based
+	// SDP send path (syscall + descriptor setup).
+	SDPPerChunkCPU time.Duration
+
+	// TCPLatency is the one-way base latency of a host TCP message,
+	// excluding host CPU work.
+	TCPLatency time.Duration
+	// TCPBandwidth is the TCP streaming bandwidth in bytes/second.
+	TCPBandwidth float64
+	// TCPCPUPerMsg is the host CPU work per TCP message on each side
+	// (interrupts, protocol processing, syscalls).
+	TCPCPUPerMsg time.Duration
+	// TCPCPUPerKB is additional host CPU work per kilobyte transferred
+	// (buffer copies, checksums) on each side.
+	TCPCPUPerKB time.Duration
+
+	// MemCopyBandwidth is the in-memory copy bandwidth in bytes/second.
+	MemCopyBandwidth float64
+	// RegisterPerPage is the cost of registering one 4 KiB page of memory
+	// with the HCA (pinning + translation entry).
+	RegisterPerPage time.Duration
+
+	// BackendLatency and BackendBandwidth model a fetch from the origin
+	// store (disk array / database tier) behind the data-center.
+	BackendLatency   time.Duration
+	BackendBandwidth float64
+}
+
+// DefaultParams returns the 2007-era calibration described in DESIGN.md.
+func DefaultParams() Params {
+	return Params{
+		IBSendLatency:   4 * time.Microsecond,
+		IBWriteLatency:  3500 * time.Nanosecond,
+		IBReadLatency:   6 * time.Microsecond,
+		IBAtomicLatency: 8 * time.Microsecond,
+		IBBandwidth:     900e6,
+		IBPerMsgTx:      700 * time.Nanosecond,
+		SDPPerChunkCPU:  50 * time.Nanosecond,
+
+		TCPLatency:   45 * time.Microsecond,
+		TCPBandwidth: 750e6,
+		TCPCPUPerMsg: 12 * time.Microsecond,
+		TCPCPUPerKB:  800 * time.Nanosecond,
+
+		MemCopyBandwidth: 3e9,
+		RegisterPerPage:  1500 * time.Nanosecond,
+
+		BackendLatency:   2500 * time.Microsecond,
+		BackendBandwidth: 200e6,
+	}
+}
+
+// IBTxTime returns the wire serialization time of n bytes on the IB link.
+func (p Params) IBTxTime(n int) time.Duration {
+	return time.Duration(float64(n) / p.IBBandwidth * float64(time.Second))
+}
+
+// IBMsgTxTime returns the NIC occupancy of one IB message of n bytes:
+// per-message overhead plus wire serialization.
+func (p Params) IBMsgTxTime(n int) time.Duration {
+	return p.IBPerMsgTx + p.IBTxTime(n)
+}
+
+// TCPTxTime returns the wire serialization time of n bytes on TCP.
+func (p Params) TCPTxTime(n int) time.Duration {
+	return time.Duration(float64(n) / p.TCPBandwidth * float64(time.Second))
+}
+
+// CopyTime returns the cost of copying n bytes in memory.
+func (p Params) CopyTime(n int) time.Duration {
+	return time.Duration(float64(n) / p.MemCopyBandwidth * float64(time.Second))
+}
+
+// RegisterTime returns the cost of registering n bytes of memory.
+func (p Params) RegisterTime(n int) time.Duration {
+	pages := (n + 4095) / 4096
+	return time.Duration(pages) * p.RegisterPerPage
+}
+
+// TCPCPUTime returns the per-side host CPU cost of a TCP message of n
+// bytes.
+func (p Params) TCPCPUTime(n int) time.Duration {
+	return p.TCPCPUPerMsg + time.Duration(float64(n)/1024*float64(p.TCPCPUPerKB))
+}
+
+// BackendTime returns the cost of fetching n bytes from the origin store.
+func (p Params) BackendTime(n int) time.Duration {
+	return p.BackendLatency + time.Duration(float64(n)/p.BackendBandwidth*float64(time.Second))
+}
+
+// NIC is a node's network interface; its transmit engine serializes
+// outbound transfers, providing bandwidth contention.
+type NIC struct {
+	Node *cluster.Node
+	tx   *sim.Resource
+}
+
+// AcquireTx occupies the transmit engine for the serialization time of a
+// transfer, then releases it. It returns after the last byte is on the
+// wire.
+func (n *NIC) AcquireTx(p *sim.Proc, ser time.Duration) {
+	n.tx.Use(p, 1, ser)
+}
+
+// Tx exposes the transmit resource for instrumentation.
+func (n *NIC) Tx() *sim.Resource { return n.tx }
+
+// Fabric is the interconnect: cost parameters plus the NIC registry.
+type Fabric struct {
+	Env *sim.Env
+	P   Params
+
+	nics map[int]*NIC
+}
+
+// New creates a fabric over env with the given parameters.
+func New(env *sim.Env, p Params) *Fabric {
+	return &Fabric{Env: env, P: p, nics: map[int]*NIC{}}
+}
+
+// Attach gives node a NIC on this fabric. Attaching a node twice returns
+// the existing NIC.
+func (f *Fabric) Attach(node *cluster.Node) *NIC {
+	if nic, ok := f.nics[node.ID]; ok {
+		return nic
+	}
+	nic := &NIC{
+		Node: node,
+		tx:   sim.NewResource(f.Env, fmt.Sprintf("%s/nic-tx", node.Name), 1),
+	}
+	f.nics[node.ID] = nic
+	return nic
+}
+
+// NIC returns the NIC of the node with the given ID, or nil if the node is
+// not attached.
+func (f *Fabric) NIC(nodeID int) *NIC { return f.nics[nodeID] }
+
+// IWARPParams returns an alternate calibration modelling a 10-Gigabit
+// Ethernet iWARP adapter of the same era (RNIC offload over Ethernet):
+// slightly higher base latencies than InfiniBand, a 10 Gb/s wire, same
+// one-sided semantics. The paper notes its designs "rely on quite common
+// features provided by most RDMA-enabled networks"; experiments rerun
+// under this calibration must preserve every qualitative shape.
+func IWARPParams() Params {
+	p := DefaultParams()
+	p.IBSendLatency = 7 * time.Microsecond
+	p.IBWriteLatency = 6 * time.Microsecond
+	p.IBReadLatency = 10 * time.Microsecond
+	p.IBAtomicLatency = 12 * time.Microsecond
+	p.IBBandwidth = 1.18e9 // 10 Gb/s minus framing
+	p.IBPerMsgTx = 900 * time.Nanosecond
+	return p
+}

@@ -1,0 +1,203 @@
+package filecache
+
+import (
+	"testing"
+	"time"
+
+	"ngdc/internal/cluster"
+	"ngdc/internal/fabric"
+	"ngdc/internal/gma"
+	"ngdc/internal/sim"
+	"ngdc/internal/verbs"
+)
+
+// rig builds a cache on node 0 with a 3-node memory pool behind it.
+func rig(t testing.TB, mode Mode) (*sim.Env, *Cache) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	nw := verbs.NewNetwork(env, fabric.DefaultParams())
+	var nodes []*cluster.Node
+	for i := 0; i < 3; i++ {
+		nodes = append(nodes, cluster.NewNode(env, i, 2, 64<<20))
+	}
+	var agg *gma.Aggregator
+	if mode == RemoteMemory {
+		var err error
+		agg, err = gma.New(nw, nodes, 16<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return env, New(DefaultConfig(mode), nw, nodes[0], agg)
+}
+
+func TestLocalHitAfterRead(t *testing.T) {
+	env, c := rig(t, DiskOnly)
+	defer env.Shutdown()
+	env.Go("p", func(p *sim.Proc) {
+		src, err := c.Read(p, 1, 0)
+		if err != nil || src != FromDisk {
+			t.Errorf("first read: %v %v", src, err)
+		}
+		src, err = c.Read(p, 1, 0)
+		if err != nil || src != FromLocal {
+			t.Errorf("second read: %v %v", src, err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats.LocalHits != 1 || c.Stats.DiskReads != 1 {
+		t.Fatalf("stats %+v", c.Stats)
+	}
+}
+
+func TestEvictionDemotesToRemote(t *testing.T) {
+	env, c := rig(t, RemoteMemory)
+	defer env.Shutdown()
+	env.Go("p", func(p *sim.Proc) {
+		// Fill past local capacity.
+		for i := 0; i <= c.cfg.LocalPages; i++ {
+			if _, err := c.Read(p, 0, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if c.RemotePages() == 0 {
+			t.Fatal("no page demoted to remote memory")
+		}
+		// Page 0 was the LRU victim: re-reading it must be a remote hit,
+		// far cheaper than disk.
+		t0 := p.Now()
+		src, err := c.Read(p, 0, 0)
+		if err != nil || src != FromRemote {
+			t.Fatalf("victim read: %v %v", src, err)
+		}
+		lat := time.Duration(p.Now() - t0)
+		if lat > 100*time.Microsecond {
+			t.Fatalf("remote hit took %v; should be tens of µs", lat)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskOnlyMissesAreMilliseconds(t *testing.T) {
+	env, c := rig(t, DiskOnly)
+	defer env.Shutdown()
+	env.Go("p", func(p *sim.Proc) {
+		t0 := p.Now()
+		if _, err := c.Read(p, 9, 9); err != nil {
+			t.Fatal(err)
+		}
+		if time.Duration(p.Now()-t0) < 2*time.Millisecond {
+			t.Fatal("disk read suspiciously fast")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWarmRestartSurvivesFlush(t *testing.T) {
+	// The §6 property: after losing the local cache, the working set is
+	// still warm in remote memory.
+	env, c := rig(t, RemoteMemory)
+	defer env.Shutdown()
+	env.Go("p", func(p *sim.Proc) {
+		// Touch a working set twice its local capacity so half is
+		// demoted.
+		n := 2 * c.cfg.LocalPages
+		for round := 0; round < 2; round++ {
+			for i := 0; i < n; i++ {
+				if _, err := c.Read(p, 0, i); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := c.FlushLocal(p); err != nil {
+			t.Fatal(err)
+		}
+		if c.LocalPages() != 0 {
+			t.Fatal("flush left local pages")
+		}
+		remote, disk := 0, 0
+		for i := 0; i < n; i++ {
+			src, err := c.Read(p, 0, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch src {
+			case FromRemote:
+				remote++
+			case FromDisk:
+				disk++
+			}
+		}
+		if remote == 0 {
+			t.Fatal("nothing survived the flush in remote memory")
+		}
+		if remote < disk {
+			t.Fatalf("restart mostly cold: %d remote vs %d disk", remote, disk)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVictimCapacityBounded(t *testing.T) {
+	env, c := rig(t, RemoteMemory)
+	defer env.Shutdown()
+	env.Go("p", func(p *sim.Proc) {
+		// Stream far more pages than local+victim capacity.
+		for i := 0; i < 3*(c.cfg.LocalPages+c.cfg.VictimPages); i++ {
+			if _, err := c.Read(p, 0, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if c.RemotePages() > c.cfg.VictimPages {
+			t.Fatalf("victim tier holds %d pages, cap %d", c.RemotePages(), c.cfg.VictimPages)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteMemoryBeatsDiskOnly(t *testing.T) {
+	run := func(mode Mode) float64 {
+		env, c := rig(t, mode)
+		defer env.Shutdown()
+		env.Go("p", func(p *sim.Proc) {
+			// Working set of 2x local capacity, five passes: the reuse
+			// misses hit remote memory instead of disk.
+			n := 2 * c.cfg.LocalPages
+			for round := 0; round < 5; round++ {
+				for i := 0; i < n; i++ {
+					if _, err := c.Read(p, 0, i); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		})
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return c.Stats.MeanLatencyUs()
+	}
+	disk := run(DiskOnly)
+	remote := run(RemoteMemory)
+	if remote >= disk/3 {
+		t.Fatalf("remote-memory mean %.1fµs vs disk-only %.1fµs: insufficient benefit", remote, disk)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if DiskOnly.String() != "disk-only" || RemoteMemory.String() != "remote-memory" {
+		t.Fatal("mode names wrong")
+	}
+	if FromLocal.String() != "local" || FromRemote.String() != "remote" || FromDisk.String() != "disk" {
+		t.Fatal("source names wrong")
+	}
+}

@@ -1,0 +1,94 @@
+package integrated
+
+import (
+	"testing"
+	"time"
+)
+
+func quickCfg(s Stack) Config {
+	cfg := DefaultConfig(s)
+	cfg.Measure = 2 * time.Second
+	return cfg
+}
+
+func TestBothStacksServeTraffic(t *testing.T) {
+	for _, s := range []Stack{Traditional, RDMAStack} {
+		st, err := Run(quickCfg(s))
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if st.Requests == 0 || st.TPS <= 0 {
+			t.Fatalf("%v: no traffic: %+v", s, st)
+		}
+	}
+}
+
+func TestRDMAStackWinsEndToEnd(t *testing.T) {
+	// The paper's integrated claim: the framework's combined designs beat
+	// the traditional stack on the same hardware and workload.
+	trad, err := Run(quickCfg(Traditional))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdma, err := Run(quickCfg(RDMAStack))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rdma.TPS <= trad.TPS {
+		t.Fatalf("rdma stack TPS %.0f not above traditional %.0f", rdma.TPS, trad.TPS)
+	}
+	if rdma.P95Ms >= trad.P95Ms {
+		t.Fatalf("rdma stack p95 %.1fms not below traditional %.1fms", rdma.P95Ms, trad.P95Ms)
+	}
+}
+
+func TestCooperationRefillsAfterMoves(t *testing.T) {
+	rdma, err := Run(quickCfg(RDMAStack))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rdma.SiblingFills == 0 {
+		t.Fatal("rdma stack never refilled from a sibling cache")
+	}
+	if rdma.Reconfigs == 0 {
+		t.Fatal("shifting load caused no reconfigurations")
+	}
+}
+
+func TestTraditionalStackMovesMore(t *testing.T) {
+	trad, err := Run(quickCfg(Traditional))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdma, err := Run(quickCfg(RDMAStack))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trad.Reconfigs <= rdma.Reconfigs {
+		t.Fatalf("naive policy moved %d times vs history-aware %d; thrash contrast missing",
+			trad.Reconfigs, rdma.Reconfigs)
+	}
+	if trad.SiblingFills != 0 {
+		t.Fatal("traditional stack used cooperative refill")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := Run(quickCfg(RDMAStack))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(quickCfg(RDMAStack))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestStackString(t *testing.T) {
+	if Traditional.String() != "traditional" || RDMAStack.String() != "rdma-framework" {
+		t.Fatal("stack names wrong")
+	}
+}

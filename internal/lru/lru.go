@@ -1,0 +1,146 @@
+// Package lru provides the byte-capacity LRU cache used by the caching
+// services (cooperative caching, the remote-memory file cache, the
+// integrated evaluation). Only metadata is tracked: the serving pipelines
+// charge transfer costs by size, payload bytes are synthetic.
+package lru
+
+// Cache is a byte-capacity LRU over keys of type K.
+type Cache[K comparable] struct {
+	cap   int64
+	used  int64
+	items map[K]*node[K]
+	head  *node[K] // most recently used
+	tail  *node[K] // least recently used
+}
+
+type node[K comparable] struct {
+	key        K
+	size       int64
+	prev, next *node[K]
+}
+
+// New creates a cache holding up to capacity bytes.
+func New[K comparable](capacity int64) *Cache[K] {
+	return &Cache[K]{cap: capacity, items: map[K]*node[K]{}}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[K]) Len() int { return len(c.items) }
+
+// Used returns the bytes occupied.
+func (c *Cache[K]) Used() int64 { return c.used }
+
+// Free returns the remaining capacity.
+func (c *Cache[K]) Free() int64 { return c.cap - c.used }
+
+// Cap returns the configured capacity.
+func (c *Cache[K]) Cap() int64 { return c.cap }
+
+// Contains reports presence without touching recency.
+func (c *Cache[K]) Contains(key K) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
+// Get reports presence and marks the entry most recently used.
+func (c *Cache[K]) Get(key K) bool {
+	n, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.moveToFront(n)
+	return true
+}
+
+// Put inserts (or resizes) an entry, evicting LRU entries to make room,
+// and returns the evicted keys. Entries larger than the whole cache are
+// not cached (nil return, nothing evicted).
+func (c *Cache[K]) Put(key K, size int64) (evicted []K) {
+	if size > c.cap {
+		return nil
+	}
+	if n, ok := c.items[key]; ok {
+		c.used += size - n.size
+		n.size = size
+		c.moveToFront(n)
+		return c.evictOverflow(evicted)
+	}
+	n := &node[K]{key: key, size: size}
+	c.items[key] = n
+	c.pushFront(n)
+	c.used += size
+	return c.evictOverflow(evicted)
+}
+
+func (c *Cache[K]) evictOverflow(out []K) []K {
+	for c.used > c.cap && c.tail != nil {
+		victim := c.tail
+		c.unlink(victim)
+		delete(c.items, victim.key)
+		c.used -= victim.size
+		out = append(out, victim.key)
+	}
+	return out
+}
+
+// Remove deletes an entry, reporting whether it was present.
+func (c *Cache[K]) Remove(key K) bool {
+	n, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.unlink(n)
+	delete(c.items, key)
+	c.used -= n.size
+	return true
+}
+
+// Clear drops every entry.
+func (c *Cache[K]) Clear() {
+	c.items = map[K]*node[K]{}
+	c.head, c.tail = nil, nil
+	c.used = 0
+}
+
+// Keys returns the cached keys, most recently used first.
+func (c *Cache[K]) Keys() []K {
+	out := make([]K, 0, len(c.items))
+	for n := c.head; n != nil; n = n.next {
+		out = append(out, n.key)
+	}
+	return out
+}
+
+func (c *Cache[K]) pushFront(n *node[K]) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *Cache[K]) unlink(n *node[K]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *Cache[K]) moveToFront(n *node[K]) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}

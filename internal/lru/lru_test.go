@@ -1,0 +1,123 @@
+package lru
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	c := New[int](100)
+	if ev := c.Put(1, 40); len(ev) != 0 {
+		t.Fatal("eviction on empty cache")
+	}
+	c.Put(2, 40)
+	if !c.Get(1) || !c.Get(2) || c.Get(3) {
+		t.Fatal("presence wrong")
+	}
+	ev := c.Put(3, 40) // LRU is 1 after the Gets above
+	if len(ev) != 1 || ev[0] != 1 {
+		t.Fatalf("evicted %v, want [1]", ev)
+	}
+	if c.Used() != 80 || c.Len() != 2 || c.Free() != 20 || c.Cap() != 100 {
+		t.Fatalf("accounting: used=%d len=%d", c.Used(), c.Len())
+	}
+}
+
+func TestOversizedNotCached(t *testing.T) {
+	c := New[string](100)
+	c.Put("a", 50)
+	if ev := c.Put("big", 200); ev != nil {
+		t.Fatalf("oversized insert evicted %v", ev)
+	}
+	if c.Contains("big") || !c.Contains("a") {
+		t.Fatal("oversized entry cached or victim lost")
+	}
+}
+
+func TestResizeInPlace(t *testing.T) {
+	c := New[int](100)
+	c.Put(1, 30)
+	c.Put(2, 30)
+	c.Put(1, 80)
+	if c.Contains(2) || c.Used() != 80 {
+		t.Fatalf("resize handling wrong: used=%d", c.Used())
+	}
+}
+
+func TestRemoveAndClear(t *testing.T) {
+	c := New[int](100)
+	c.Put(1, 30)
+	c.Put(2, 30)
+	if !c.Remove(1) || c.Remove(1) {
+		t.Fatal("remove semantics wrong")
+	}
+	c.Clear()
+	if c.Len() != 0 || c.Used() != 0 || c.Contains(2) {
+		t.Fatal("clear incomplete")
+	}
+	// Usable after clear.
+	c.Put(3, 10)
+	if !c.Contains(3) {
+		t.Fatal("cache unusable after clear")
+	}
+}
+
+func TestKeysMRUOrder(t *testing.T) {
+	c := New[int](100)
+	c.Put(1, 10)
+	c.Put(2, 10)
+	c.Put(3, 10)
+	c.Get(1)
+	keys := c.Keys()
+	if len(keys) != 3 || keys[0] != 1 || keys[1] != 3 || keys[2] != 2 {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestStructKeys(t *testing.T) {
+	type pk struct{ a, b int }
+	c := New[pk](10)
+	c.Put(pk{1, 2}, 5)
+	if !c.Contains(pk{1, 2}) || c.Contains(pk{2, 1}) {
+		t.Fatal("struct keys broken")
+	}
+}
+
+// Property: accounting invariants hold under arbitrary op sequences.
+func TestPropertyInvariants(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := New[int](1000)
+		shadow := map[int]int64{}
+		for _, op := range ops {
+			key := int(op % 50)
+			switch (op / 50) % 3 {
+			case 0:
+				size := int64(op%400) + 1
+				for _, ev := range c.Put(key, size) {
+					delete(shadow, ev)
+				}
+				shadow[key] = size
+			case 1:
+				if c.Get(key) != (shadow[key] != 0) {
+					return false
+				}
+			case 2:
+				if c.Remove(key) != (shadow[key] != 0) {
+					return false
+				}
+				delete(shadow, key)
+			}
+			var want int64
+			for _, s := range shadow {
+				want += s
+			}
+			if c.Used() != want || c.Used() > 1000 || c.Len() != len(shadow) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+package qos
+
+import (
+	"testing"
+	"time"
+)
+
+func quickCfg(p Policy) Config {
+	cfg := DefaultConfig(p)
+	cfg.Measure = time.Second
+	return cfg
+}
+
+func TestRunProducesTraffic(t *testing.T) {
+	for _, p := range []Policy{NoControl, PriorityAdmission} {
+		st, err := Run(quickCfg(p))
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if st.Premium.Requests == 0 || st.Basic.Requests == 0 {
+			t.Fatalf("%v: a class starved entirely: %+v", p, st)
+		}
+	}
+}
+
+func TestAdmissionProtectsPremiumLatency(t *testing.T) {
+	no, err := Run(quickCfg(NoControl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, err := Run(quickCfg(PriorityAdmission))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The headline: under 2x overload, admission control must cut premium
+	// p95 latency substantially.
+	if ac.Premium.P95Ms >= no.Premium.P95Ms*0.7 {
+		t.Fatalf("premium p95 %.1fms with admission vs %.1fms without: no protection",
+			ac.Premium.P95Ms, no.Premium.P95Ms)
+	}
+	if ac.Premium.TPS <= no.Premium.TPS {
+		t.Fatalf("premium TPS %.0f with admission not above %.0f without",
+			ac.Premium.TPS, no.Premium.TPS)
+	}
+}
+
+func TestAdmissionRejectsBasicUnderOverload(t *testing.T) {
+	ac, err := Run(quickCfg(PriorityAdmission))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ac.Basic.Rejected == 0 {
+		t.Fatal("overloaded cluster rejected no basic requests")
+	}
+	if ac.Premium.Rejected != 0 {
+		t.Fatalf("premium requests rejected: %d", ac.Premium.Rejected)
+	}
+}
+
+func TestNoControlTreatsClassesEqually(t *testing.T) {
+	no, err := Run(quickCfg(NoControl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if no.Premium.Rejected != 0 || no.Basic.Rejected != 0 {
+		t.Fatal("no-control rejected requests")
+	}
+	// Per-client throughput should be roughly equal across classes.
+	perPrem := no.Premium.TPS / 16
+	perBasic := no.Basic.TPS / 48
+	ratio := perPrem / perBasic
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("per-client throughput ratio %.2f; classes not treated equally", ratio)
+	}
+}
+
+func TestBasicStillServedWithAdmission(t *testing.T) {
+	// Soft QoS, not starvation: basic requests must still complete.
+	ac, err := Run(quickCfg(PriorityAdmission))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ac.Basic.TPS <= 0 {
+		t.Fatal("basic class fully starved")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if Premium.String() != "premium" || Basic.String() != "basic" {
+		t.Fatal("class names wrong")
+	}
+	if NoControl.String() != "no-control" || PriorityAdmission.String() != "priority-admission" {
+		t.Fatal("policy names wrong")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() Stats {
+		st, err := Run(quickCfg(PriorityAdmission))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := run(), run()
+	if a.Premium.Requests != b.Premium.Requests || a.Basic.Rejected != b.Basic.Rejected {
+		t.Fatalf("runs diverged: %+v vs %+v", a, b)
+	}
+}

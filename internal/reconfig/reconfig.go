@@ -1,0 +1,270 @@
+// Package reconfig implements the paper's active resource adaptation
+// service ([Balaji et al., RAIT'04] and §6): back-end nodes are
+// dynamically reassigned between the hosted services as load shifts.
+//
+// Two concerns from the paper are modelled explicitly:
+//
+//   - Concurrency control: several front-end reconfiguration agents may
+//     decide to reconfigure at once; they serialize through a one-sided
+//     compare-and-swap on a shared lock word, so moves never race and
+//     agents never livelock (a failed CAS just skips the round).
+//   - History-aware reconfiguration: the naive policy acts on
+//     instantaneous load samples and thrashes — nodes ping-pong between
+//     services, each move paying a cache-warmup penalty. The history-aware
+//     policy smooths load with an EWMA, requires a larger sustained
+//     imbalance, and enforces a cooldown, trading reaction speed for
+//     stability.
+package reconfig
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ngdc/internal/cluster"
+	"ngdc/internal/fabric"
+	"ngdc/internal/sim"
+	"ngdc/internal/verbs"
+)
+
+// Policy selects the reconfiguration decision rule.
+type Policy int
+
+// The two policies of the E11 ablation.
+const (
+	Naive Policy = iota
+	HistoryAware
+)
+
+func (p Policy) String() string {
+	if p == Naive {
+		return "naive"
+	}
+	return "history-aware"
+}
+
+// Config describes one reconfiguration experiment: two hosted services
+// whose offered load alternates in phases.
+type Config struct {
+	Policy Policy
+	// Nodes is the back-end pool size (split between the two services).
+	Nodes int
+	// ClientsPerService is the closed-loop client count per service.
+	ClientsPerService int
+	// Phase is how long each load direction lasts.
+	Phase time.Duration
+	// Agents is the number of concurrent reconfiguration agents
+	// (exercises the CAS-based concurrency control).
+	Agents          int
+	Warmup, Measure time.Duration
+	Seed            int64
+}
+
+// DefaultConfig returns the E11 ablation shape.
+func DefaultConfig(policy Policy) Config {
+	return Config{
+		Policy:            policy,
+		Nodes:             6,
+		ClientsPerService: 16,
+		Phase:             1200 * time.Millisecond,
+		Agents:            2,
+		Warmup:            300 * time.Millisecond,
+		Measure:           3 * time.Second,
+		Seed:              1,
+	}
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Policy   Policy
+	Requests int64
+	TPS      float64
+	// Reconfigs counts node moves; thrashing shows up here.
+	Reconfigs int
+	// CASConflicts counts reconfiguration rounds skipped because another
+	// agent held the lock (the concurrency-control path).
+	CASConflicts int
+}
+
+// Decision/behaviour constants.
+const (
+	decideEvery   = 50 * time.Millisecond
+	warmupPenalty = 600 * time.Millisecond // cold-cache window after a move
+	coldFactor    = 3                      // request slowdown on a cold node
+	requestCPU    = 3 * time.Millisecond
+	// naiveThreshold triggers on any imbalance beyond one task; the
+	// history-aware policy requires a sustained gap.
+	naiveThreshold   = 1.0
+	historyThreshold = 2.5
+	historyCooldown  = 300 * time.Millisecond
+	ewmaAlpha        = 0.25
+)
+
+// Run executes the experiment.
+func Run(cfg Config) (Result, error) {
+	env := sim.NewEnv(cfg.Seed)
+	defer env.Shutdown()
+	nw := verbs.NewNetwork(env, fabric.DefaultParams())
+	front := cluster.NewNode(env, 0, 2, 1<<30)
+	frontDev := nw.Attach(front)
+	lockMR := frontDev.RegisterAtSetup(make([]byte, 8))
+
+	nodes := make([]*cluster.Node, cfg.Nodes)
+	assign := make([]int, cfg.Nodes) // node -> service (0 or 1)
+	coldUntil := make([]sim.Time, cfg.Nodes)
+	for i := range nodes {
+		nodes[i] = cluster.NewNode(env, i+1, 2, 1<<30)
+		nw.Attach(nodes[i])
+		assign[i] = i % 2
+	}
+
+	res := Result{Policy: cfg.Policy}
+	measuring := false
+
+	// phaseBias returns how strongly service s is loaded right now: the
+	// offered load alternates between the services each cfg.Phase.
+	phaseBias := func(now sim.Time, service int) time.Duration {
+		phase := int(now/sim.Time(cfg.Phase)) % 2
+		if phase == service {
+			return 2 * time.Millisecond // hot: short think time
+		}
+		return 40 * time.Millisecond // cold: long think time
+	}
+
+	// pickNode returns the least-loaded node currently assigned to the
+	// service, or -1.
+	pickNode := func(service int) int {
+		best, bestQ := -1, 0
+		for i, n := range nodes {
+			if assign[i] != service {
+				continue
+			}
+			q := n.RunQueueLen()
+			if best == -1 || q < bestQ {
+				best, bestQ = i, q
+			}
+		}
+		return best
+	}
+
+	for s := 0; s < 2; s++ {
+		for c := 0; c < cfg.ClientsPerService; c++ {
+			s, c := s, c
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(s*1000+c)))
+			env.GoDaemon(fmt.Sprintf("svc%d-client%d", s, c), func(p *sim.Proc) {
+				for {
+					// Bursty arrivals: short-lived spikes make
+					// instantaneous load samples a poor reconfiguration
+					// signal — the noise the naive policy chases.
+					burst := 1
+					if rng.Float64() < 0.15 {
+						burst = 6
+					}
+					for b := 0; b < burst; b++ {
+						i := pickNode(s)
+						if i < 0 {
+							p.Sleep(time.Millisecond)
+							continue
+						}
+						cost := requestCPU
+						if p.Now() < coldUntil[i] {
+							cost *= coldFactor // cold cache after a move
+						}
+						nodes[i].ExecSliced(p, cost, time.Millisecond)
+						if measuring {
+							res.Requests++
+						}
+					}
+					think := phaseBias(p.Now(), s)
+					jitter := time.Duration(rng.Intn(int(think/2) + 1))
+					p.Sleep(think + jitter)
+				}
+			})
+		}
+	}
+
+	// Reconfiguration agents.
+	for a := 0; a < cfg.Agents; a++ {
+		a := a
+		ewma := 0.0
+		var lastMove sim.Time
+		env.GoDaemon(fmt.Sprintf("reconfig-agent%d", a), func(p *sim.Proc) {
+			for {
+				p.Sleep(decideEvery)
+				load := [2]float64{}
+				count := [2]int{}
+				for i, n := range nodes {
+					load[assign[i]] += float64(n.RunQueueLen())
+					count[assign[i]]++
+				}
+				for s := 0; s < 2; s++ {
+					if count[s] > 0 {
+						load[s] /= float64(count[s])
+					}
+				}
+				imbalance := load[0] - load[1]
+				threshold := naiveThreshold
+				if cfg.Policy == HistoryAware {
+					ewma = ewmaAlpha*imbalance + (1-ewmaAlpha)*ewma
+					imbalance = ewma
+					threshold = historyThreshold
+					if time.Duration(p.Now()-lastMove) < historyCooldown {
+						continue
+					}
+				}
+				var from, to int
+				switch {
+				case imbalance > threshold:
+					from, to = 1, 0
+				case imbalance < -threshold:
+					from, to = 0, 1
+				default:
+					continue
+				}
+				if count[from] <= 1 {
+					continue // never strip a service of its last node
+				}
+				// Serialize the move against other agents with a
+				// one-sided CAS on the shared lock word.
+				old, err := frontDev.CompareSwap(p, lockMR.Addr(), 0, 0, uint64(a+1))
+				if err != nil {
+					panic(err)
+				}
+				if old != 0 {
+					res.CASConflicts++
+					continue
+				}
+				// Move the least-loaded donor node.
+				victim := -1
+				for i := range nodes {
+					if assign[i] != from {
+						continue
+					}
+					if victim == -1 || nodes[i].RunQueueLen() < nodes[victim].RunQueueLen() {
+						victim = i
+					}
+				}
+				if victim >= 0 {
+					assign[victim] = to
+					coldUntil[victim] = p.Now().Add(warmupPenalty)
+					res.Reconfigs++
+					if cfg.Policy == HistoryAware {
+						ewma = 0
+					}
+					lastMove = p.Now()
+				}
+				var zero [8]byte
+				if err := frontDev.Write(p, lockMR.Addr(), 0, zero[:]); err != nil {
+					panic(err)
+				}
+			}
+		})
+	}
+
+	env.At(sim.Time(cfg.Warmup), func() { measuring = true })
+	if err := env.RunUntil(sim.Time(cfg.Warmup + cfg.Measure)); err != nil {
+		return res, err
+	}
+	res.TPS = float64(res.Requests) / cfg.Measure.Seconds()
+	return res, nil
+}

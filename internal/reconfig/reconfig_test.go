@@ -1,0 +1,104 @@
+package reconfig
+
+import (
+	"testing"
+	"time"
+)
+
+func quickCfg(p Policy) Config {
+	cfg := DefaultConfig(p)
+	cfg.Measure = 2 * time.Second
+	return cfg
+}
+
+func TestRunProducesTraffic(t *testing.T) {
+	for _, p := range []Policy{Naive, HistoryAware} {
+		res, err := Run(quickCfg(p))
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if res.Requests == 0 || res.TPS <= 0 {
+			t.Fatalf("%v: no traffic: %+v", p, res)
+		}
+	}
+}
+
+func TestReconfigurationHappens(t *testing.T) {
+	// Load alternates between the services; both policies must move nodes
+	// at least once.
+	for _, p := range []Policy{Naive, HistoryAware} {
+		res, err := Run(quickCfg(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reconfigs == 0 {
+			t.Fatalf("%v: no reconfigurations under shifting load", p)
+		}
+	}
+}
+
+func TestHistoryAwareThrashesLess(t *testing.T) {
+	naive, err := Run(quickCfg(Naive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := Run(quickCfg(HistoryAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Reconfigs >= naive.Reconfigs {
+		t.Fatalf("history-aware moved %d times vs naive %d; hysteresis not working",
+			hist.Reconfigs, naive.Reconfigs)
+	}
+}
+
+func TestHistoryAwareThroughputAtLeastComparable(t *testing.T) {
+	naive, err := Run(quickCfg(Naive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := Run(quickCfg(HistoryAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.TPS < 0.9*naive.TPS {
+		t.Fatalf("history-aware TPS %.0f far below naive %.0f", hist.TPS, naive.TPS)
+	}
+}
+
+func TestConcurrentAgentsSerialize(t *testing.T) {
+	cfg := quickCfg(Naive)
+	cfg.Agents = 4
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With four agents deciding on the same schedule, CAS conflicts must
+	// occur — and be survived without livelock or panic.
+	if res.CASConflicts == 0 {
+		t.Log("no CAS conflicts observed (agents never collided); acceptable but unusual")
+	}
+	if res.Requests == 0 {
+		t.Fatal("no traffic with concurrent agents")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Naive.String() != "naive" || HistoryAware.String() != "history-aware" {
+		t.Fatal("policy names wrong")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := Run(quickCfg(HistoryAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(quickCfg(HistoryAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("runs diverged:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,175 @@
+package sim
+
+import "time"
+
+// Chan is a simulated message channel between processes. Like a Go
+// channel it may be buffered; unlike a Go channel, an unbuffered (cap 0)
+// Chan still decouples sender and receiver by one scheduling step, and
+// PostSend allows non-blocking delivery from timer callbacks regardless of
+// capacity (the buffer grows past cap in that case; cap only limits
+// blocking senders).
+type Chan[T any] struct {
+	env    *Env
+	name   string
+	cap    int
+	buf    []T
+	sendq  []*sendWaiter[T]
+	recvq  []*recvWaiter[T]
+	closed bool
+}
+
+type sendWaiter[T any] struct {
+	p *Proc
+	v T
+}
+
+type recvWaiter[T any] struct {
+	p        *Proc
+	v        T
+	ok       bool
+	timedOut bool
+}
+
+// NewChan creates a channel with the given buffer capacity. Capacity 0
+// means blocking senders wait for a receiver.
+func NewChan[T any](e *Env, name string, capacity int) *Chan[T] {
+	return &Chan[T]{env: e, name: name, cap: capacity}
+}
+
+// Len reports the number of buffered values.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Closed reports whether Close has been called.
+func (c *Chan[T]) Closed() bool { return c.closed }
+
+// deliver hands v to a parked receiver if one exists, else buffers it.
+func (c *Chan[T]) deliver(v T) {
+	if len(c.recvq) > 0 {
+		w := c.recvq[0]
+		c.recvq = c.recvq[1:]
+		w.v, w.ok = v, true
+		c.env.wake(w.p)
+		return
+	}
+	c.buf = append(c.buf, v)
+}
+
+// PostSend delivers v without blocking. It is safe from timer callbacks
+// and never fails; the buffer grows beyond cap if necessary. Posting to a
+// closed channel panics.
+func (c *Chan[T]) PostSend(v T) {
+	if c.closed {
+		panic("sim: send on closed channel " + c.name)
+	}
+	c.deliver(v)
+}
+
+// Send delivers v, blocking while the buffer is at capacity and no
+// receiver is waiting. Sending on a closed channel panics.
+func (c *Chan[T]) Send(p *Proc, v T) {
+	if c.closed {
+		panic("sim: send on closed channel " + c.name)
+	}
+	if len(c.recvq) > 0 || len(c.buf) < c.cap {
+		c.deliver(v)
+		return
+	}
+	w := &sendWaiter[T]{p: p, v: v}
+	c.sendq = append(c.sendq, w)
+	p.block("send on " + c.name)
+}
+
+// Recv returns the next value. It blocks until a value is available. The
+// second result is false if the channel was closed and drained.
+func (c *Chan[T]) Recv(p *Proc) (T, bool) {
+	if len(c.buf) > 0 {
+		v := c.buf[0]
+		c.buf = c.buf[1:]
+		c.admitSender()
+		return v, true
+	}
+	if len(c.sendq) > 0 {
+		w := c.sendq[0]
+		c.sendq = c.sendq[1:]
+		c.env.wake(w.p)
+		return w.v, true
+	}
+	if c.closed {
+		var zero T
+		return zero, false
+	}
+	w := &recvWaiter[T]{p: p}
+	c.recvq = append(c.recvq, w)
+	p.block("recv on " + c.name)
+	return w.v, w.ok
+}
+
+// TryRecv returns the next value without blocking; ok is false when no
+// value is immediately available.
+func (c *Chan[T]) TryRecv() (v T, ok bool) {
+	if len(c.buf) > 0 {
+		v = c.buf[0]
+		c.buf = c.buf[1:]
+		c.admitSender()
+		return v, true
+	}
+	if len(c.sendq) > 0 {
+		w := c.sendq[0]
+		c.sendq = c.sendq[1:]
+		c.env.wake(w.p)
+		return w.v, true
+	}
+	return v, false
+}
+
+// admitSender moves one blocked sender's value into freed buffer space.
+func (c *Chan[T]) admitSender() {
+	if len(c.sendq) > 0 && len(c.buf) < c.cap {
+		w := c.sendq[0]
+		c.sendq = c.sendq[1:]
+		c.buf = append(c.buf, w.v)
+		c.env.wake(w.p)
+	}
+}
+
+// Close marks the channel closed. Parked receivers are woken with ok ==
+// false once the buffer drains; buffered values remain receivable.
+func (c *Chan[T]) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if len(c.buf) == 0 && len(c.sendq) == 0 {
+		for _, w := range c.recvq {
+			w.ok = false
+			c.env.wake(w.p)
+		}
+		c.recvq = nil
+	}
+}
+
+// RecvTimeout is Recv with a deadline: it returns ok == false with
+// timedOut == true if no value arrives within d. A value that arrives at
+// exactly the deadline instant is delivered (events beat timers queued
+// after them).
+func (c *Chan[T]) RecvTimeout(p *Proc, d time.Duration) (v T, ok, timedOut bool) {
+	if len(c.buf) > 0 || len(c.sendq) > 0 || c.closed {
+		v, ok = c.Recv(p)
+		return v, ok, false
+	}
+	w := &recvWaiter[T]{p: p}
+	c.recvq = append(c.recvq, w)
+	c.env.After(d, func() {
+		// Cancel only if the waiter is still queued (not yet served).
+		for i, q := range c.recvq {
+			if q == w {
+				c.recvq = append(c.recvq[:i], c.recvq[i+1:]...)
+				w.timedOut = true
+				c.env.wake(p)
+				return
+			}
+		}
+	})
+	p.block("recv-timeout on " + c.name)
+	return w.v, w.ok, w.timedOut
+}

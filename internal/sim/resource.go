@@ -1,0 +1,98 @@
+package sim
+
+import "time"
+
+// Resource is a FIFO counting semaphore over virtual time, used to model
+// contended capacity such as CPU cores, NIC transmit engines or disk
+// spindles. Acquire blocks until the requested units are available;
+// waiters are served strictly in arrival order (no barging), so a large
+// request at the head of the queue blocks later small ones, as in a FIFO
+// run queue.
+type Resource struct {
+	env   *Env
+	name  string
+	cap   int
+	inUse int
+	q     []*resWaiter
+	// maxQueued tracks the high-water mark of waiters, useful for
+	// instrumentation (e.g. run-queue length statistics).
+	maxQueued int
+}
+
+type resWaiter struct {
+	p *Proc
+	n int
+}
+
+// NewResource creates a resource with the given capacity (units).
+func NewResource(e *Env, name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive: " + name)
+	}
+	return &Resource{env: e, name: name, cap: capacity}
+}
+
+// Cap returns the total capacity.
+func (r *Resource) Cap() int { return r.cap }
+
+// InUse returns the units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Queued returns the number of waiting acquirers.
+func (r *Resource) Queued() int { return len(r.q) }
+
+// MaxQueued returns the high-water mark of Queued since creation.
+func (r *Resource) MaxQueued() int { return r.maxQueued }
+
+// Acquire blocks until n units are available and takes them. n must be in
+// [1, Cap].
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n <= 0 || n > r.cap {
+		panic("sim: bad acquire count on " + r.name)
+	}
+	if len(r.q) == 0 && r.inUse+n <= r.cap {
+		r.inUse += n
+		return
+	}
+	r.q = append(r.q, &resWaiter{p: p, n: n})
+	if len(r.q) > r.maxQueued {
+		r.maxQueued = len(r.q)
+	}
+	p.block("acquire " + r.name)
+}
+
+// TryAcquire takes n units if immediately available (and no earlier waiter
+// is queued), reporting whether it succeeded.
+func (r *Resource) TryAcquire(n int) bool {
+	if n <= 0 || n > r.cap {
+		panic("sim: bad acquire count on " + r.name)
+	}
+	if len(r.q) == 0 && r.inUse+n <= r.cap {
+		r.inUse += n
+		return true
+	}
+	return false
+}
+
+// Release returns n units and wakes queued acquirers in FIFO order. It is
+// safe to call from timer callbacks.
+func (r *Resource) Release(n int) {
+	if n <= 0 || r.inUse-n < 0 {
+		panic("sim: bad release count on " + r.name)
+	}
+	r.inUse -= n
+	for len(r.q) > 0 && r.inUse+r.q[0].n <= r.cap {
+		w := r.q[0]
+		r.q = r.q[1:]
+		r.inUse += w.n
+		r.env.wake(w.p)
+	}
+}
+
+// Use acquires n units, holds them for d of virtual time, then releases
+// them: the common "occupy capacity for a while" idiom.
+func (r *Resource) Use(p *Proc, n int, d time.Duration) {
+	r.Acquire(p, n)
+	p.Sleep(d)
+	r.Release(n)
+}

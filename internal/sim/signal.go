@@ -1,0 +1,128 @@
+package sim
+
+// Signal is a broadcast condition: processes Wait on it and a Broadcast
+// wakes all of them at the current instant. Unlike a condition variable
+// there is no associated lock (the engine's lockstep execution makes one
+// unnecessary); a Broadcast with no waiters is not remembered.
+type Signal struct {
+	env     *Env
+	name    string
+	waiters []*Proc
+}
+
+// NewSignal creates a signal.
+func NewSignal(e *Env, name string) *Signal {
+	return &Signal{env: e, name: name}
+}
+
+// Waiters returns the number of processes currently blocked in Wait.
+func (s *Signal) Waiters() int { return len(s.waiters) }
+
+// Wait blocks the process until the next Broadcast.
+func (s *Signal) Wait(p *Proc) {
+	s.waiters = append(s.waiters, p)
+	p.block("wait on " + s.name)
+}
+
+// Broadcast wakes every waiting process. Safe from timer callbacks.
+func (s *Signal) Broadcast() {
+	for _, p := range s.waiters {
+		s.env.wake(p)
+	}
+	s.waiters = nil
+}
+
+// Future is a single-assignment container that processes can block on:
+// the simulated analogue of a completion. It is the building block for
+// request/response interactions where the responder may answer from a
+// timer callback (e.g. NIC completions).
+type Future[T any] struct {
+	env     *Env
+	name    string
+	set     bool
+	val     T
+	waiters []*futWaiter[T]
+}
+
+type futWaiter[T any] struct {
+	p *Proc
+	v T
+}
+
+// NewFuture creates an unresolved future.
+func NewFuture[T any](e *Env, name string) *Future[T] {
+	return &Future[T]{env: e, name: name}
+}
+
+// Done reports whether the future has been resolved.
+func (f *Future[T]) Done() bool { return f.set }
+
+// Resolve sets the value and wakes all waiters. Resolving twice panics.
+// Safe from timer callbacks.
+func (f *Future[T]) Resolve(v T) {
+	if f.set {
+		panic("sim: future resolved twice: " + f.name)
+	}
+	f.set = true
+	f.val = v
+	for _, w := range f.waiters {
+		w.v = v
+		f.env.wake(w.p)
+	}
+	f.waiters = nil
+}
+
+// Wait blocks until the future resolves and returns its value.
+func (f *Future[T]) Wait(p *Proc) T {
+	if f.set {
+		return f.val
+	}
+	w := &futWaiter[T]{p: p}
+	f.waiters = append(f.waiters, w)
+	p.block("future " + f.name)
+	return w.v
+}
+
+// WaitGroup counts outstanding work items across processes; Wait blocks
+// until the count reaches zero.
+type WaitGroup struct {
+	env     *Env
+	name    string
+	count   int
+	waiters []*Proc
+}
+
+// NewWaitGroup creates a wait group with an initial count of zero.
+func NewWaitGroup(e *Env, name string) *WaitGroup {
+	return &WaitGroup{env: e, name: name}
+}
+
+// Add adjusts the count by delta; a negative result panics. Safe from
+// timer callbacks.
+func (w *WaitGroup) Add(delta int) {
+	w.count += delta
+	if w.count < 0 {
+		panic("sim: negative waitgroup count: " + w.name)
+	}
+	if w.count == 0 {
+		for _, p := range w.waiters {
+			w.env.wake(p)
+		}
+		w.waiters = nil
+	}
+}
+
+// Done decrements the count by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Count returns the current count.
+func (w *WaitGroup) Count() int { return w.count }
+
+// Wait blocks until the count is zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	if w.count == 0 {
+		return
+	}
+	w.waiters = append(w.waiters, p)
+	p.block("waitgroup " + w.name)
+}

@@ -1,0 +1,426 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation engine in the style of SimPy.
+//
+// A simulation consists of an Env (the scheduler: virtual clock plus a
+// priority queue of events) and a set of processes. Each process is a
+// goroutine, but the engine enforces strict lockstep: exactly one process
+// runs at any instant, and control passes between the scheduler and the
+// running process through handshake channels. Because of this property,
+// simulation state (including all engine data structures and any model
+// state touched only from processes or timer callbacks) needs no locking
+// and every run with the same seed is exactly reproducible.
+//
+// Processes interact with virtual time through Proc.Sleep, and with each
+// other through Chan (a simulated message channel), Resource (a FIFO
+// counting semaphore, e.g. CPU cores or a network link) and Signal (a
+// broadcast condition). Timer callbacks (Env.At, Env.After) run inline in
+// the scheduler and may use the non-blocking primitives (Chan.PostSend,
+// Resource.ReleaseFrom-free helpers) but must never block.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration converts the virtual time point to a time.Duration since the
+// simulation epoch, which is convenient for formatting.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Add returns the time d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// event is a scheduled occurrence: either the resumption of a parked
+// process or an inline timer callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-break: FIFO among events at the same instant
+	proc *Proc  // non-nil: resume this process
+	fn   func() // non-nil: run inline in the scheduler
+	idx  int
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx, q[j].idx = i, j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// procSignal is the message a parked process receives when it is resumed.
+type procSignal struct {
+	kill bool
+}
+
+// killed is the sentinel panic value used to unwind a process goroutine
+// during Env.Shutdown.
+type killSentinel struct{}
+
+// Env is a simulation environment: the virtual clock, the event queue and
+// the bookkeeping for live processes. The zero value is not usable; create
+// environments with NewEnv.
+type Env struct {
+	now     Time
+	seq     uint64
+	events  eventQueue
+	yield   chan struct{}
+	live    map[*Proc]struct{}
+	parked  map[*Proc]string // processes blocked on a queue (no scheduled event)
+	rng     *rand.Rand
+	err     error
+	running bool
+	stopped bool
+
+	eventsProcessed uint64
+	procsSpawned    uint64
+	maxEventQueue   int
+	tracer          func(TraceEvent)
+}
+
+// NewEnv returns a fresh environment whose PRNG is seeded with seed.
+func NewEnv(seed int64) *Env {
+	return &Env{
+		yield:  make(chan struct{}),
+		live:   make(map[*Proc]struct{}),
+		parked: make(map[*Proc]string),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Rand returns the environment's deterministic PRNG. It must only be used
+// from processes or timer callbacks (i.e. while holding the scheduler
+// baton), never from outside the simulation.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// schedule enqueues an event at absolute time at (clamped to now).
+func (e *Env) schedule(at Time, p *Proc, fn func()) *event {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	ev := &event{at: at, seq: e.seq, proc: p, fn: fn}
+	heap.Push(&e.events, ev)
+	if e.events.Len() > e.maxEventQueue {
+		e.maxEventQueue = e.events.Len()
+	}
+	return ev
+}
+
+// At schedules fn to run inline in the scheduler at absolute virtual time
+// at. The callback must not block.
+func (e *Env) At(at Time, fn func()) { e.schedule(at, nil, fn) }
+
+// After schedules fn to run inline in the scheduler d from now. The
+// callback must not block.
+func (e *Env) After(d time.Duration, fn func()) { e.schedule(e.now.Add(d), nil, fn) }
+
+// Go spawns a new process running fn. The process starts at the current
+// virtual time, after the currently running process yields. Go may be
+// called before Run, from within another process, or from a timer
+// callback.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	return e.spawn(name, fn, false)
+}
+
+// GoDaemon spawns a background service process. Daemons do not count
+// toward deadlock detection: a Run in which only daemons remain parked
+// (e.g. protocol pumps or server agents waiting for requests) completes
+// normally.
+func (e *Env) GoDaemon(name string, fn func(p *Proc)) *Proc {
+	return e.spawn(name, fn, true)
+}
+
+func (e *Env) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
+	e.procsSpawned++
+	p := &Proc{env: e, name: name, resume: make(chan procSignal), daemon: daemon}
+	e.live[p] = struct{}{}
+	e.schedule(e.now, p, nil)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killSentinel); ok {
+					return // Shutdown unwound us; do not touch the env.
+				}
+				e.err = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+			}
+			delete(e.live, p)
+			p.done = true
+			e.yield <- struct{}{}
+		}()
+		p.park() // wait for the start event
+		fn(p)
+	}()
+	return p
+}
+
+// DeadlockError is returned by Run when live processes remain but no
+// events are scheduled: every process is parked on a channel, resource or
+// signal that can never fire.
+type DeadlockError struct {
+	// Parked maps process names to a description of what each process is
+	// blocked on.
+	Parked map[string]string
+}
+
+func (d *DeadlockError) Error() string {
+	names := make([]string, 0, len(d.Parked))
+	for n := range d.Parked {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := "sim: deadlock:"
+	for _, n := range names {
+		s += fmt.Sprintf(" [%s: %s]", n, d.Parked[n])
+	}
+	return s
+}
+
+// Run drives the simulation until no events remain or an error occurs. It
+// returns a *DeadlockError if processes remain parked with no pending
+// events, or the panic error of a crashed process.
+func (e *Env) Run() error { return e.run(Time(1<<62-1), true) }
+
+// RunUntil drives the simulation until virtual time exceeds limit, no
+// events remain, or an error occurs. Events scheduled after limit remain
+// queued and a subsequent RunUntil (or Run) may continue the run. Unlike
+// Run, parked processes with no pending events are not reported as a
+// deadlock: the caller may inject further stimuli before continuing.
+func (e *Env) RunUntil(limit Time) error { return e.run(limit, false) }
+
+func (e *Env) run(limit Time, detectDeadlock bool) error {
+	if e.stopped {
+		return fmt.Errorf("sim: environment was shut down")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.events.Len() > 0 {
+		ev := e.events[0]
+		if ev.at > limit {
+			// Do not advance the clock beyond the limit.
+			if e.now < limit {
+				e.now = limit
+			}
+			return nil
+		}
+		heap.Pop(&e.events)
+		e.now = ev.at
+		e.eventsProcessed++
+		switch {
+		case ev.fn != nil:
+			e.trace(TraceCallback, "")
+			ev.fn()
+			if e.err != nil {
+				return e.err
+			}
+		case ev.proc != nil:
+			if ev.proc.done {
+				continue // stale wakeup for a finished process
+			}
+			e.trace(TraceProcResumed, ev.proc.name)
+			ev.proc.resume <- procSignal{}
+			<-e.yield
+			if ev.proc.done {
+				e.trace(TraceProcEnded, ev.proc.name)
+			}
+			if e.err != nil {
+				return e.err
+			}
+		}
+	}
+	if e.now < limit && limit < Time(1<<62-1) {
+		e.now = limit
+	}
+	if detectDeadlock {
+		d := &DeadlockError{Parked: map[string]string{}}
+		for p := range e.live {
+			if p.daemon {
+				continue
+			}
+			why, ok := e.parked[p]
+			if !ok {
+				why = "unknown"
+			}
+			d.Parked[p.name] = why
+		}
+		if len(d.Parked) > 0 {
+			return d
+		}
+	}
+	return nil
+}
+
+// Shutdown terminates every live process goroutine so that the environment
+// can be garbage-collected without leaking goroutines. The environment is
+// unusable afterwards. It must not be called while Run is executing.
+func (e *Env) Shutdown() {
+	if e.stopped {
+		return
+	}
+	e.stopped = true
+	for p := range e.live {
+		if p.done {
+			continue
+		}
+		p.resume <- procSignal{kill: true}
+	}
+	e.live = map[*Proc]struct{}{}
+	e.events = nil
+	e.parked = map[*Proc]string{}
+}
+
+// Proc is a simulated process. Its methods must only be called from the
+// goroutine running the process body.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan procSignal
+	done   bool
+	daemon bool
+}
+
+// Name returns the process name given to Env.Go.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// park hands the baton back to the scheduler and blocks until resumed.
+func (p *Proc) park() {
+	sig := <-p.resume
+	if sig.kill {
+		panic(killSentinel{})
+	}
+}
+
+// yieldAndPark is used by blocking primitives: the caller must already
+// have registered a wakeup (a scheduled event or a waiter-queue entry).
+func (p *Proc) yieldAndPark() {
+	p.env.yield <- struct{}{}
+	p.park()
+}
+
+// block registers the process as parked on a queue described by why and
+// then yields. The primitive that later wakes the process must call
+// env.wake, which clears the parked entry.
+func (p *Proc) block(why string) {
+	p.env.parked[p] = why
+	p.yieldAndPark()
+}
+
+// wake schedules p to resume at the current instant (FIFO among same-time
+// events) and clears its parked registration.
+func (e *Env) wake(p *Proc) {
+	delete(e.parked, p)
+	e.schedule(e.now, p, nil)
+}
+
+// Sleep suspends the process for d of virtual time. Non-positive durations
+// yield the baton and resume at the same instant (after already-queued
+// same-time events).
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.env.schedule(p.env.now.Add(d), p, nil)
+	p.yieldAndPark()
+}
+
+// SleepUntil suspends the process until virtual time t (or yields once if
+// t is in the past).
+func (p *Proc) SleepUntil(t Time) {
+	p.env.schedule(t, p, nil)
+	p.yieldAndPark()
+}
+
+// Yield gives other runnable processes scheduled at this instant a chance
+// to run before the caller continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// EngineStats reports the engine's activity counters.
+type EngineStats struct {
+	// EventsProcessed counts scheduler events executed so far.
+	EventsProcessed uint64
+	// ProcsSpawned counts processes ever created.
+	ProcsSpawned uint64
+	// ProcsLive counts processes not yet finished.
+	ProcsLive int
+	// MaxEventQueue is the high-water mark of the pending event queue.
+	MaxEventQueue int
+}
+
+// Stats returns the engine's activity counters.
+func (e *Env) Stats() EngineStats {
+	return EngineStats{
+		EventsProcessed: e.eventsProcessed,
+		ProcsSpawned:    e.procsSpawned,
+		ProcsLive:       len(e.live),
+		MaxEventQueue:   e.maxEventQueue,
+	}
+}
+
+// TraceEventKind classifies tracer callbacks.
+type TraceEventKind int
+
+// The traced occurrences.
+const (
+	// TraceProcResumed fires when a process gets the scheduler baton.
+	TraceProcResumed TraceEventKind = iota
+	// TraceProcEnded fires when a process function returns.
+	TraceProcEnded
+	// TraceCallback fires when a timer callback executes.
+	TraceCallback
+)
+
+// TraceEvent is one scheduler occurrence delivered to the tracer.
+type TraceEvent struct {
+	Kind TraceEventKind
+	At   Time
+	// Proc is the process name (empty for callbacks).
+	Proc string
+}
+
+// SetTracer installs fn to observe every scheduler step — the execution
+// timeline of the simulation. A nil fn disables tracing. The tracer runs
+// inline in the scheduler: keep it cheap and never block.
+func (e *Env) SetTracer(fn func(TraceEvent)) { e.tracer = fn }
+
+func (e *Env) trace(kind TraceEventKind, proc string) {
+	if e.tracer != nil {
+		e.tracer(TraceEvent{Kind: kind, At: e.now, Proc: proc})
+	}
+}

@@ -1,0 +1,758 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSleepAdvancesClock(t *testing.T) {
+	e := NewEnv(1)
+	var at Time
+	e.Go("sleeper", func(p *Proc) {
+		p.Sleep(5 * time.Microsecond)
+		at = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != Time(5*time.Microsecond) {
+		t.Fatalf("woke at %v, want 5µs", at)
+	}
+	if e.Now() != at {
+		t.Fatalf("env clock %v, want %v", e.Now(), at)
+	}
+}
+
+func TestSleepNegativeClampsToZero(t *testing.T) {
+	e := NewEnv(1)
+	e.Go("p", func(p *Proc) {
+		p.Sleep(-time.Second)
+		if p.Now() != 0 {
+			t.Errorf("negative sleep advanced clock to %v", p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSameInstantFIFOOrder(t *testing.T) {
+	e := NewEnv(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Sleep(time.Millisecond) // all wake at the same instant
+			order = append(order, i)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order %v not FIFO", order)
+		}
+	}
+}
+
+func TestTimerCallbacks(t *testing.T) {
+	e := NewEnv(1)
+	var fired []Time
+	e.After(3*time.Microsecond, func() { fired = append(fired, e.Now()) })
+	e.At(Time(time.Microsecond), func() { fired = append(fired, e.Now()) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[0] != Time(time.Microsecond) || fired[1] != Time(3*time.Microsecond) {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestRunUntilStopsClock(t *testing.T) {
+	e := NewEnv(1)
+	done := false
+	e.Go("late", func(p *Proc) {
+		p.Sleep(time.Second)
+		done = true
+	})
+	if err := e.RunUntil(Time(time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if done {
+		t.Fatal("process past limit ran")
+	}
+	if e.Now() != Time(time.Millisecond) {
+		t.Fatalf("clock %v, want 1ms", e.Now())
+	}
+	// Continue the run.
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done || e.Now() != Time(time.Second) {
+		t.Fatalf("continuation failed: done=%v now=%v", done, e.Now())
+	}
+	e.Shutdown()
+}
+
+func TestChanSendRecv(t *testing.T) {
+	e := NewEnv(1)
+	c := NewChan[int](e, "c", 0)
+	var got []int
+	e.Go("recv", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			v, ok := c.Recv(p)
+			if !ok {
+				t.Error("unexpected close")
+			}
+			got = append(got, v)
+		}
+	})
+	e.Go("send", func(p *Proc) {
+		for i := 1; i <= 3; i++ {
+			p.Sleep(time.Microsecond)
+			c.Send(p, i)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestChanBufferedSenderDoesNotBlock(t *testing.T) {
+	e := NewEnv(1)
+	c := NewChan[int](e, "c", 2)
+	var sendDone Time
+	e.Go("send", func(p *Proc) {
+		c.Send(p, 1)
+		c.Send(p, 2)
+		sendDone = p.Now()
+	})
+	e.Go("recv", func(p *Proc) {
+		p.Sleep(time.Second)
+		c.Recv(p)
+		c.Recv(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sendDone != 0 {
+		t.Fatalf("buffered sends blocked until %v", sendDone)
+	}
+}
+
+func TestChanUnbufferedSenderBlocks(t *testing.T) {
+	e := NewEnv(1)
+	c := NewChan[int](e, "c", 0)
+	var sendDone Time
+	e.Go("send", func(p *Proc) {
+		c.Send(p, 1)
+		sendDone = p.Now()
+	})
+	e.Go("recv", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		c.Recv(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sendDone != Time(time.Millisecond) {
+		t.Fatalf("unbuffered send completed at %v, want 1ms", sendDone)
+	}
+}
+
+func TestChanCloseWakesReceivers(t *testing.T) {
+	e := NewEnv(1)
+	c := NewChan[int](e, "c", 0)
+	okSeen := true
+	e.Go("recv", func(p *Proc) {
+		_, ok := c.Recv(p)
+		okSeen = ok
+	})
+	e.Go("closer", func(p *Proc) {
+		p.Sleep(time.Microsecond)
+		c.Close()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if okSeen {
+		t.Fatal("receiver not notified of close")
+	}
+}
+
+func TestChanPostSendFromCallback(t *testing.T) {
+	e := NewEnv(1)
+	c := NewChan[string](e, "c", 0)
+	var got string
+	e.Go("recv", func(p *Proc) { got, _ = c.Recv(p) })
+	e.After(time.Microsecond, func() { c.PostSend("hello") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestChanTryRecv(t *testing.T) {
+	e := NewEnv(1)
+	c := NewChan[int](e, "c", 4)
+	e.Go("p", func(p *Proc) {
+		if _, ok := c.TryRecv(); ok {
+			t.Error("TryRecv on empty chan succeeded")
+		}
+		c.Send(p, 7)
+		v, ok := c.TryRecv()
+		if !ok || v != 7 {
+			t.Errorf("TryRecv = %d, %v", v, ok)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceContention(t *testing.T) {
+	e := NewEnv(1)
+	cpu := NewResource(e, "cpu", 1)
+	var finish []Time
+	for i := 0; i < 3; i++ {
+		e.Go(fmt.Sprintf("task%d", i), func(p *Proc) {
+			cpu.Use(p, 1, 10*time.Microsecond)
+			finish = append(finish, p.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{Time(10 * time.Microsecond), Time(20 * time.Microsecond), Time(30 * time.Microsecond)}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish = %v, want %v", finish, want)
+		}
+	}
+}
+
+func TestResourceFIFONoBarging(t *testing.T) {
+	e := NewEnv(1)
+	r := NewResource(e, "r", 2)
+	var order []string
+	e.Go("hold", func(p *Proc) {
+		r.Acquire(p, 2)
+		p.Sleep(time.Millisecond)
+		r.Release(2)
+	})
+	e.Go("big", func(p *Proc) {
+		p.Sleep(time.Microsecond)
+		r.Acquire(p, 2)
+		order = append(order, "big")
+		r.Release(2)
+	})
+	e.Go("small", func(p *Proc) {
+		p.Sleep(2 * time.Microsecond)
+		r.Acquire(p, 1)
+		order = append(order, "small")
+		r.Release(1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "big" {
+		t.Fatalf("order %v: small barged past big", order)
+	}
+}
+
+func TestResourceTryAcquire(t *testing.T) {
+	e := NewEnv(1)
+	r := NewResource(e, "r", 1)
+	e.Go("p", func(p *Proc) {
+		if !r.TryAcquire(1) {
+			t.Error("TryAcquire on free resource failed")
+		}
+		if r.TryAcquire(1) {
+			t.Error("TryAcquire on full resource succeeded")
+		}
+		r.Release(1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignalBroadcast(t *testing.T) {
+	e := NewEnv(1)
+	s := NewSignal(e, "s")
+	woke := 0
+	for i := 0; i < 5; i++ {
+		e.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			s.Wait(p)
+			woke++
+		})
+	}
+	e.Go("b", func(p *Proc) {
+		p.Sleep(time.Microsecond)
+		s.Broadcast()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 5 {
+		t.Fatalf("woke %d of 5", woke)
+	}
+}
+
+func TestFutureResolveBeforeAndAfterWait(t *testing.T) {
+	e := NewEnv(1)
+	f1 := NewFuture[int](e, "f1")
+	f2 := NewFuture[int](e, "f2")
+	f1.Resolve(10)
+	var a, b int
+	e.Go("p", func(p *Proc) {
+		a = f1.Wait(p) // already resolved: no block
+		b = f2.Wait(p) // resolved later by callback
+	})
+	e.After(time.Microsecond, func() { f2.Resolve(20) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a != 10 || b != 20 {
+		t.Fatalf("a=%d b=%d", a, b)
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	e := NewEnv(1)
+	wg := NewWaitGroup(e, "wg")
+	wg.Add(3)
+	var doneAt Time
+	for i := 0; i < 3; i++ {
+		d := time.Duration(i+1) * time.Microsecond
+		e.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			p.Sleep(d)
+			wg.Done()
+		})
+	}
+	e.Go("waiter", func(p *Proc) {
+		wg.Wait(p)
+		doneAt = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if doneAt != Time(3*time.Microsecond) {
+		t.Fatalf("waiter released at %v, want 3µs", doneAt)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEnv(1)
+	c := NewChan[int](e, "never", 0)
+	e.Go("stuck", func(p *Proc) { c.Recv(p) })
+	err := e.Run()
+	var d *DeadlockError
+	if !errors.As(err, &d) {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if _, ok := d.Parked["stuck"]; !ok {
+		t.Fatalf("deadlock report %v missing process", d.Parked)
+	}
+	e.Shutdown()
+}
+
+func TestProcessPanicSurfacesAsError(t *testing.T) {
+	e := NewEnv(1)
+	e.Go("bomb", func(p *Proc) { panic("boom") })
+	err := e.Run()
+	if err == nil || !contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want panic error", err)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestShutdownTerminatesProcesses(t *testing.T) {
+	e := NewEnv(1)
+	c := NewChan[int](e, "c", 0)
+	for i := 0; i < 10; i++ {
+		e.Go(fmt.Sprintf("p%d", i), func(p *Proc) { c.Recv(p) })
+	}
+	if err := e.RunUntil(Time(time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	e.Shutdown()
+	if err := e.Run(); err == nil {
+		t.Fatal("Run after Shutdown should fail")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	trace := func() []string {
+		e := NewEnv(42)
+		defer e.Shutdown()
+		var tr []string
+		c := NewChan[int](e, "c", 1)
+		for i := 0; i < 4; i++ {
+			i := i
+			e.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for j := 0; j < 3; j++ {
+					p.Sleep(time.Duration(e.Rand().Intn(100)) * time.Microsecond)
+					c.Send(p, i)
+				}
+			})
+		}
+		e.Go("sink", func(p *Proc) {
+			for k := 0; k < 12; k++ {
+				v, _ := c.Recv(p)
+				tr = append(tr, fmt.Sprintf("%v:%d", p.Now(), v))
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	a, b := trace(), trace()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any set of sleep durations, processes finish in sorted
+// order of duration and the clock ends at the maximum.
+func TestPropertySleepOrdering(t *testing.T) {
+	f := func(durs []uint16) bool {
+		if len(durs) == 0 {
+			return true
+		}
+		if len(durs) > 64 {
+			durs = durs[:64]
+		}
+		e := NewEnv(7)
+		var finished []time.Duration
+		for i, d := range durs {
+			d := time.Duration(d) * time.Nanosecond
+			e.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+				p.Sleep(d)
+				finished = append(finished, d)
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		var max time.Duration
+		for i := 1; i < len(finished); i++ {
+			if finished[i] < finished[i-1] {
+				return false
+			}
+		}
+		for _, d := range finished {
+			if d > max {
+				max = d
+			}
+		}
+		return e.Now() == Time(max) && len(finished) == len(durs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a channel delivers every sent value exactly once, in FIFO
+// order per sender, regardless of buffer capacity.
+func TestPropertyChanConservation(t *testing.T) {
+	f := func(capacity uint8, counts []uint8) bool {
+		e := NewEnv(11)
+		defer e.Shutdown()
+		c := NewChan[int](e, "c", int(capacity%8))
+		if len(counts) > 8 {
+			counts = counts[:8]
+		}
+		total := 0
+		for s, n := range counts {
+			n := int(n % 16)
+			total += n
+			s := s
+			e.Go(fmt.Sprintf("s%d", s), func(p *Proc) {
+				for k := 0; k < n; k++ {
+					p.Sleep(time.Duration(e.Rand().Intn(50)))
+					c.Send(p, s*1000+k)
+				}
+			})
+		}
+		perSender := map[int]int{}
+		got := 0
+		e.Go("sink", func(p *Proc) {
+			for got < total {
+				v, _ := c.Recv(p)
+				s, k := v/1000, v%1000
+				if perSender[s] != k {
+					t.Errorf("sender %d out of order: got %d want %d", s, k, perSender[s])
+				}
+				perSender[s]++
+				got++
+			}
+		})
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return got == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: resource accounting never exceeds capacity and ends at zero.
+func TestPropertyResourceAccounting(t *testing.T) {
+	f := func(capacity uint8, tasks []uint8) bool {
+		cp := int(capacity%4) + 1
+		e := NewEnv(13)
+		r := NewResource(e, "r", cp)
+		if len(tasks) > 32 {
+			tasks = tasks[:32]
+		}
+		ok := true
+		for i, tk := range tasks {
+			n := int(tk)%cp + 1
+			d := time.Duration(tk) * time.Nanosecond
+			e.Go(fmt.Sprintf("t%d", i), func(p *Proc) {
+				r.Acquire(p, n)
+				if r.InUse() > cp {
+					ok = false
+				}
+				p.Sleep(d)
+				r.Release(n)
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return ok && r.InUse() == 0 && r.Queued() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGoFromProcessAndCallback(t *testing.T) {
+	e := NewEnv(1)
+	ran := map[string]bool{}
+	e.Go("parent", func(p *Proc) {
+		p.Sleep(time.Microsecond)
+		e.Go("child", func(p *Proc) { ran["child"] = true })
+		p.Sleep(time.Microsecond)
+	})
+	e.After(2*time.Microsecond, func() {
+		e.Go("cb-child", func(p *Proc) { ran["cb-child"] = true })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran["child"] || !ran["cb-child"] {
+		t.Fatalf("ran = %v", ran)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := Time(1500 * time.Nanosecond).String(); got != "1.5µs" {
+		t.Fatalf("Time.String() = %q", got)
+	}
+	if Time(time.Second).Duration() != time.Second {
+		t.Fatal("Duration round-trip failed")
+	}
+	if Time(0).Add(time.Minute) != Time(time.Minute) {
+		t.Fatal("Add failed")
+	}
+}
+
+func TestRecvTimeoutExpires(t *testing.T) {
+	e := NewEnv(1)
+	c := NewChan[int](e, "c", 0)
+	var timedOut, ok bool
+	var at Time
+	e.Go("rx", func(p *Proc) {
+		_, ok, timedOut = c.RecvTimeout(p, 5*time.Millisecond)
+		at = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ok || !timedOut || at != Time(5*time.Millisecond) {
+		t.Fatalf("ok=%v timedOut=%v at=%v", ok, timedOut, at)
+	}
+}
+
+func TestRecvTimeoutDelivered(t *testing.T) {
+	e := NewEnv(1)
+	c := NewChan[int](e, "c", 0)
+	var v int
+	var ok, timedOut bool
+	e.Go("rx", func(p *Proc) { v, ok, timedOut = c.RecvTimeout(p, time.Second) })
+	e.After(time.Millisecond, func() { c.PostSend(42) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok || timedOut || v != 42 {
+		t.Fatalf("v=%d ok=%v timedOut=%v", v, ok, timedOut)
+	}
+}
+
+func TestRecvTimeoutImmediateValue(t *testing.T) {
+	e := NewEnv(1)
+	c := NewChan[int](e, "c", 1)
+	e.Go("p", func(p *Proc) {
+		c.Send(p, 7)
+		v, ok, timedOut := c.RecvTimeout(p, time.Millisecond)
+		if v != 7 || !ok || timedOut {
+			t.Errorf("immediate recv wrong: %d %v %v", v, ok, timedOut)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvTimeoutStaleTimerHarmless(t *testing.T) {
+	// A waiter served before its deadline must not be disturbed by the
+	// stale timer — including a later wait on the same channel.
+	e := NewEnv(1)
+	c := NewChan[int](e, "c", 0)
+	results := []int{}
+	e.Go("rx", func(p *Proc) {
+		for i := 0; i < 2; i++ {
+			v, ok, timedOut := c.RecvTimeout(p, 10*time.Millisecond)
+			if !ok || timedOut {
+				t.Errorf("wait %d failed: ok=%v timedOut=%v", i, ok, timedOut)
+				return
+			}
+			results = append(results, v)
+		}
+	})
+	e.After(time.Millisecond, func() { c.PostSend(1) })
+	e.After(2*time.Millisecond, func() { c.PostSend(2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0] != 1 || results[1] != 2 {
+		t.Fatalf("results = %v", results)
+	}
+}
+
+func TestEngineStats(t *testing.T) {
+	e := NewEnv(1)
+	for i := 0; i < 3; i++ {
+		e.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Sleep(time.Microsecond)
+			p.Sleep(time.Microsecond)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.ProcsSpawned != 3 || st.ProcsLive != 0 {
+		t.Fatalf("procs: %+v", st)
+	}
+	// 3 starts + 2 sleeps each = at least 9 events.
+	if st.EventsProcessed < 9 {
+		t.Fatalf("events = %d", st.EventsProcessed)
+	}
+	if st.MaxEventQueue < 3 {
+		t.Fatalf("max queue = %d", st.MaxEventQueue)
+	}
+}
+
+func TestTracerObservesTimeline(t *testing.T) {
+	e := NewEnv(1)
+	var events []TraceEvent
+	e.SetTracer(func(ev TraceEvent) { events = append(events, ev) })
+	e.Go("worker", func(p *Proc) { p.Sleep(time.Microsecond) })
+	e.After(2*time.Microsecond, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var resumed, ended, callbacks int
+	lastAt := Time(-1)
+	for _, ev := range events {
+		if ev.At < lastAt {
+			t.Fatalf("trace not time-ordered: %v", events)
+		}
+		lastAt = ev.At
+		switch ev.Kind {
+		case TraceProcResumed:
+			resumed++
+			if ev.Proc != "worker" {
+				t.Fatalf("unexpected proc %q", ev.Proc)
+			}
+		case TraceProcEnded:
+			ended++
+		case TraceCallback:
+			callbacks++
+		}
+	}
+	if resumed < 2 || ended != 1 || callbacks != 1 {
+		t.Fatalf("resumed=%d ended=%d callbacks=%d", resumed, ended, callbacks)
+	}
+	// Disabling works.
+	e2 := NewEnv(1)
+	e2.SetTracer(nil)
+	e2.Go("p", func(p *Proc) {})
+	if err := e2.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShutdownLeaksNoGoroutines(t *testing.T) {
+	// Create many environments with parked processes; after Shutdown the
+	// goroutine count must return to (near) baseline.
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+	for round := 0; round < 20; round++ {
+		e := NewEnv(int64(round))
+		c := NewChan[int](e, "never", 0)
+		for i := 0; i < 20; i++ {
+			e.GoDaemon(fmt.Sprintf("d%d", i), func(p *Proc) { c.Recv(p) })
+		}
+		if err := e.RunUntil(Time(time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+		e.Shutdown()
+	}
+	// Give the runtime a beat to reap exiting goroutines.
+	for i := 0; i < 50; i++ {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline+5 {
+			return
+		}
+		realSleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+}
+
+// realSleep is wall-clock sleep (tests only; the engine itself never
+// touches real time).
+func realSleep(d time.Duration) { <-time.After(d) }

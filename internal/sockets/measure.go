@@ -1,0 +1,89 @@
+package sockets
+
+import (
+	"fmt"
+	"time"
+
+	"ngdc/internal/cluster"
+	"ngdc/internal/fabric"
+	"ngdc/internal/sim"
+	"ngdc/internal/verbs"
+)
+
+// Bandwidth measures one-way streaming throughput in bytes per second of
+// virtual time: a sender streams msgs messages of msgSize to a tight
+// receiver over a fresh two-node network.
+func Bandwidth(scheme Scheme, msgSize, msgs int, opt Options, seed int64) (float64, error) {
+	return BandwidthWith(fabric.DefaultParams(), scheme, msgSize, msgs, opt, seed)
+}
+
+// BandwidthWith is Bandwidth under an explicit fabric calibration.
+func BandwidthWith(params fabric.Params, scheme Scheme, msgSize, msgs int, opt Options, seed int64) (float64, error) {
+	env := sim.NewEnv(seed)
+	defer env.Shutdown()
+	nw := verbs.NewNetwork(env, params)
+	a := nw.Attach(cluster.NewNode(env, 0, 4, 1<<30))
+	b := nw.Attach(cluster.NewNode(env, 1, 4, 1<<30))
+	ca, cb := Dial(scheme, a, b, opt)
+	payload := make([]byte, msgSize)
+	var done sim.Time
+	env.Go("rx", func(p *sim.Proc) {
+		for i := 0; i < msgs; i++ {
+			if _, err := cb.Recv(p); err != nil {
+				return
+			}
+		}
+		done = p.Now()
+	})
+	env.Go("tx", func(p *sim.Proc) {
+		for i := 0; i < msgs; i++ {
+			if err := ca.Send(p, payload); err != nil {
+				return
+			}
+		}
+	})
+	if err := env.Run(); err != nil {
+		return 0, err
+	}
+	if done == 0 {
+		return 0, fmt.Errorf("sockets: bandwidth run did not complete")
+	}
+	return float64(msgSize*msgs) / (float64(done) / float64(time.Second)), nil
+}
+
+// MessageRate measures small-message throughput in messages per second.
+func MessageRate(scheme Scheme, msgSize, msgs int, opt Options, seed int64) (float64, error) {
+	bw, err := Bandwidth(scheme, msgSize, msgs, opt, seed)
+	if err != nil {
+		return 0, err
+	}
+	if msgSize == 0 {
+		return 0, nil
+	}
+	return bw / float64(msgSize), nil
+}
+
+// OneWayLatency measures the one-way latency of a single message.
+func OneWayLatency(scheme Scheme, msgSize int, opt Options, seed int64) (time.Duration, error) {
+	env := sim.NewEnv(seed)
+	defer env.Shutdown()
+	nw := verbs.NewNetwork(env, fabric.DefaultParams())
+	a := nw.Attach(cluster.NewNode(env, 0, 4, 1<<30))
+	b := nw.Attach(cluster.NewNode(env, 1, 4, 1<<30))
+	ca, cb := Dial(scheme, a, b, opt)
+	var lat time.Duration
+	env.Go("rx", func(p *sim.Proc) {
+		if _, err := cb.Recv(p); err == nil {
+			lat = time.Duration(p.Now())
+		}
+	})
+	env.Go("tx", func(p *sim.Proc) {
+		if err := ca.Send(p, make([]byte, msgSize)); err != nil {
+			return
+		}
+	})
+	if err := env.Run(); err != nil {
+		return 0, err
+	}
+	return lat, nil
+}

@@ -1,0 +1,198 @@
+package sockets
+
+import (
+	"ngdc/internal/sim"
+)
+
+// cloneBytes copies payload so callers may reuse their buffers the moment
+// Send returns (synchronous sockets semantics).
+func cloneBytes(data []byte) []byte {
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	return buf
+}
+
+// sendTCP models the host-based stack: protocol CPU on the sending node,
+// the TCP wire, and (in copyOut) protocol CPU on the receiving node.
+func (h *half) sendTCP(p *sim.Proc, data []byte) error {
+	params := h.src.Params()
+	h.src.Node.Exec(p, params.TCPCPUTime(len(data)))
+	h.src.NIC().AcquireTx(p, params.TCPTxTime(len(data)))
+	wm := wireMsg{data: cloneBytes(data), last: true}
+	h.src.Env().After(params.TCPLatency, func() { h.q.PostSend(wm) })
+	return nil
+}
+
+// sendBSDP is buffer-copy SDP with credit-based flow control: each chunk
+// occupies one whole bounce buffer (= one credit) regardless of its size.
+func (h *half) sendBSDP(p *sim.Proc, data []byte) error {
+	params := h.src.Params()
+	env := h.src.Env()
+	for off := 0; ; off += h.opt.BufSize {
+		end := off + h.opt.BufSize
+		last := false
+		if end >= len(data) {
+			end = len(data)
+			last = true
+		}
+		chunk := cloneBytes(data[off:end])
+		h.credits.Acquire(p, 1)
+		p.Sleep(params.SDPPerChunkCPU + params.CopyTime(len(chunk))) // copy into the bounce buffer
+		h.src.NIC().AcquireTx(p, params.IBMsgTxTime(len(chunk)))
+		wm := wireMsg{data: chunk, last: last, credit: 1}
+		env.After(params.IBSendLatency, func() { h.q.PostSend(wm) })
+		if last {
+			return nil
+		}
+	}
+}
+
+// sendPSDP stages the message for the packetizing pump. Flow control is
+// byte-granular: a chunk only consumes its own size from the shared
+// buffer pool, and the pump packs staged chunks into full frames.
+func (h *half) sendPSDP(p *sim.Proc, data []byte) error {
+	params := h.src.Params()
+	if len(data) == 0 {
+		h.staged.Send(p, wireMsg{data: nil, last: true})
+		return nil
+	}
+	for off := 0; off < len(data); off += h.opt.BufSize {
+		end := off + h.opt.BufSize
+		if end > len(data) {
+			end = len(data)
+		}
+		chunk := cloneBytes(data[off:end])
+		h.pool.Acquire(p, len(chunk))
+		p.Sleep(params.SDPPerChunkCPU + params.CopyTime(len(chunk))) // copy into the staging pool
+		h.staged.Send(p, wireMsg{data: chunk, last: end == len(data), pool: len(chunk)})
+	}
+	return nil
+}
+
+// psdpPump drains staged chunks, packs them into frames of up to one
+// bounce buffer, and puts each frame on the wire under one credit.
+func (h *half) psdpPump(p *sim.Proc) {
+	params := h.src.Params()
+	env := h.src.Env()
+	for {
+		first, ok := h.staged.Recv(p)
+		if !ok {
+			return
+		}
+		frame := []wireMsg{first}
+		bytes := len(first.data)
+		for bytes < h.opt.BufSize {
+			next, ok := h.staged.TryRecv()
+			if !ok {
+				break
+			}
+			frame = append(frame, next)
+			bytes += len(next.data)
+		}
+		h.credits.Acquire(p, 1)
+		h.src.NIC().AcquireTx(p, params.IBMsgTxTime(bytes))
+		// The frame's credit rides on its final chunk; pool bytes return
+		// per chunk as the application copies each one out.
+		frame[len(frame)-1].credit = 1
+		f := frame
+		env.After(params.IBSendLatency, func() {
+			for _, wm := range f {
+				h.q.PostSend(wm)
+			}
+		})
+	}
+}
+
+// sendZSDP performs the synchronous zero-copy rendezvous: RTS to the
+// receiver, wait for CTS (granted when a receive is posted), RDMA-write
+// the payload, deliver. No memory copies are charged.
+func (h *half) sendZSDP(p *sim.Proc, data []byte) error {
+	rv := h.startRendezvous(false)
+	rv.cts.Wait(p)
+	h.writePayload(p, data)
+	h.q.PostSend(wireMsg{data: cloneBytes(data), last: true})
+	return nil
+}
+
+// sendAZSDP memory-protects the buffer and returns; the transfer
+// (rendezvous + RDMA write) continues asynchronously, with up to
+// opt.Window transfers in flight. Delivery order is preserved via
+// sequence numbers.
+func (h *half) sendAZSDP(p *sim.Proc, data []byte) error {
+	p.Sleep(h.opt.MProtect)
+	h.window.Acquire(p, 1)
+	seq := h.sendSeq
+	h.sendSeq++
+	buf := cloneBytes(data)
+	h.src.Env().Go("azsdp-xfer", func(tp *sim.Proc) {
+		rv := h.startRendezvous(true)
+		rv.cts.Wait(tp)
+		h.writePayload(tp, buf)
+		h.deliverOrdered(seq, wireMsg{data: buf, last: true})
+		h.window.Release(1)
+	})
+	return nil
+}
+
+// startRendezvous sends the RTS control message; the returned rendezvous
+// resolves its cts future when the CTS message has travelled back. For a
+// synchronous rendezvous (ZSDP) the receiver grants the CTS only once the
+// application has posted a matching receive; in asynchronous mode (AZ-SDP)
+// the receive side grants immediately — its buffers are managed
+// asynchronously under memory protection, with the sender's transfer
+// window bounding the number of grants outstanding.
+func (h *half) startRendezvous(async bool) *rendezvous {
+	env := h.src.Env()
+	params := h.src.Params()
+	rv := &rendezvous{cts: sim.NewFuture[struct{}](env, "cts")}
+	env.After(params.IBSendLatency, func() {
+		if async || h.postedRecvs > 0 {
+			if !async {
+				h.postedRecvs--
+			}
+			env.After(params.IBSendLatency, func() { rv.cts.Resolve(struct{}{}) })
+			return
+		}
+		h.rtsq = append(h.rtsq, rv)
+	})
+	return rv
+}
+
+// postRecv is called by Recv on rendezvous schemes: it grants the oldest
+// waiting RTS, or records a posted receive for the next RTS to consume.
+func (h *half) postRecv() {
+	env := h.src.Env()
+	params := h.src.Params()
+	if len(h.rtsq) > 0 {
+		rv := h.rtsq[0]
+		h.rtsq = h.rtsq[1:]
+		env.After(params.IBSendLatency, func() { rv.cts.Resolve(struct{}{}) })
+		return
+	}
+	h.postedRecvs++
+}
+
+// writePayload charges the one-sided RDMA write of the payload.
+func (h *half) writePayload(p *sim.Proc, data []byte) {
+	params := h.src.Params()
+	h.src.NIC().AcquireTx(p, params.IBMsgTxTime(len(data)))
+	p.Sleep(params.IBWriteLatency)
+}
+
+// deliverOrdered releases messages to the receive queue in sequence
+// order, buffering any that complete early.
+func (h *half) deliverOrdered(seq int64, wm wireMsg) {
+	if h.reorder == nil {
+		h.reorder = map[int64]wireMsg{}
+	}
+	h.reorder[seq] = wm
+	for {
+		next, ok := h.reorder[h.deliverSeq]
+		if !ok {
+			return
+		}
+		delete(h.reorder, h.deliverSeq)
+		h.deliverSeq++
+		h.q.PostSend(next)
+	}
+}

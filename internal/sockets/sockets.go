@@ -1,0 +1,277 @@
+// Package sockets implements the paper's advanced-communication-protocol
+// layer: sockets-like, message-boundary-preserving connections over the
+// simulated interconnect, in five flavours.
+//
+//   - TCP: the host-based baseline. Every message costs protocol CPU on
+//     both hosts and the slower TCP wire path.
+//   - BSDP: buffer-copy Sockets Direct Protocol with credit-based flow
+//     control. The sender copies into one of a fixed set of 8 KiB
+//     registered buffers; each message consumes a whole credit regardless
+//     of size, so tiny messages waste almost the entire buffer pool (the
+//     deficiency §6 of the paper describes).
+//   - ZSDP: zero-copy SDP. Each send performs a rendezvous (RTS/CTS
+//     control messages) followed by a one-sided RDMA write of the payload:
+//     no copies, but the rendezvous latency is paid synchronously per
+//     message.
+//   - AZSDP: asynchronous zero-copy SDP (AZ-SDP, [Balaji et al. CAC'06]).
+//     The send call memory-protects the user buffer and returns
+//     immediately; transfers proceed asynchronously with several
+//     rendezvous in flight, hiding the handshake latency while preserving
+//     synchronous-sockets semantics.
+//   - PSDP: SDP with packetized flow control. The sender manages both
+//     sides' buffer pool at byte granularity and packs queued small
+//     messages into full buffers before they hit the wire, removing the
+//     buffer wastage of BSDP.
+//
+// Simulation note: all schemes copy payload bytes internally so that a
+// caller may reuse its buffer the moment Send returns, exactly the
+// synchronous-sockets guarantee AZ-SDP's memory-protection trick provides
+// on real hardware. Zero-copy shows up in the cost model (no copy time
+// charged), not in Go-level aliasing.
+package sockets
+
+import (
+	"fmt"
+	"time"
+
+	"ngdc/internal/sim"
+	"ngdc/internal/verbs"
+)
+
+// Scheme selects the wire protocol of a connection.
+type Scheme int
+
+// The supported schemes.
+const (
+	TCP Scheme = iota
+	BSDP
+	ZSDP
+	AZSDP
+	PSDP
+)
+
+// String returns the scheme's conventional name.
+func (s Scheme) String() string {
+	switch s {
+	case TCP:
+		return "TCP"
+	case BSDP:
+		return "BSDP"
+	case ZSDP:
+		return "ZSDP"
+	case AZSDP:
+		return "AZ-SDP"
+	case PSDP:
+		return "P-SDP"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Options tunes a connection's flow control.
+type Options struct {
+	// BufSize is the size of one registered bounce buffer (BSDP/PSDP).
+	BufSize int
+	// Credits is the number of bounce buffers / frames in flight
+	// (BSDP/PSDP).
+	Credits int
+	// Window is the maximum number of asynchronous transfers in flight
+	// (AZSDP).
+	Window int
+	// MProtect is the cost of memory-protecting one buffer (AZSDP).
+	MProtect time.Duration
+}
+
+// DefaultOptions mirrors common SDP deployments of the era.
+func DefaultOptions() Options {
+	return Options{
+		BufSize:  8 * 1024,
+		Credits:  16,
+		Window:   16,
+		MProtect: time.Microsecond,
+	}
+}
+
+// Conn is one endpoint of a bidirectional, message-oriented connection.
+type Conn struct {
+	scheme Scheme
+	send   *half // local -> peer
+	recv   *half // peer -> local
+	closed bool
+}
+
+// wireMsg is one unit delivered to the receive queue.
+type wireMsg struct {
+	data   []byte
+	last   bool // final chunk of an application message
+	credit int  // credits to return on copy-out
+	pool   int  // pool bytes to return on copy-out
+}
+
+// half is one direction of a connection.
+type half struct {
+	scheme Scheme
+	opt    Options
+	src    *verbs.Device
+	dst    *verbs.Device
+	q      *sim.Chan[wireMsg]
+
+	// BSDP/PSDP flow control.
+	credits *sim.Resource
+	pool    *sim.Resource
+
+	// PSDP staging.
+	staged *sim.Chan[wireMsg]
+
+	// ZSDP/AZSDP rendezvous state (shared by the two endpoints).
+	rtsq        []*rendezvous
+	postedRecvs int
+
+	// AZSDP in-flight window and in-order delivery state.
+	window     *sim.Resource
+	sendSeq    int64
+	deliverSeq int64
+	reorder    map[int64]wireMsg
+
+	// Counters.
+	BytesSent int64
+	MsgsSent  int64
+}
+
+type rendezvous struct {
+	cts *sim.Future[struct{}]
+}
+
+// Dial creates a connected pair of endpoints between two verbs devices
+// using the given scheme and options. The returned connections belong to
+// the first and second device respectively.
+func Dial(scheme Scheme, a, b *verbs.Device, opt Options) (*Conn, *Conn) {
+	ab := newHalf(scheme, a, b, opt)
+	ba := newHalf(scheme, b, a, opt)
+	a.Node.ConnOpened()
+	b.Node.ConnOpened()
+	return &Conn{scheme: scheme, send: ab, recv: ba},
+		&Conn{scheme: scheme, send: ba, recv: ab}
+}
+
+func newHalf(scheme Scheme, src, dst *verbs.Device, opt Options) *half {
+	env := src.Node.Env()
+	name := fmt.Sprintf("%s->%s/%s", src.Node.Name, dst.Node.Name, scheme)
+	h := &half{
+		scheme: scheme,
+		opt:    opt,
+		src:    src,
+		dst:    dst,
+		q:      sim.NewChan[wireMsg](env, name+"/rq", 1<<20),
+	}
+	switch scheme {
+	case BSDP:
+		h.credits = sim.NewResource(env, name+"/credits", opt.Credits)
+	case PSDP:
+		h.credits = sim.NewResource(env, name+"/credits", opt.Credits)
+		h.pool = sim.NewResource(env, name+"/pool", opt.Credits*opt.BufSize)
+		h.staged = sim.NewChan[wireMsg](env, name+"/staged", 1<<20)
+		env.GoDaemon(name+"/pump", h.psdpPump)
+	case AZSDP:
+		h.window = sim.NewResource(env, name+"/window", opt.Window)
+	}
+	return h
+}
+
+// Scheme returns the connection's protocol.
+func (c *Conn) Scheme() Scheme { return c.scheme }
+
+// Send transmits one application message. The call returns as soon as the
+// caller's buffer is reusable under the scheme's semantics (which for
+// every scheme here means: immediately on return).
+func (c *Conn) Send(p *sim.Proc, data []byte) error {
+	if c.closed {
+		return fmt.Errorf("sockets: send on closed %s connection", c.scheme)
+	}
+	h := c.send
+	h.BytesSent += int64(len(data))
+	h.MsgsSent++
+	switch c.scheme {
+	case TCP:
+		return h.sendTCP(p, data)
+	case BSDP:
+		return h.sendBSDP(p, data)
+	case ZSDP:
+		return h.sendZSDP(p, data)
+	case AZSDP:
+		return h.sendAZSDP(p, data)
+	case PSDP:
+		return h.sendPSDP(p, data)
+	}
+	return fmt.Errorf("sockets: unknown scheme %v", c.scheme)
+}
+
+// Recv blocks until one whole application message is available and
+// returns it.
+func (c *Conn) Recv(p *sim.Proc) ([]byte, error) {
+	h := c.recv
+	if c.scheme == ZSDP {
+		h.postRecv()
+	}
+	var msg []byte
+	for {
+		wm, ok := h.q.Recv(p)
+		if !ok {
+			return nil, fmt.Errorf("sockets: recv on closed %s connection", c.scheme)
+		}
+		h.copyOut(p, wm)
+		if msg == nil && wm.last {
+			return wm.data, nil // single-chunk fast path
+		}
+		msg = append(msg, wm.data...)
+		if wm.last {
+			return msg, nil
+		}
+	}
+}
+
+// copyOut charges the receive-side copy (where the scheme has one) and
+// returns flow-control resources.
+func (h *half) copyOut(p *sim.Proc, wm wireMsg) {
+	params := h.src.Params()
+	switch h.scheme {
+	case TCP:
+		h.dst.Node.Exec(p, params.TCPCPUTime(len(wm.data)))
+	case BSDP, PSDP:
+		// Copy from the bounce buffer to the application buffer, then
+		// return the credit to the sender (one RDMA write of the credit
+		// update later).
+		p.Sleep(params.CopyTime(len(wm.data)))
+		credit, pool := wm.credit, wm.pool
+		if credit > 0 || pool > 0 {
+			env := h.dst.Env()
+			env.After(params.IBWriteLatency, func() {
+				if credit > 0 {
+					h.credits.Release(credit)
+				}
+				if pool > 0 {
+					h.pool.Release(pool)
+				}
+			})
+		}
+	}
+}
+
+// Close shuts the connection down in both directions. Parked receivers on
+// either end are woken with an error.
+func (c *Conn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.send.q.Close()
+	c.recv.q.Close()
+	c.send.src.Node.ConnClosed()
+	c.recv.src.Node.ConnClosed()
+}
+
+// BytesSent reports the payload bytes sent from this endpoint.
+func (c *Conn) BytesSent() int64 { return c.send.BytesSent }
+
+// MsgsSent reports the messages sent from this endpoint.
+func (c *Conn) MsgsSent() int64 { return c.send.MsgsSent }

@@ -1,0 +1,529 @@
+package sockets
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ngdc/internal/cluster"
+	"ngdc/internal/fabric"
+	"ngdc/internal/sim"
+	"ngdc/internal/verbs"
+)
+
+var allSchemes = []Scheme{TCP, BSDP, ZSDP, AZSDP, PSDP}
+
+func pair(seed int64) (*sim.Env, *verbs.Device, *verbs.Device) {
+	env := sim.NewEnv(seed)
+	nw := verbs.NewNetwork(env, fabric.DefaultParams())
+	a := nw.Attach(cluster.NewNode(env, 0, 4, 1<<30))
+	b := nw.Attach(cluster.NewNode(env, 1, 4, 1<<30))
+	return env, a, b
+}
+
+func TestRoundTripAllSchemes(t *testing.T) {
+	for _, sc := range allSchemes {
+		t.Run(sc.String(), func(t *testing.T) {
+			env, a, b := pair(1)
+			ca, cb := Dial(sc, a, b, DefaultOptions())
+			msgs := [][]byte{
+				[]byte("hello"),
+				bytes.Repeat([]byte{0xAB}, 100),
+				{},
+				bytes.Repeat([]byte{0xCD}, 3000),
+			}
+			env.Go("server", func(p *sim.Proc) {
+				for range msgs {
+					got, err := cb.Recv(p)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if err := cb.Send(p, got); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			})
+			env.Go("client", func(p *sim.Proc) {
+				for _, m := range msgs {
+					if err := ca.Send(p, m); err != nil {
+						t.Error(err)
+						return
+					}
+					got, err := ca.Recv(p)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if !bytes.Equal(got, m) {
+						t.Errorf("echo mismatch: sent %d bytes got %d", len(m), len(got))
+					}
+				}
+			})
+			if err := env.Run(); err != nil {
+				t.Fatal(err)
+			}
+			env.Shutdown()
+		})
+	}
+}
+
+func TestMultiChunkReassembly(t *testing.T) {
+	// Messages much larger than one bounce buffer must be chunked and
+	// reassembled for the copy-based schemes.
+	for _, sc := range []Scheme{BSDP, PSDP} {
+		t.Run(sc.String(), func(t *testing.T) {
+			env, a, b := pair(1)
+			ca, cb := Dial(sc, a, b, DefaultOptions())
+			big := make([]byte, 100*1024)
+			for i := range big {
+				big[i] = byte(i * 7)
+			}
+			var got []byte
+			env.Go("rx", func(p *sim.Proc) { got, _ = cb.Recv(p) })
+			env.Go("tx", func(p *sim.Proc) {
+				if err := ca.Send(p, big); err != nil {
+					t.Error(err)
+				}
+			})
+			if err := env.Run(); err != nil {
+				t.Fatal(err)
+			}
+			env.Shutdown()
+			if !bytes.Equal(got, big) {
+				t.Fatal("large message corrupted in chunking")
+			}
+		})
+	}
+}
+
+func TestSenderBufferReusableAfterSend(t *testing.T) {
+	for _, sc := range allSchemes {
+		env, a, b := pair(1)
+		ca, cb := Dial(sc, a, b, DefaultOptions())
+		buf := []byte("original")
+		var got []byte
+		env.Go("rx", func(p *sim.Proc) { got, _ = cb.Recv(p) })
+		env.Go("tx", func(p *sim.Proc) {
+			if err := ca.Send(p, buf); err != nil {
+				t.Error(err)
+			}
+			copy(buf, "CLOBBER!")
+		})
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		env.Shutdown()
+		if string(got) != "original" {
+			t.Fatalf("%v: receiver saw clobbered buffer %q", sc, got)
+		}
+	}
+}
+
+// bandwidth measures one-way streaming throughput in bytes/sec of virtual
+// time for msgCount messages of msgSize.
+func bandwidth(t *testing.T, sc Scheme, msgSize, msgCount int) float64 {
+	t.Helper()
+	env, a, b := pair(1)
+	ca, cb := Dial(sc, a, b, DefaultOptions())
+	payload := make([]byte, msgSize)
+	var done sim.Time
+	env.Go("rx", func(p *sim.Proc) {
+		for i := 0; i < msgCount; i++ {
+			if _, err := cb.Recv(p); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		done = p.Now()
+	})
+	env.Go("tx", func(p *sim.Proc) {
+		for i := 0; i < msgCount; i++ {
+			if err := ca.Send(p, payload); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	env.Shutdown()
+	if done == 0 {
+		t.Fatal("no completion")
+	}
+	return float64(msgSize*msgCount) / (float64(done) / float64(time.Second))
+}
+
+func TestPacketizedBeatsCreditForSmallMessages(t *testing.T) {
+	bsdp := bandwidth(t, BSDP, 64, 3000)
+	psdp := bandwidth(t, PSDP, 64, 3000)
+	if psdp < 5*bsdp {
+		t.Fatalf("P-SDP %.0f B/s vs BSDP %.0f B/s: want ~order-of-magnitude win", psdp, bsdp)
+	}
+}
+
+func TestLargeMessagesConvergeAcrossSDPFlavours(t *testing.T) {
+	// At 256 KiB everything is wire-bound; no SDP flavour should be more
+	// than ~40% away from another.
+	b1 := bandwidth(t, BSDP, 256*1024, 40)
+	b2 := bandwidth(t, ZSDP, 256*1024, 40)
+	b3 := bandwidth(t, AZSDP, 256*1024, 40)
+	lo, hi := b1, b1
+	for _, v := range []float64{b2, b3} {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi/lo > 1.4 {
+		t.Fatalf("large-message spread too wide: BSDP=%.0f ZSDP=%.0f AZSDP=%.0f", b1, b2, b3)
+	}
+}
+
+func TestAZSDPBeatsZSDPForMediumMessages(t *testing.T) {
+	z := bandwidth(t, ZSDP, 32*1024, 200)
+	az := bandwidth(t, AZSDP, 32*1024, 200)
+	if az < 1.15*z {
+		t.Fatalf("AZ-SDP %.0f B/s vs ZSDP %.0f B/s: pipelining gain missing", az, z)
+	}
+}
+
+func TestSDPBeatsTCP(t *testing.T) {
+	tcp := bandwidth(t, TCP, 32*1024, 200)
+	sdp := bandwidth(t, BSDP, 32*1024, 200)
+	if sdp < tcp {
+		t.Fatalf("BSDP %.0f B/s slower than TCP %.0f B/s", sdp, tcp)
+	}
+}
+
+func TestTCPThroughputDropsUnderReceiverLoad(t *testing.T) {
+	run := func(loaded bool) float64 {
+		env, a, b := pair(1)
+		if loaded {
+			b.Node.SpawnLoad(8, 5*time.Millisecond, 0)
+		}
+		ca, cb := Dial(TCP, a, b, DefaultOptions())
+		const n = 50
+		var done sim.Time
+		env.Go("rx", func(p *sim.Proc) {
+			for i := 0; i < n; i++ {
+				cb.Recv(p)
+			}
+			done = p.Now()
+		})
+		env.Go("tx", func(p *sim.Proc) {
+			for i := 0; i < n; i++ {
+				ca.Send(p, make([]byte, 1024))
+			}
+		})
+		if err := env.RunUntil(sim.Time(5 * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		env.Shutdown()
+		if done == 0 {
+			return 0
+		}
+		return float64(n*1024) / (float64(done) / float64(time.Second))
+	}
+	unloaded, loaded := run(false), run(true)
+	if loaded == 0 || unloaded == 0 {
+		t.Fatal("transfer did not finish")
+	}
+	if loaded > unloaded/2 {
+		t.Fatalf("TCP under load %.0f vs unloaded %.0f: insufficient sensitivity", loaded, unloaded)
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	env, a, b := pair(1)
+	ca, cb := Dial(BSDP, a, b, DefaultOptions())
+	env.Go("p", func(p *sim.Proc) {
+		ca.Close()
+		if err := ca.Send(p, []byte("x")); err == nil {
+			t.Error("send on closed conn succeeded")
+		}
+		if _, err := cb.Recv(p); err == nil {
+			t.Error("recv on closed conn succeeded")
+		}
+		ca.Close() // double close is a no-op
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnCounters(t *testing.T) {
+	env, a, b := pair(1)
+	ca, cb := Dial(ZSDP, a, b, DefaultOptions())
+	env.Go("rx", func(p *sim.Proc) { cb.Recv(p) })
+	env.Go("tx", func(p *sim.Proc) { ca.Send(p, make([]byte, 500)) })
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ca.BytesSent() != 500 || ca.MsgsSent() != 1 {
+		t.Fatalf("counters: bytes=%d msgs=%d", ca.BytesSent(), ca.MsgsSent())
+	}
+	if a.Node.Stats().Connections != 1 || b.Node.Stats().Connections != 1 {
+		t.Fatalf("connection stat not tracked")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	names := map[Scheme]string{TCP: "TCP", BSDP: "BSDP", ZSDP: "ZSDP", AZSDP: "AZ-SDP", PSDP: "P-SDP"}
+	for sc, want := range names {
+		if sc.String() != want {
+			t.Fatalf("%d.String() = %q", sc, sc.String())
+		}
+	}
+	if Scheme(99).String() != "Scheme(99)" {
+		t.Fatal("unknown scheme string")
+	}
+}
+
+// Property: any sequence of message sizes arrives intact and in order on
+// every scheme.
+func TestPropertyStreamIntegrity(t *testing.T) {
+	f := func(sizes []uint16, schemeSel uint8) bool {
+		sc := allSchemes[int(schemeSel)%len(allSchemes)]
+		if len(sizes) > 12 {
+			sizes = sizes[:12]
+		}
+		env, a, b := pair(3)
+		defer env.Shutdown()
+		ca, cb := Dial(sc, a, b, DefaultOptions())
+		var sent [][]byte
+		for i, sz := range sizes {
+			m := make([]byte, int(sz)%20000)
+			for j := range m {
+				m[j] = byte(i + j)
+			}
+			sent = append(sent, m)
+		}
+		okAll := true
+		env.Go("rx", func(p *sim.Proc) {
+			for _, want := range sent {
+				got, err := cb.Recv(p)
+				if err != nil || !bytes.Equal(got, want) {
+					okAll = false
+					return
+				}
+			}
+		})
+		env.Go("tx", func(p *sim.Proc) {
+			for _, m := range sent {
+				if err := ca.Send(p, m); err != nil {
+					okAll = false
+					return
+				}
+			}
+		})
+		if err := env.Run(); err != nil {
+			return false
+		}
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PSDP flow-control pool is fully returned after any workload.
+func TestPropertyPSDPPoolConservation(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) > 10 {
+			sizes = sizes[:10]
+		}
+		env, a, b := pair(5)
+		defer env.Shutdown()
+		ca, cb := Dial(PSDP, a, b, DefaultOptions())
+		n := len(sizes)
+		env.Go("rx", func(p *sim.Proc) {
+			for i := 0; i < n; i++ {
+				cb.Recv(p)
+			}
+		})
+		env.Go("tx", func(p *sim.Proc) {
+			for _, sz := range sizes {
+				ca.Send(p, make([]byte, int(sz)%30000))
+			}
+		})
+		if err := env.RunUntil(sim.Time(time.Minute)); err != nil {
+			return false
+		}
+		h := ca.send
+		return h.pool.InUse() == 0 && h.credits.InUse() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencySmallMessageOrdering(t *testing.T) {
+	// One-way small-message latency: SDP flavours must beat TCP.
+	oneWay := func(sc Scheme) time.Duration {
+		env, a, b := pair(1)
+		defer env.Shutdown()
+		ca, cb := Dial(sc, a, b, DefaultOptions())
+		var lat time.Duration
+		env.Go("rx", func(p *sim.Proc) {
+			cb.Recv(p)
+			lat = time.Duration(p.Now())
+		})
+		env.Go("tx", func(p *sim.Proc) { ca.Send(p, []byte{1}) })
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return lat
+	}
+	tcp := oneWay(TCP)
+	for _, sc := range []Scheme{BSDP, ZSDP, PSDP} {
+		if got := oneWay(sc); got >= tcp {
+			t.Fatalf("%v 1-byte latency %v not below TCP %v", sc, got, tcp)
+		}
+	}
+}
+
+func TestBandwidthHelperSane(t *testing.T) {
+	// Guard against the harness itself reporting nonsense.
+	bw := bandwidth(t, BSDP, 8192, 100)
+	if bw <= 0 || bw > 1e10 {
+		t.Fatalf("bandwidth %v implausible", bw)
+	}
+}
+
+func TestDialDistinctEndpoints(t *testing.T) {
+	env, a, b := pair(1)
+	_ = env
+	ca, cb := Dial(TCP, a, b, DefaultOptions())
+	if ca == cb || ca.send != cb.recv || ca.recv != cb.send {
+		t.Fatal("endpoints mis-wired")
+	}
+	if ca.Scheme() != TCP {
+		t.Fatal("scheme not recorded")
+	}
+}
+
+func ExampleScheme_String() {
+	fmt.Println(AZSDP)
+	// Output: AZ-SDP
+}
+
+func TestListenAcceptDial(t *testing.T) {
+	env, a, b := pair(1)
+	l, err := Listen(b, 80, AZSDP, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, port := l.Addr(); n != 1 || port != 80 {
+		t.Fatalf("addr = %d:%d", n, port)
+	}
+	env.GoDaemon("server", func(p *sim.Proc) {
+		for {
+			conn, err := l.Accept(p)
+			if err != nil {
+				return
+			}
+			env.GoDaemon("handler", func(p *sim.Proc) {
+				for {
+					msg, err := conn.Recv(p)
+					if err != nil {
+						return
+					}
+					if err := conn.Send(p, msg); err != nil {
+						return
+					}
+				}
+			})
+		}
+	})
+	env.Go("client", func(p *sim.Proc) {
+		conn, err := DialTo(p, a, b, 80)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if conn.Scheme() != AZSDP {
+			t.Errorf("scheme = %v", conn.Scheme())
+		}
+		if err := conn.Send(p, []byte("hey")); err != nil {
+			t.Error(err)
+			return
+		}
+		got, err := conn.Recv(p)
+		if err != nil || string(got) != "hey" {
+			t.Errorf("echo: %q %v", got, err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	env.Shutdown()
+}
+
+func TestListenPortConflictAndRefusal(t *testing.T) {
+	env, a, b := pair(1)
+	defer env.Shutdown()
+	l, err := Listen(b, 8080, TCP, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Listen(b, 8080, TCP, DefaultOptions()); err == nil {
+		t.Fatal("duplicate port allowed")
+	}
+	env.Go("client", func(p *sim.Proc) {
+		if _, err := DialTo(p, a, b, 9999); err == nil {
+			t.Error("dial to unused port succeeded")
+		}
+		l.Close()
+		l.Close() // idempotent
+		if _, err := DialTo(p, a, b, 8080); err == nil {
+			t.Error("dial to closed listener succeeded")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleClientsOneListener(t *testing.T) {
+	env, a, b := pair(1)
+	defer env.Shutdown()
+	l, err := Listen(b, 443, BSDP, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := 0
+	env.GoDaemon("server", func(p *sim.Proc) {
+		for {
+			conn, err := l.Accept(p)
+			if err != nil {
+				return
+			}
+			if _, err := conn.Recv(p); err == nil {
+				served++
+			}
+		}
+	})
+	for i := 0; i < 3; i++ {
+		env.Go(fmt.Sprintf("client%d", i), func(p *sim.Proc) {
+			conn, err := DialTo(p, a, b, 443)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			conn.Send(p, []byte("x"))
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if served != 3 {
+		t.Fatalf("served %d of 3", served)
+	}
+}

@@ -1,0 +1,49 @@
+package storm
+
+import (
+	"fmt"
+
+	"ngdc/internal/cluster"
+	"ngdc/internal/fabric"
+	"ngdc/internal/sim"
+	"ngdc/internal/verbs"
+)
+
+// Compare runs the same query on fresh STORM and STORM-DDSS deployments
+// and returns both results — one Fig 3b data point.
+func Compare(records, dataNodes int, sel Selector, seed int64) (tcp, dd Result, err error) {
+	tcp, err = measure(OverTCP, records, dataNodes, sel, seed)
+	if err != nil {
+		return
+	}
+	dd, err = measure(OverDDSS, records, dataNodes, sel, seed)
+	return
+}
+
+func measure(tr Transport, records, dataNodes int, sel Selector, seed int64) (Result, error) {
+	env := sim.NewEnv(seed)
+	defer env.Shutdown()
+	nw := verbs.NewNetwork(env, fabric.DefaultParams())
+	client := cluster.NewNode(env, 0, 2, 1<<31)
+	var dns []*cluster.Node
+	for i := 1; i <= dataNodes; i++ {
+		dns = append(dns, cluster.NewNode(env, i, 2, 1<<31))
+	}
+	c := New(tr, nw, client, dns)
+	var res Result
+	var runErr error
+	env.Go("driver", func(p *sim.Proc) {
+		if err := c.Load(p, records); err != nil {
+			runErr = err
+			return
+		}
+		res, runErr = c.Query(p, sel)
+	})
+	if err := env.Run(); err != nil {
+		return res, err
+	}
+	if runErr != nil {
+		return res, fmt.Errorf("storm: measure: %w", runErr)
+	}
+	return res, nil
+}

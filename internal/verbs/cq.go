@@ -1,0 +1,92 @@
+package verbs
+
+import (
+	"fmt"
+
+	"ngdc/internal/sim"
+)
+
+// Completion-queue support: the asynchronous half of the verbs interface.
+// Work requests are posted without blocking; each completes by delivering
+// a Completion into the chosen CQ, which a process drains with Poll. This
+// is how real verbs applications overlap one-sided operations — the
+// synchronous Device methods are the convenience wrappers.
+
+// Completion reports one finished work request.
+type Completion struct {
+	// ID is the caller-chosen work-request identifier.
+	ID uint64
+	// Op names the operation ("read", "write", "cas", "faa").
+	Op string
+	// Old carries the previous value for atomic operations.
+	Old uint64
+	// Err is non-nil if the operation failed validation.
+	Err error
+}
+
+// CQ is a completion queue.
+type CQ struct {
+	dev *Device
+	ch  *sim.Chan[Completion]
+}
+
+// CreateCQ makes a completion queue of the given depth.
+func (d *Device) CreateCQ(name string, depth int) *CQ {
+	return &CQ{
+		dev: d,
+		ch:  sim.NewChan[Completion](d.nw.Env, fmt.Sprintf("%s/cq/%s", d.Node.Name, name), depth),
+	}
+}
+
+// Poll blocks until the next completion.
+func (cq *CQ) Poll(p *sim.Proc) Completion {
+	c, _ := cq.ch.Recv(p)
+	return c
+}
+
+// TryPoll returns a completion if one is ready.
+func (cq *CQ) TryPoll() (Completion, bool) {
+	return cq.ch.TryRecv()
+}
+
+// Pending returns the number of undelivered completions.
+func (cq *CQ) Pending() int { return cq.ch.Len() }
+
+// post runs op asynchronously in a NIC work-processing context and
+// delivers its completion to the CQ.
+func (d *Device) post(cq *CQ, id uint64, opName string, op func(p *sim.Proc) (uint64, error)) {
+	d.nw.Env.Go(fmt.Sprintf("%s/wr-%s-%d", d.Node.Name, opName, id), func(p *sim.Proc) {
+		old, err := op(p)
+		cq.ch.PostSend(Completion{ID: id, Op: opName, Old: old, Err: err})
+	})
+}
+
+// PostRead starts an RDMA read; the caller continues immediately.
+func (d *Device) PostRead(cq *CQ, id uint64, dst []byte, r RemoteAddr, off int) {
+	d.post(cq, id, "read", func(p *sim.Proc) (uint64, error) {
+		return 0, d.Read(p, dst, r, off)
+	})
+}
+
+// PostWrite starts an RDMA write; the caller continues immediately. The
+// source buffer is captured as-is: it must not be reused until the
+// completion arrives (the verbs contract).
+func (d *Device) PostWrite(cq *CQ, id uint64, r RemoteAddr, off int, src []byte) {
+	d.post(cq, id, "write", func(p *sim.Proc) (uint64, error) {
+		return 0, d.Write(p, r, off, src)
+	})
+}
+
+// PostCompareSwap starts an asynchronous compare-and-swap.
+func (d *Device) PostCompareSwap(cq *CQ, id uint64, r RemoteAddr, off int, compare, swap uint64) {
+	d.post(cq, id, "cas", func(p *sim.Proc) (uint64, error) {
+		return d.CompareSwap(p, r, off, compare, swap)
+	})
+}
+
+// PostFetchAdd starts an asynchronous fetch-and-add.
+func (d *Device) PostFetchAdd(cq *CQ, id uint64, r RemoteAddr, off int, delta uint64) {
+	d.post(cq, id, "faa", func(p *sim.Proc) (uint64, error) {
+		return d.FetchAdd(p, r, off, delta)
+	})
+}

@@ -1,0 +1,73 @@
+package verbs
+
+import (
+	"fmt"
+
+	"ngdc/internal/sim"
+)
+
+// QP is one endpoint of a connected queue pair: the classic verbs object
+// for two-sided messaging. Unlike the named service queues (which any
+// node can send into), a QP's receive queue is private to its peer, and
+// messages arrive in order. One-sided operations against the peer's
+// registered memory remain available through the owning Device.
+type QP struct {
+	dev    *Device
+	peer   *Device
+	remote *QP
+	rq     *sim.Chan[[]byte]
+	// Sent and Received count messages, for instrumentation.
+	Sent, Received int64
+}
+
+// ConnectQP creates a connected queue pair between two devices and
+// returns both endpoints.
+func ConnectQP(a, b *Device, depth int) (*QP, *QP) {
+	if a.nw != b.nw {
+		panic("verbs: cannot connect QPs across networks")
+	}
+	if depth <= 0 {
+		depth = 128
+	}
+	a.nw.qpSeq++
+	qpSeq := a.nw.qpSeq
+	qa := &QP{dev: a, peer: b,
+		rq: sim.NewChan[[]byte](a.nw.Env, fmt.Sprintf("%s/qp%d-rq", a.Node.Name, qpSeq), depth)}
+	qb := &QP{dev: b, peer: a,
+		rq: sim.NewChan[[]byte](b.nw.Env, fmt.Sprintf("%s/qp%d-rq", b.Node.Name, qpSeq), depth)}
+	qa.remote, qb.remote = qb, qa
+	return qa, qb
+}
+
+// Send transmits data to the peer's receive queue. It blocks until the
+// data is on the wire; delivery completes one base latency later. Data is
+// copied.
+func (q *QP) Send(p *sim.Proc, data []byte) {
+	pp := q.dev.Params()
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	q.dev.nic.AcquireTx(p, pp.IBMsgTxTime(len(data)))
+	q.Sent++
+	q.dev.Sends++
+	peer := q.remote
+	q.dev.nw.Env.After(pp.IBSendLatency, func() { peer.rq.PostSend(buf) })
+}
+
+// Recv blocks until the next message from the peer arrives.
+func (q *QP) Recv(p *sim.Proc) []byte {
+	msg, _ := q.rq.Recv(p)
+	q.Received++
+	return msg
+}
+
+// TryRecv returns a queued message without blocking.
+func (q *QP) TryRecv() ([]byte, bool) {
+	msg, ok := q.rq.TryRecv()
+	if ok {
+		q.Received++
+	}
+	return msg, ok
+}
+
+// Peer returns the node ID of the other endpoint.
+func (q *QP) Peer() int { return q.peer.Node.ID }

@@ -1,0 +1,360 @@
+// Package verbs provides an RDMA-verbs-like programming interface on top
+// of the simulated fabric: memory regions with remote keys, one-sided RDMA
+// read/write, remote atomic operations (compare-and-swap, fetch-and-add)
+// and two-sided send/receive message queues.
+//
+// The essential semantic the paper's designs depend on is preserved
+// exactly: one-sided operations and remote atomics complete without any
+// involvement of the remote host's CPU — they are executed by the (here:
+// simulated) HCA against registered memory — while two-sided messages
+// surface in a receive queue that a remote process must service. This is
+// what makes RDMA-based services resilient to remote load, and it is the
+// property all four of the paper's subsystems exploit.
+package verbs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ngdc/internal/cluster"
+	"ngdc/internal/fabric"
+	"ngdc/internal/sim"
+)
+
+// RemoteAddr names a registered memory region on some node.
+type RemoteAddr struct {
+	Node int
+	Key  uint32
+}
+
+// Message is a two-sided send/recv payload.
+type Message struct {
+	From    int
+	Service string
+	Data    []byte
+}
+
+// OpError reports a failed verbs operation.
+type OpError struct {
+	Op     string
+	Target RemoteAddr
+	Reason string
+}
+
+func (e *OpError) Error() string {
+	return fmt.Sprintf("verbs: %s on node %d key %d: %s", e.Op, e.Target.Node, e.Target.Key, e.Reason)
+}
+
+// Network is the verbs-capable interconnect: a fabric plus the device
+// registry that lets a requester's (simulated) HCA reach a target's
+// registered memory.
+type Network struct {
+	Env *sim.Env
+	Fab *fabric.Fabric
+
+	devs  map[int]*Device
+	qpSeq int
+}
+
+// NewNetwork creates a verbs network over a fresh fabric with params p.
+func NewNetwork(env *sim.Env, p fabric.Params) *Network {
+	return &Network{Env: env, Fab: fabric.New(env, p), devs: map[int]*Device{}}
+}
+
+// Params returns the fabric cost model.
+func (nw *Network) Params() fabric.Params { return nw.Fab.P }
+
+// Attach creates (or returns) the verbs device of a node.
+func (nw *Network) Attach(node *cluster.Node) *Device {
+	if d, ok := nw.devs[node.ID]; ok {
+		return d
+	}
+	d := &Device{
+		nw:    nw,
+		Node:  node,
+		nic:   nw.Fab.Attach(node),
+		mrs:   map[uint32]*MR{},
+		recvq: map[string]*sim.Chan[Message]{},
+	}
+	nw.devs[node.ID] = d
+	return d
+}
+
+// Device returns the device of the node with the given ID, or nil.
+func (nw *Network) Device(nodeID int) *Device { return nw.devs[nodeID] }
+
+// Device is a node's (simulated) host channel adapter.
+type Device struct {
+	nw   *Network
+	Node *cluster.Node
+	nic  *fabric.NIC
+
+	mrs     map[uint32]*MR
+	nextKey uint32
+	recvq   map[string]*sim.Chan[Message]
+
+	// Counters for instrumentation and tests.
+	Reads, Writes, Atomics, Sends int64
+}
+
+// NIC returns the device's network interface.
+func (d *Device) NIC() *fabric.NIC { return d.nic }
+
+// Params returns the fabric cost model the device operates under.
+func (d *Device) Params() fabric.Params { return d.nw.Fab.P }
+
+// Env returns the simulation environment.
+func (d *Device) Env() *sim.Env { return d.nw.Env }
+
+// MR is a registered memory region.
+type MR struct {
+	dev *Device
+	buf []byte
+	key uint32
+}
+
+// Register registers buf with the HCA and returns its memory region. The
+// calling process pays the registration (pinning) cost.
+func (d *Device) Register(p *sim.Proc, buf []byte) *MR {
+	p.Sleep(d.nw.Fab.P.RegisterTime(len(buf)))
+	return d.registerFree(buf)
+}
+
+// registerFree registers without charging time; used at model setup.
+func (d *Device) registerFree(buf []byte) *MR {
+	d.nextKey++
+	mr := &MR{dev: d, buf: buf, key: d.nextKey}
+	d.mrs[mr.key] = mr
+	return mr
+}
+
+// RegisterAtSetup registers buf without charging simulation time. Use it
+// while constructing a model, before the clock starts mattering.
+func (d *Device) RegisterAtSetup(buf []byte) *MR { return d.registerFree(buf) }
+
+// Deregister removes the region from the device.
+func (mr *MR) Deregister() { delete(mr.dev.mrs, mr.key) }
+
+// Bytes returns the underlying buffer (local access).
+func (mr *MR) Bytes() []byte { return mr.buf }
+
+// Len returns the region length.
+func (mr *MR) Len() int { return len(mr.buf) }
+
+// Addr returns the remote address other nodes use to reach this region.
+func (mr *MR) Addr() RemoteAddr { return RemoteAddr{Node: mr.dev.Node.ID, Key: mr.key} }
+
+// lookup resolves a remote address to the target region.
+func (nw *Network) lookup(op string, r RemoteAddr) (*MR, *OpError) {
+	d, ok := nw.devs[r.Node]
+	if !ok {
+		return nil, &OpError{Op: op, Target: r, Reason: "no such node"}
+	}
+	mr, ok := d.mrs[r.Key]
+	if !ok {
+		return nil, &OpError{Op: op, Target: r, Reason: "invalid rkey"}
+	}
+	return mr, nil
+}
+
+// Read performs a one-sided RDMA read of len(dst) bytes from the remote
+// region at byte offset off into dst. The remote CPU is not involved. The
+// call blocks the issuing process for the full round trip; the remote
+// memory is sampled when the response is generated at the target, so a
+// concurrent remote write ordered before that instant is observed.
+func (d *Device) Read(p *sim.Proc, dst []byte, r RemoteAddr, off int) error {
+	mr, err := d.nw.lookup("read", r)
+	if err != nil {
+		return err
+	}
+	if off < 0 || off+len(dst) > len(mr.buf) {
+		return &OpError{Op: "read", Target: r, Reason: "out of bounds"}
+	}
+	d.Reads++
+	pp := d.nw.Fab.P
+	// Request propagation to the target.
+	p.Sleep(pp.IBReadLatency / 2)
+	// The target HCA serializes the response data onto the wire; sample
+	// memory at transmit time.
+	target := d.nw.devs[r.Node]
+	ser := pp.IBTxTime(len(dst))
+	target.nic.Tx().Acquire(p, 1)
+	copy(dst, mr.buf[off:off+len(dst)])
+	p.Sleep(ser)
+	target.nic.Tx().Release(1)
+	// Response propagation back.
+	p.Sleep(pp.IBReadLatency / 2)
+	return nil
+}
+
+// Write performs a one-sided RDMA write of src into the remote region at
+// byte offset off. The remote CPU is not involved. The call blocks until
+// the data is placed in remote memory.
+func (d *Device) Write(p *sim.Proc, r RemoteAddr, off int, src []byte) error {
+	mr, err := d.nw.lookup("write", r)
+	if err != nil {
+		return err
+	}
+	if off < 0 || off+len(src) > len(mr.buf) {
+		return &OpError{Op: "write", Target: r, Reason: "out of bounds"}
+	}
+	d.Writes++
+	pp := d.nw.Fab.P
+	ser := pp.IBTxTime(len(src))
+	d.nic.AcquireTx(p, ser)
+	p.Sleep(pp.IBWriteLatency)
+	copy(mr.buf[off:off+len(src)], src)
+	return nil
+}
+
+// atomic performs the shared plumbing of CAS and FAA: it blocks the caller
+// for the atomic round trip and applies fn to the 64-bit word at the
+// remote offset at the halfway point (the instant the target HCA executes
+// the operation). fn returns the new value to store; the old value is
+// returned to the caller.
+func (d *Device) atomic(p *sim.Proc, op string, r RemoteAddr, off int, fn func(old uint64) uint64) (uint64, error) {
+	mr, err := d.nw.lookup(op, r)
+	if err != nil {
+		return 0, err
+	}
+	if off < 0 || off+8 > len(mr.buf) || off%8 != 0 {
+		return 0, &OpError{Op: op, Target: r, Reason: "bad atomic offset"}
+	}
+	d.Atomics++
+	lat := d.nw.Fab.P.IBAtomicLatency
+	p.Sleep(lat / 2)
+	// Executed atomically: the engine runs one process at a time and no
+	// virtual time passes between load and store.
+	old := binary.LittleEndian.Uint64(mr.buf[off:])
+	binary.LittleEndian.PutUint64(mr.buf[off:], fn(old))
+	p.Sleep(lat - lat/2)
+	return old, nil
+}
+
+// CompareSwap atomically compares the 64-bit word at the remote offset
+// with compare and, if equal, stores swap. It returns the previous value;
+// the operation succeeded iff the return equals compare.
+func (d *Device) CompareSwap(p *sim.Proc, r RemoteAddr, off int, compare, swap uint64) (uint64, error) {
+	return d.atomic(p, "cas", r, off, func(old uint64) uint64 {
+		if old == compare {
+			return swap
+		}
+		return old
+	})
+}
+
+// FetchAdd atomically adds delta to the 64-bit word at the remote offset
+// and returns the previous value.
+func (d *Device) FetchAdd(p *sim.Proc, r RemoteAddr, off int, delta uint64) (uint64, error) {
+	return d.atomic(p, "faa", r, off, func(old uint64) uint64 { return old + delta })
+}
+
+// queue returns (creating if needed) the named receive queue.
+func (d *Device) queue(service string) *sim.Chan[Message] {
+	q, ok := d.recvq[service]
+	if !ok {
+		q = sim.NewChan[Message](d.nw.Env, fmt.Sprintf("%s/rq/%s", d.Node.Name, service), 1024)
+		d.recvq[service] = q
+	}
+	return q
+}
+
+// Send transmits a two-sided message to the named service queue on the
+// destination node. It blocks until the data is on the wire (local
+// completion); delivery happens one base latency later without remote CPU
+// involvement — processing cost is up to the receiving process.
+func (d *Device) Send(p *sim.Proc, dstNode int, service string, data []byte) error {
+	dst, ok := d.nw.devs[dstNode]
+	if !ok {
+		return &OpError{Op: "send", Target: RemoteAddr{Node: dstNode}, Reason: "no such node"}
+	}
+	d.Sends++
+	pp := d.nw.Fab.P
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	d.nic.AcquireTx(p, pp.IBMsgTxTime(len(data)))
+	msg := Message{From: d.Node.ID, Service: service, Data: buf}
+	q := dst.queue(service)
+	d.nw.Env.After(pp.IBSendLatency, func() { q.PostSend(msg) })
+	return nil
+}
+
+// PostSendAt is a scheduler-context variant of Send for protocol agents
+// that react inside timer callbacks: the message is delivered after the
+// base send latency plus serialization time, without modelling transmit
+// contention. Data is copied.
+func (d *Device) PostSendAt(dstNode int, service string, data []byte) error {
+	dst, ok := d.nw.devs[dstNode]
+	if !ok {
+		return &OpError{Op: "send", Target: RemoteAddr{Node: dstNode}, Reason: "no such node"}
+	}
+	d.Sends++
+	pp := d.nw.Fab.P
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	msg := Message{From: d.Node.ID, Service: service, Data: buf}
+	q := dst.queue(service)
+	d.nw.Env.After(pp.IBSendLatency+pp.IBTxTime(len(data)), func() { q.PostSend(msg) })
+	return nil
+}
+
+// Recv blocks until a message arrives on the named service queue.
+func (d *Device) Recv(p *sim.Proc, service string) Message {
+	msg, _ := d.queue(service).Recv(p)
+	return msg
+}
+
+// TryRecv returns a queued message without blocking.
+func (d *Device) TryRecv(service string) (Message, bool) {
+	return d.queue(service).TryRecv()
+}
+
+// Uint64At reads the 64-bit little-endian word at off in a local region.
+func (mr *MR) Uint64At(off int) uint64 { return binary.LittleEndian.Uint64(mr.buf[off:]) }
+
+// PutUint64At stores a 64-bit little-endian word at off in a local region
+// (a local, instantaneous store — the home node updating its own word).
+func (mr *MR) PutUint64At(off int, v uint64) { binary.LittleEndian.PutUint64(mr.buf[off:], v) }
+
+// WriteImm performs an RDMA write-with-immediate: the data lands in the
+// remote region exactly like Write, and a 32-bit immediate value is
+// delivered to the target's immediate queue — the idiom real verbs
+// applications use to signal data arrival without a separate message.
+// The target consumes immediates with RecvImm.
+func (d *Device) WriteImm(p *sim.Proc, r RemoteAddr, off int, src []byte, imm uint32) error {
+	if err := d.Write(p, r, off, src); err != nil {
+		return err
+	}
+	target := d.nw.devs[r.Node]
+	target.queue("imm").PostSend(Message{From: d.Node.ID, Service: "imm", Data: encodeImm(imm)})
+	return nil
+}
+
+// RecvImm blocks until the next write-with-immediate lands in local
+// registered memory and returns its immediate value and source node.
+func (d *Device) RecvImm(p *sim.Proc) (imm uint32, from int) {
+	msg := d.Recv(p, "imm")
+	return decodeImm(msg.Data), msg.From
+}
+
+// TryRecvImm returns a pending immediate without blocking.
+func (d *Device) TryRecvImm() (imm uint32, from int, ok bool) {
+	msg, ok := d.TryRecv("imm")
+	if !ok {
+		return 0, 0, false
+	}
+	return decodeImm(msg.Data), msg.From, true
+}
+
+func encodeImm(v uint32) []byte {
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint32(b, v)
+	return b
+}
+
+func decodeImm(b []byte) uint32 {
+	if len(b) < 4 {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}

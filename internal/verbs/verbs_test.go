@@ -1,0 +1,547 @@
+package verbs
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ngdc/internal/cluster"
+	"ngdc/internal/fabric"
+	"ngdc/internal/sim"
+)
+
+// testNet builds a two-node verbs network.
+func testNet(t testing.TB, n int) (*sim.Env, *Network, []*Device) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	nw := NewNetwork(env, fabric.DefaultParams())
+	devs := make([]*Device, n)
+	for i := 0; i < n; i++ {
+		node := cluster.NewNode(env, i, 4, 1<<30)
+		devs[i] = nw.Attach(node)
+	}
+	return env, nw, devs
+}
+
+func TestRDMAWriteThenRead(t *testing.T) {
+	env, _, devs := testNet(t, 2)
+	buf := make([]byte, 64)
+	mr := devs[1].RegisterAtSetup(buf)
+	env.Go("client", func(p *sim.Proc) {
+		if err := devs[0].Write(p, mr.Addr(), 8, []byte("hello")); err != nil {
+			t.Error(err)
+		}
+		got := make([]byte, 5)
+		if err := devs[0].Read(p, got, mr.Addr(), 8); err != nil {
+			t.Error(err)
+		}
+		if string(got) != "hello" {
+			t.Errorf("read %q", got)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf[8:13], []byte("hello")) {
+		t.Fatalf("remote memory = %q", buf[8:13])
+	}
+}
+
+func TestRDMAReadLatencyMatchesModel(t *testing.T) {
+	env, nw, devs := testNet(t, 2)
+	mr := devs[1].RegisterAtSetup(make([]byte, 4096))
+	pp := nw.Params()
+	var elapsed time.Duration
+	env.Go("client", func(p *sim.Proc) {
+		start := p.Now()
+		dst := make([]byte, 4096)
+		if err := devs[0].Read(p, dst, mr.Addr(), 0); err != nil {
+			t.Error(err)
+		}
+		elapsed = time.Duration(p.Now() - start)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := pp.IBReadLatency + pp.IBTxTime(4096)
+	if elapsed != want {
+		t.Fatalf("read took %v, want %v", elapsed, want)
+	}
+}
+
+func TestRDMAOpsBypassRemoteCPU(t *testing.T) {
+	env, _, devs := testNet(t, 2)
+	mr := devs[1].RegisterAtSetup(make([]byte, 64))
+	// Saturate the remote CPU completely.
+	devs[1].Node.SpawnLoad(16, 10*time.Millisecond, 0)
+	var rtt time.Duration
+	env.Go("client", func(p *sim.Proc) {
+		p.Sleep(50 * time.Millisecond) // let load build up
+		start := p.Now()
+		dst := make([]byte, 8)
+		if err := devs[0].Read(p, dst, mr.Addr(), 0); err != nil {
+			t.Error(err)
+		}
+		if _, err := devs[0].FetchAdd(p, mr.Addr(), 0, 1); err != nil {
+			t.Error(err)
+		}
+		rtt = time.Duration(p.Now() - start)
+	})
+	if err := env.RunUntil(sim.Time(100 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	env.Shutdown()
+	if rtt > 100*time.Microsecond {
+		t.Fatalf("one-sided ops took %v under remote load; must be load-independent", rtt)
+	}
+}
+
+func TestCompareSwapSemantics(t *testing.T) {
+	env, _, devs := testNet(t, 2)
+	mr := devs[1].RegisterAtSetup(make([]byte, 16))
+	env.Go("client", func(p *sim.Proc) {
+		old, err := devs[0].CompareSwap(p, mr.Addr(), 0, 0, 42)
+		if err != nil || old != 0 {
+			t.Errorf("first CAS: old=%d err=%v", old, err)
+		}
+		old, err = devs[0].CompareSwap(p, mr.Addr(), 0, 0, 99)
+		if err != nil || old != 42 {
+			t.Errorf("failed CAS should return current value: old=%d err=%v", old, err)
+		}
+		if mr.Uint64At(0) != 42 {
+			t.Errorf("failed CAS mutated memory: %d", mr.Uint64At(0))
+		}
+		old, err = devs[0].CompareSwap(p, mr.Addr(), 0, 42, 7)
+		if err != nil || old != 42 {
+			t.Errorf("matching CAS: old=%d err=%v", old, err)
+		}
+		if mr.Uint64At(0) != 7 {
+			t.Errorf("matching CAS did not store: %d", mr.Uint64At(0))
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFetchAddAccumulates(t *testing.T) {
+	env, _, devs := testNet(t, 3)
+	mr := devs[0].RegisterAtSetup(make([]byte, 8))
+	for i := 1; i <= 2; i++ {
+		d := devs[i]
+		env.Go(d.Node.Name, func(p *sim.Proc) {
+			for k := 0; k < 10; k++ {
+				if _, err := d.FetchAdd(p, mr.Addr(), 0, 3); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mr.Uint64At(0); got != 60 {
+		t.Fatalf("counter = %d, want 60", got)
+	}
+}
+
+// Property: concurrent FetchAdds from many nodes never lose updates.
+func TestPropertyAtomicConservation(t *testing.T) {
+	f := func(counts []uint8) bool {
+		if len(counts) > 6 {
+			counts = counts[:6]
+		}
+		env := sim.NewEnv(5)
+		nw := NewNetwork(env, fabric.DefaultParams())
+		home := nw.Attach(cluster.NewNode(env, 0, 1, 1<<20))
+		mr := home.RegisterAtSetup(make([]byte, 8))
+		var want uint64
+		for i, c := range counts {
+			n := int(c % 20)
+			want += uint64(n)
+			d := nw.Attach(cluster.NewNode(env, i+1, 1, 1<<20))
+			env.Go(d.Node.Name, func(p *sim.Proc) {
+				for k := 0; k < n; k++ {
+					p.Sleep(time.Duration(env.Rand().Intn(1000)))
+					if _, err := d.FetchAdd(p, mr.Addr(), 0, 1); err != nil {
+						t.Error(err)
+					}
+				}
+			})
+		}
+		if err := env.Run(); err != nil {
+			return false
+		}
+		return mr.Uint64At(0) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: exactly one of N concurrent CAS(0->id) attempts wins.
+func TestPropertyCASMutualExclusion(t *testing.T) {
+	f := func(nNodes uint8) bool {
+		n := int(nNodes%8) + 2
+		env := sim.NewEnv(9)
+		nw := NewNetwork(env, fabric.DefaultParams())
+		home := nw.Attach(cluster.NewNode(env, 0, 1, 1<<20))
+		mr := home.RegisterAtSetup(make([]byte, 8))
+		winners := 0
+		for i := 1; i <= n; i++ {
+			d := nw.Attach(cluster.NewNode(env, i, 1, 1<<20))
+			id := uint64(i)
+			env.Go(d.Node.Name, func(p *sim.Proc) {
+				p.Sleep(time.Duration(env.Rand().Intn(100)))
+				old, err := d.CompareSwap(p, mr.Addr(), 0, 0, id)
+				if err != nil {
+					t.Error(err)
+				}
+				if old == 0 {
+					winners++
+				}
+			})
+		}
+		if err := env.Run(); err != nil {
+			return false
+		}
+		return winners == 1 && mr.Uint64At(0) != 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	env, _, devs := testNet(t, 2)
+	var got Message
+	env.Go("server", func(p *sim.Proc) { got = devs[1].Recv(p, "svc") })
+	env.Go("client", func(p *sim.Proc) {
+		if err := devs[0].Send(p, 1, "svc", []byte("ping")); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got.From != 0 || string(got.Data) != "ping" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestSendCopiesData(t *testing.T) {
+	env, _, devs := testNet(t, 2)
+	payload := []byte("aaaa")
+	var got Message
+	env.Go("server", func(p *sim.Proc) { got = devs[1].Recv(p, "svc") })
+	env.Go("client", func(p *sim.Proc) {
+		if err := devs[0].Send(p, 1, "svc", payload); err != nil {
+			t.Error(err)
+		}
+		copy(payload, "bbbb") // mutate after send; receiver must not see it
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Data) != "aaaa" {
+		t.Fatalf("send aliased caller buffer: got %q", got.Data)
+	}
+}
+
+func TestTCPRecvChargesRemoteCPU(t *testing.T) {
+	// The same request served over IB send/recv vs TCP: under heavy
+	// receiver load the TCP response must be much slower, the IB response
+	// must not care (receiver process still needs to run, but protocol
+	// processing is the dominant modelled cost).
+	lat := func(loaded bool) time.Duration {
+		env := sim.NewEnv(3)
+		nw := NewNetwork(env, fabric.DefaultParams())
+		a := nw.Attach(cluster.NewNode(env, 0, 1, 1<<20))
+		b := nw.Attach(cluster.NewNode(env, 1, 1, 1<<20))
+		if loaded {
+			b.Node.SpawnLoad(8, 5*time.Millisecond, 0)
+		}
+		env.Go("server", func(p *sim.Proc) {
+			msg := b.RecvTCP(p, "rpc")
+			if err := b.SendTCP(p, msg.From, "rpc-reply", []byte("pong")); err != nil {
+				t.Error(err)
+			}
+		})
+		var rtt time.Duration
+		env.Go("client", func(p *sim.Proc) {
+			p.Sleep(20 * time.Millisecond)
+			start := p.Now()
+			if err := a.SendTCP(p, 1, "rpc", []byte("ping")); err != nil {
+				t.Error(err)
+			}
+			a.RecvTCP(p, "rpc-reply")
+			rtt = time.Duration(p.Now() - start)
+		})
+		if err := env.RunUntil(sim.Time(200 * time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+		env.Shutdown()
+		return rtt
+	}
+	unloaded, loaded := lat(false), lat(true)
+	if unloaded == 0 || loaded == 0 {
+		t.Fatal("rpc did not complete")
+	}
+	if loaded < 4*unloaded {
+		t.Fatalf("TCP rpc under load %v vs unloaded %v: load sensitivity missing", loaded, unloaded)
+	}
+}
+
+func TestOpErrors(t *testing.T) {
+	env, _, devs := testNet(t, 2)
+	mr := devs[1].RegisterAtSetup(make([]byte, 16))
+	env.Go("client", func(p *sim.Proc) {
+		if err := devs[0].Read(p, make([]byte, 8), RemoteAddr{Node: 99, Key: 1}, 0); err == nil {
+			t.Error("read from missing node succeeded")
+		}
+		if err := devs[0].Read(p, make([]byte, 8), RemoteAddr{Node: 1, Key: 999}, 0); err == nil {
+			t.Error("read with bad rkey succeeded")
+		}
+		if err := devs[0].Write(p, mr.Addr(), 12, make([]byte, 8)); err == nil {
+			t.Error("out-of-bounds write succeeded")
+		}
+		if _, err := devs[0].CompareSwap(p, mr.Addr(), 3, 0, 1); err == nil {
+			t.Error("misaligned atomic succeeded")
+		}
+		if _, err := devs[0].FetchAdd(p, mr.Addr(), 16, 1); err == nil {
+			t.Error("out-of-bounds atomic succeeded")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeregister(t *testing.T) {
+	env, _, devs := testNet(t, 2)
+	mr := devs[1].RegisterAtSetup(make([]byte, 16))
+	env.Go("client", func(p *sim.Proc) {
+		mr.Deregister()
+		if err := devs[0].Read(p, make([]byte, 8), mr.Addr(), 0); err == nil {
+			t.Error("read of deregistered MR succeeded")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterChargesTime(t *testing.T) {
+	env, nw, devs := testNet(t, 1)
+	var elapsed time.Duration
+	env.Go("p", func(p *sim.Proc) {
+		start := p.Now()
+		devs[0].Register(p, make([]byte, 64*1024))
+		elapsed = time.Duration(p.Now() - start)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := nw.Params().RegisterTime(64 * 1024); elapsed != want {
+		t.Fatalf("registration took %v, want %v", elapsed, want)
+	}
+}
+
+func TestCompletionQueueOverlapsReads(t *testing.T) {
+	// Two posted reads from different targets overlap: total time is far
+	// below the sum of two synchronous reads.
+	env, nw, devs := testNet(t, 3)
+	mr1 := devs[1].RegisterAtSetup(make([]byte, 64<<10))
+	mr2 := devs[2].RegisterAtSetup(make([]byte, 64<<10))
+	pp := nw.Params()
+	var elapsed time.Duration
+	env.Go("client", func(p *sim.Proc) {
+		cq := devs[0].CreateCQ("c", 8)
+		start := p.Now()
+		devs[0].PostRead(cq, 1, make([]byte, 64<<10), mr1.Addr(), 0)
+		devs[0].PostRead(cq, 2, make([]byte, 64<<10), mr2.Addr(), 0)
+		seen := map[uint64]bool{}
+		for i := 0; i < 2; i++ {
+			c := cq.Poll(p)
+			if c.Err != nil {
+				t.Error(c.Err)
+			}
+			seen[c.ID] = true
+		}
+		elapsed = time.Duration(p.Now() - start)
+		if !seen[1] || !seen[2] {
+			t.Errorf("missing completions: %v", seen)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	oneRead := pp.IBReadLatency + pp.IBTxTime(64<<10)
+	if elapsed >= 2*oneRead {
+		t.Fatalf("posted reads did not overlap: %v vs 2x%v", elapsed, oneRead)
+	}
+}
+
+func TestCompletionQueueAtomics(t *testing.T) {
+	env, _, devs := testNet(t, 2)
+	mr := devs[1].RegisterAtSetup(make([]byte, 8))
+	env.Go("client", func(p *sim.Proc) {
+		cq := devs[0].CreateCQ("c", 8)
+		devs[0].PostFetchAdd(cq, 1, mr.Addr(), 0, 5)
+		c := cq.Poll(p)
+		if c.Err != nil || c.Old != 0 {
+			t.Errorf("faa completion: %+v", c)
+		}
+		devs[0].PostCompareSwap(cq, 2, mr.Addr(), 0, 5, 9)
+		c = cq.Poll(p)
+		if c.Err != nil || c.Old != 5 {
+			t.Errorf("cas completion: %+v", c)
+		}
+		if mr.Uint64At(0) != 9 {
+			t.Errorf("memory = %d", mr.Uint64At(0))
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompletionQueueErrorDelivery(t *testing.T) {
+	env, _, devs := testNet(t, 2)
+	env.Go("client", func(p *sim.Proc) {
+		cq := devs[0].CreateCQ("c", 8)
+		devs[0].PostWrite(cq, 7, RemoteAddr{Node: 1, Key: 999}, 0, []byte{1})
+		c := cq.Poll(p)
+		if c.Err == nil || c.ID != 7 {
+			t.Errorf("expected error completion, got %+v", c)
+		}
+		if _, ok := cq.TryPoll(); ok {
+			t.Error("spurious completion")
+		}
+		if cq.Pending() != 0 {
+			t.Error("pending wrong")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQPSendRecvOrdered(t *testing.T) {
+	env, _, devs := testNet(t, 2)
+	qa, qb := ConnectQP(devs[0], devs[1], 16)
+	var got []byte
+	env.Go("rx", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			msg := qb.Recv(p)
+			got = append(got, msg[0])
+		}
+	})
+	env.Go("tx", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			qa.Send(p, []byte{byte(i)})
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if int(b) != i {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+	if qa.Sent != 5 || qb.Received != 5 {
+		t.Fatalf("counters: sent=%d received=%d", qa.Sent, qb.Received)
+	}
+	if qa.Peer() != 1 || qb.Peer() != 0 {
+		t.Fatal("peer IDs wrong")
+	}
+}
+
+func TestQPBidirectionalAndPrivate(t *testing.T) {
+	env, _, devs := testNet(t, 3)
+	qa, qb := ConnectQP(devs[0], devs[1], 16)
+	qc, qd := ConnectQP(devs[0], devs[2], 16)
+	env.Go("b", func(p *sim.Proc) {
+		msg := qb.Recv(p)
+		qb.Send(p, append(msg, '!'))
+	})
+	env.Go("c", func(p *sim.Proc) {
+		if _, ok := qd.TryRecv(); ok {
+			t.Error("message leaked across QPs")
+		}
+	})
+	env.Go("a", func(p *sim.Proc) {
+		qa.Send(p, []byte("hi"))
+		if string(qa.Recv(p)) != "hi!" {
+			t.Error("echo failed")
+		}
+		_ = qc
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQPSendCopies(t *testing.T) {
+	env, _, devs := testNet(t, 2)
+	qa, qb := ConnectQP(devs[0], devs[1], 4)
+	buf := []byte("orig")
+	var got []byte
+	env.Go("rx", func(p *sim.Proc) { got = qb.Recv(p) })
+	env.Go("tx", func(p *sim.Proc) {
+		qa.Send(p, buf)
+		copy(buf, "XXXX")
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "orig" {
+		t.Fatalf("QP aliased sender buffer: %q", got)
+	}
+}
+
+func TestWriteImmDeliversDataAndNotification(t *testing.T) {
+	env, _, devs := testNet(t, 2)
+	mr := devs[1].RegisterAtSetup(make([]byte, 64))
+	env.Go("consumer", func(p *sim.Proc) {
+		imm, from := devs[1].RecvImm(p)
+		if imm != 77 || from != 0 {
+			t.Errorf("imm=%d from=%d", imm, from)
+		}
+		// The data must already be in memory when the immediate arrives.
+		if string(mr.Bytes()[:5]) != "ready" {
+			t.Errorf("data not present at notification: %q", mr.Bytes()[:5])
+		}
+	})
+	env.Go("producer", func(p *sim.Proc) {
+		if err := devs[0].WriteImm(p, mr.Addr(), 0, []byte("ready"), 77); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTryRecvImm(t *testing.T) {
+	env, _, devs := testNet(t, 2)
+	mr := devs[1].RegisterAtSetup(make([]byte, 8))
+	env.Go("p", func(p *sim.Proc) {
+		if _, _, ok := devs[1].TryRecvImm(); ok {
+			t.Error("spurious immediate")
+		}
+		if err := devs[0].WriteImm(p, mr.Addr(), 0, []byte{1}, 5); err != nil {
+			t.Error(err)
+		}
+		p.Sleep(time.Millisecond)
+		imm, from, ok := devs[1].TryRecvImm()
+		if !ok || imm != 5 || from != 0 {
+			t.Errorf("imm=%d from=%d ok=%v", imm, from, ok)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

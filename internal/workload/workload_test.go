@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfUniformWhenAlphaZero(t *testing.T) {
+	z := NewZipf(rand.New(rand.NewSource(1)), 0, 10)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		if c < 8500 || c > 11500 {
+			t.Fatalf("rank %d count %d not ~10000 under uniform", i, c)
+		}
+	}
+}
+
+func TestZipfSkewsTowardLowRanks(t *testing.T) {
+	z := NewZipf(rand.New(rand.NewSource(1)), 0.9, 100)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[50] || counts[0] <= counts[99] {
+		t.Fatalf("rank 0 (%d) not hotter than mid (%d) / tail (%d)", counts[0], counts[50], counts[99])
+	}
+}
+
+func TestZipfHigherAlphaMoreLocality(t *testing.T) {
+	top10 := func(alpha float64) float64 {
+		z := NewZipf(rand.New(rand.NewSource(1)), alpha, 1000)
+		hot := 0
+		const n = 50000
+		for i := 0; i < n; i++ {
+			if z.Next() < 100 {
+				hot++
+			}
+		}
+		return float64(hot) / n
+	}
+	if !(top10(0.9) > top10(0.5) && top10(0.5) > top10(0.25)) {
+		t.Fatal("locality not monotonic in alpha")
+	}
+}
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	z := NewZipf(rand.New(rand.NewSource(1)), 0.75, 50)
+	sum := 0.0
+	for i := 0; i < 50; i++ {
+		sum += z.Prob(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+	if z.Prob(-1) != 0 || z.Prob(50) != 0 {
+		t.Fatal("out-of-range prob not zero")
+	}
+	if z.N() != 50 {
+		t.Fatal("N wrong")
+	}
+}
+
+func TestMixRespectsWeights(t *testing.T) {
+	m := NewMix(rand.New(rand.NewSource(1)), []RequestClass{
+		{Name: "a", Weight: 9},
+		{Name: "b", Weight: 1},
+	})
+	counts := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		counts[m.Next().Name]++
+	}
+	if counts["a"] < 8700 || counts["a"] > 9300 {
+		t.Fatalf("class a drawn %d of 10000, want ~9000", counts["a"])
+	}
+}
+
+func TestMixPanicsOnBadInput(t *testing.T) {
+	check := func(fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		fn()
+	}
+	check(func() { NewMix(rand.New(rand.NewSource(1)), nil) })
+	check(func() {
+		NewMix(rand.New(rand.NewSource(1)), []RequestClass{{Name: "x", Weight: 0}})
+	})
+	check(func() { NewZipf(rand.New(rand.NewSource(1)), 1, 0) })
+}
+
+func TestRUBiSClassesDivergent(t *testing.T) {
+	cls := RUBiSClasses()
+	if len(cls) < 5 {
+		t.Fatal("too few RUBiS classes")
+	}
+	var min, max = cls[0].CPU, cls[0].CPU
+	for _, c := range cls {
+		if c.CPU < min {
+			min = c.CPU
+		}
+		if c.CPU > max {
+			max = c.CPU
+		}
+	}
+	// Fig 8 depends on divergent per-request resource usage.
+	if max < 20*min {
+		t.Fatalf("CPU divergence only %vx", max/min)
+	}
+	if len(ZipfTraceClasses(8192)) != 1 || ZipfTraceClasses(8192)[0].ReplyBytes != 8192 {
+		t.Fatal("zipf trace class wrong")
+	}
+}
+
+// Property: Next always returns a valid rank and the distribution is
+// monotonically non-increasing in expectation (checked coarsely).
+func TestPropertyZipfRange(t *testing.T) {
+	f := func(alphaSel, nSel uint8, seed int64) bool {
+		alpha := float64(alphaSel%20) / 10
+		n := int(nSel)%200 + 1
+		z := NewZipf(rand.New(rand.NewSource(seed)), alpha, n)
+		for i := 0; i < 200; i++ {
+			r := z.Next()
+			if r < 0 || r >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeavyTailSizes(t *testing.T) {
+	sizes := HeavyTailSizes(10000, 1<<10, 1<<20, 1.2)
+	if len(sizes) != 10000 {
+		t.Fatal("wrong count")
+	}
+	var small, big int
+	var total int64
+	for _, s := range sizes {
+		if s < 1<<10 || s > 1<<20 {
+			t.Fatalf("size %d out of bounds", s)
+		}
+		total += s
+		if s < 16<<10 {
+			small++
+		}
+		if s > 96<<10 {
+			big++
+		}
+	}
+	if small < 5000 {
+		t.Fatalf("only %d small documents; body not heavy at the bottom", small)
+	}
+	if big < 10 {
+		t.Fatalf("only %d documents above 96KiB; tail missing", big)
+	}
+	// Deterministic.
+	again := HeavyTailSizes(10000, 1<<10, 1<<20, 1.2)
+	for i := range sizes {
+		if sizes[i] != again[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestHeavyTailSizesPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	HeavyTailSizes(0, 1, 2, 1)
+}
