@@ -318,7 +318,7 @@ func BenchmarkSec6FileCache(b *testing.B) {
 				var agg *gma.Aggregator
 				if mode == filecache.RemoteMemory {
 					var err error
-					agg, err = gma.New(nw, nodes, 16<<20)
+					agg, err = gma.New(nw, nodes, gma.Options{ArenaPerNode: 16 << 20})
 					if err != nil {
 						b.Fatal(err)
 					}

@@ -8,7 +8,10 @@
 //
 //	ngdc-bench <experiment> [flags]
 //
-// Common flags: -seed N (default 1), -quick (shrunken sweeps).
+// Common flags: -seed N (default 1), -quick (shrunken sweeps), and
+// -trace <file> (write the run's per-layer observability counters —
+// verbs ops per device, NIC occupancy, fabric wire-vs-CPU time, socket
+// flow-control stalls, engine totals — as JSONL records).
 //
 // Experiments:
 //
@@ -29,12 +32,13 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 
 	"ngdc/internal/experiments"
-	"ngdc/internal/metrics"
+	"ngdc/internal/trace"
 )
 
 func main() {
@@ -51,6 +55,7 @@ func main() {
 	proxies := fs.Int("proxies", 2, "coopcache: proxy nodes")
 	rubis := fs.Bool("rubis", false, "monitor-throughput: RUBiS mix instead of Zipf")
 	measure := fs.Duration("measure", 0, "override the virtual measurement window")
+	traceFile := fs.String("trace", "", "write per-layer trace counters (JSONL) to this file")
 
 	switch cmd {
 	case "-h", "--help", "help":
@@ -67,46 +72,56 @@ func main() {
 		Measure: *measure,
 	}
 
+	var traceOut *os.File
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fail(err)
+		}
+		traceOut = f
+		opt.Trace = trace.NewRegistry()
+	}
+
 	if cmd == "all" {
 		for _, e := range experiments.All() {
-			tb, err := e.Run(opt)
+			tb, err := e.Render(opt)
 			if err != nil {
 				fail(fmt.Errorf("%s (%s): %w", e.ID, e.Figure, err))
 			}
 			fmt.Println(tb)
 		}
+		writeTrace(traceOut, opt.Trace)
 		return
 	}
-	run, ok := commands()[cmd]
+	e, ok := experiments.Find(cmd)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "ngdc-bench: unknown experiment %q\n\n", cmd)
 		usage()
 		os.Exit(2)
 	}
-	tb, err := run(opt)
+	tb, err := e.Render(opt)
 	if err != nil {
 		fail(err)
 	}
 	fmt.Println(tb)
+	writeTrace(traceOut, opt.Trace)
 }
 
-// commands maps subcommand names to generators that honour the parsed
-// flags (the catalogue's closures pin variants for `all`).
-func commands() map[string]func(experiments.Options) (*metrics.Table, error) {
-	return map[string]func(experiments.Options) (*metrics.Table, error){
-		"ddss-latency":       experiments.DDSSLatency,
-		"storm":              experiments.Storm,
-		"lock-cascade":       experiments.LockCascade,
-		"coopcache":          experiments.CoopCache,
-		"monitor-accuracy":   experiments.MonitorAccuracy,
-		"monitor-throughput": experiments.MonitorThroughput,
-		"sdp":                experiments.SDP,
-		"flowcontrol":        experiments.FlowControl,
-		"reconfig":           experiments.Reconfig,
-		"dyncache":           experiments.DynCache,
-		"qos":                experiments.QoS,
-		"multicast":          experiments.Multicast,
-		"integrated":         experiments.Integrated,
+// writeTrace renders the accumulated counters of every environment the
+// run touched into f as JSONL records.
+func writeTrace(f *os.File, r *trace.Registry) {
+	if f == nil {
+		return
+	}
+	w := bufio.NewWriter(f)
+	if err := r.Snapshot().WriteJSONL(w); err != nil {
+		fail(err)
+	}
+	if err := w.Flush(); err != nil {
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
 	}
 }
 
@@ -116,11 +131,11 @@ func fail(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: ngdc-bench <experiment> [-seed N] [-quick] [flags]
+	fmt.Fprintln(os.Stderr, `usage: ngdc-bench <experiment> [-seed N] [-quick] [-trace file] [flags]
 
 experiments:`)
 	for _, e := range experiments.All() {
-		fmt.Fprintf(os.Stderr, "  %-34s %s (%s)\n", e.Name, e.Figure, e.ID)
+		fmt.Fprintf(os.Stderr, "  %-34s %s (%s)\n", e.CommandName(), e.Figure, e.ID)
 	}
 	fmt.Fprintln(os.Stderr, "  all                                run every experiment")
 }

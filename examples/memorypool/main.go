@@ -26,7 +26,7 @@ func main() {
 		nodes = append(nodes, cluster.NewNode(env, i, 2, 64<<20))
 	}
 
-	pool, err := gma.New(nw, nodes, 16<<20)
+	pool, err := gma.New(nw, nodes, gma.Options{ArenaPerNode: 16 << 20})
 	if err != nil {
 		panic(err)
 	}
@@ -34,7 +34,7 @@ func main() {
 		pool.TotalFree()>>20, len(nodes))
 
 	cache := ngdc.NewFileCache(ngdc.DefaultFileCacheConfig(ngdc.FileCacheRemoteMemory), nw, nodes[0], pool)
-	group := ngdc.NewMulticastGroup("ops", nw, ngdc.BinomialMulticast, nodes)
+	group := ngdc.NewMulticast(nw, nodes, ngdc.MulticastOptions{Name: "ops", Strategy: ngdc.BinomialMulticast})
 	for _, n := range nodes[1:] {
 		sub := group.Subscribe(n.ID)
 		name := n.Name

@@ -33,6 +33,7 @@ import (
 	"ngdc/internal/fabric"
 	"ngdc/internal/lru"
 	"ngdc/internal/sim"
+	"ngdc/internal/trace"
 	"ngdc/internal/verbs"
 )
 
@@ -93,6 +94,8 @@ type Config struct {
 	// Warmup and Measure are the virtual warm-up and measurement windows.
 	Warmup, Measure time.Duration
 	Seed            int64
+	// Trace, when non-nil, collects the run's observability counters.
+	Trace *trace.Registry
 }
 
 // DefaultConfig returns a Fig 6-shaped experiment: a working set about
@@ -157,6 +160,10 @@ type DataCenter struct {
 
 	measuring bool
 	stats     Stats
+
+	// tr publishes the deployment's fabric-level op accounting into the
+	// env's trace registry; nil when untraced.
+	tr *trace.Registry
 }
 
 // cacheNode is a node participating in the cache pool.
@@ -194,8 +201,10 @@ func (cfg *Config) docCount() int {
 // Build constructs the deployment on a fresh environment.
 func Build(cfg Config) *DataCenter {
 	env := sim.NewEnv(cfg.Seed)
+	trace.AttachRegistry(env, cfg.Trace)
 	nw := verbs.NewNetwork(env, fabric.DefaultParams())
-	dc := &DataCenter{cfg: cfg, env: env, nw: nw, inflight: map[int]*sim.Future[int]{}}
+	dc := &DataCenter{cfg: cfg, env: env, nw: nw, inflight: map[int]*sim.Future[int]{},
+		tr: trace.Of(env)}
 	dc.backend = sim.NewResource(env, "backend", backendParallelism)
 	id := 0
 	for i := 0; i < cfg.Proxies; i++ {
@@ -271,8 +280,14 @@ func (dc *DataCenter) dirCost(p *sim.Proc, from *cacheNode, doc int, update bool
 	pp := dc.nw.Params()
 	if update {
 		p.Sleep(pp.IBAtomicLatency)
+		if dc.tr != nil {
+			dc.tr.RecordOp(trace.OpRDMAAtomic, pp.IBAtomicLatency, 0)
+		}
 	} else {
 		p.Sleep(pp.IBReadLatency)
+		if dc.tr != nil {
+			dc.tr.RecordOp(trace.OpRDMARead, pp.IBReadLatency, 0)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"ngdc/internal/sim"
+	"ngdc/internal/trace"
 	"ngdc/internal/workload"
 )
 
@@ -30,6 +31,9 @@ func (dc *DataCenter) serveRequest(p *sim.Proc, px *cacheNode, doc int) outcome 
 	pp := dc.nw.Params()
 	px.node.Exec(p, pp.TCPCPUTime(int(size)))
 	px.dev.NIC().AcquireTx(p, pp.TCPTxTime(int(size)))
+	if dc.tr != nil {
+		dc.tr.RecordOp(trace.OpTCP, pp.TCPTxTime(int(size)), pp.TCPCPUTime(int(size)))
+	}
 	return out
 }
 
@@ -47,6 +51,9 @@ func (dc *DataCenter) lookup(p *sim.Proc, px *cacheNode, doc int, depth int) out
 
 	if px.cache.Get(doc) || (px.replica != nil && px.replica.Get(doc)) {
 		p.Sleep(pp.CopyTime(int(size)))
+		if dc.tr != nil {
+			dc.tr.RecordOp(trace.OpCopy, 0, pp.CopyTime(int(size)))
+		}
 		return outLocal
 	}
 
@@ -98,6 +105,9 @@ func (dc *DataCenter) insert(p *sim.Proc, px, target *cacheNode, doc int) {
 		// memory.
 		px.dev.NIC().AcquireTx(p, pp.IBTxTime(int(size)))
 		p.Sleep(pp.IBWriteLatency)
+		if dc.tr != nil {
+			dc.tr.RecordOp(trace.OpRDMAWrite, pp.IBTxTime(int(size))+pp.IBWriteLatency, 0)
+		}
 	}
 	evicted := target.cache.Put(doc, size)
 	if dc.cfg.Scheme != AC {
@@ -128,6 +138,9 @@ func (dc *DataCenter) remoteFetch(p *sim.Proc, holder *cacheNode, size int64) {
 	p.Sleep(pp.IBTxTime(int(size)))
 	holder.dev.NIC().Tx().Release(1)
 	p.Sleep(pp.IBReadLatency / 2)
+	if dc.tr != nil {
+		dc.tr.RecordOp(trace.OpRDMARead, pp.IBTxTime(int(size))+pp.IBReadLatency, 0)
+	}
 }
 
 // hybridHotCount is how many requests a document must accumulate at one
@@ -199,6 +212,12 @@ func (dc *DataCenter) duplicateBytes() int64 {
 
 // Run builds and drives one experiment.
 func Run(cfg Config) (Stats, error) {
+	return Build(cfg).RunLoad()
+}
+
+// Run builds and drives the configured experiment — the uniform
+// experiment entry point every config type in the framework shares.
+func (cfg Config) Run() (Stats, error) {
 	return Build(cfg).RunLoad()
 }
 

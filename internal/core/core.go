@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"ngdc/internal/cluster"
@@ -21,6 +22,7 @@ import (
 	"ngdc/internal/monitor"
 	"ngdc/internal/sim"
 	"ngdc/internal/sockets"
+	"ngdc/internal/trace"
 	"ngdc/internal/verbs"
 )
 
@@ -65,6 +67,8 @@ type Framework struct {
 	Sharing *ddss.Substrate
 	// Locks is the distributed lock manager (layer 2).
 	Locks *dlm.Manager
+
+	tr *trace.Registry
 }
 
 // New builds a framework from the configuration.
@@ -85,6 +89,10 @@ func New(cfg Config) *Framework {
 		cfg.NumLocks = 64
 	}
 	env := sim.NewEnv(cfg.Seed)
+	// Attach the observability registry before any layer is built:
+	// devices, NICs and connections cache their counter pointers at
+	// construction time.
+	tr := trace.Attach(env)
 	cl := cluster.New(env, cfg.Nodes, cfg.CoresPerNode, cfg.MemPerNode)
 	nw := verbs.NewNetwork(env, cfg.Params)
 	for _, n := range cl.Nodes {
@@ -95,9 +103,24 @@ func New(cfg Config) *Framework {
 		Network: nw,
 		Cluster: cl,
 		Sharing: ddss.New(nw, cl.Nodes),
-		Locks:   dlm.New(cfg.LockKind, nw, cl.Nodes, cfg.NumLocks),
+		Locks:   dlm.New(nw, cl.Nodes, dlm.Options{Kind: cfg.LockKind, NumLocks: cfg.NumLocks}),
+		tr:      tr,
 	}
 }
+
+// Trace snapshots the framework's observability counters: per-device
+// verbs ops, per-NIC occupancy, fabric wire-vs-CPU time per op class,
+// socket flow-control stalls and the engine counters. Snapshots are
+// deterministic for a given Config.Seed.
+func (f *Framework) Trace() trace.TraceStats { return f.tr.Snapshot() }
+
+// TraceRegistry exposes the framework's registry, e.g. to share it with
+// standalone experiment runs whose results should merge into one view.
+func (f *Framework) TraceRegistry() *trace.Registry { return f.tr }
+
+// SetTraceSink streams per-operation JSONL events to w as the
+// simulation runs; nil disables streaming.
+func (f *Framework) SetTraceSink(w io.Writer) { f.tr.SetSink(w) }
 
 // Node returns the node with the given ID.
 func (f *Framework) Node(id int) *cluster.Node { return f.Cluster.Node(id) }

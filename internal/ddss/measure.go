@@ -7,6 +7,7 @@ import (
 	"ngdc/internal/cluster"
 	"ngdc/internal/fabric"
 	"ngdc/internal/sim"
+	"ngdc/internal/trace"
 	"ngdc/internal/verbs"
 )
 
@@ -14,17 +15,24 @@ import (
 // coherence model for a given message size — one Fig 3a data point. The
 // segment lives on a remote home node, as in the paper's measurement.
 func MeasurePutLatency(coh Coherence, msgSize int, seed int64) (time.Duration, error) {
-	return measureOp(coh, msgSize, seed, true)
+	return measureOp(coh, msgSize, seed, true, nil)
+}
+
+// MeasurePutLatencyTraced is MeasurePutLatency publishing the run's
+// counters into r (which may span a sweep of such runs).
+func MeasurePutLatencyTraced(coh Coherence, msgSize int, seed int64, r *trace.Registry) (time.Duration, error) {
+	return measureOp(coh, msgSize, seed, true, r)
 }
 
 // MeasureGetLatency is the get() counterpart of MeasurePutLatency.
 func MeasureGetLatency(coh Coherence, msgSize int, seed int64) (time.Duration, error) {
-	return measureOp(coh, msgSize, seed, false)
+	return measureOp(coh, msgSize, seed, false, nil)
 }
 
-func measureOp(coh Coherence, msgSize int, seed int64, put bool) (time.Duration, error) {
+func measureOp(coh Coherence, msgSize int, seed int64, put bool, r *trace.Registry) (time.Duration, error) {
 	env := sim.NewEnv(seed)
 	defer env.Shutdown()
+	trace.AttachRegistry(env, r)
 	nw := verbs.NewNetwork(env, fabric.DefaultParams())
 	home := cluster.NewNode(env, 0, 2, 1<<30)
 	client := cluster.NewNode(env, 1, 2, 1<<30)

@@ -7,6 +7,7 @@ import (
 	"ngdc/internal/cluster"
 	"ngdc/internal/fabric"
 	"ngdc/internal/sim"
+	"ngdc/internal/trace"
 	"ngdc/internal/verbs"
 )
 
@@ -43,21 +44,32 @@ func (r CascadeResult) MeanGrant() time.Duration {
 // nodes, all against a lock homed on yet another node. It returns the
 // grant-latency profile observed after the holder's release.
 func Cascade(kind Kind, mode Mode, nWaiters int, seed int64) (CascadeResult, error) {
-	return CascadeWith(fabric.DefaultParams(), kind, mode, nWaiters, seed)
+	return cascade(fabric.DefaultParams(), kind, mode, nWaiters, seed, nil)
+}
+
+// CascadeTraced is Cascade publishing the run's counters into r (which
+// may span a sweep of such runs).
+func CascadeTraced(kind Kind, mode Mode, nWaiters int, seed int64, r *trace.Registry) (CascadeResult, error) {
+	return cascade(fabric.DefaultParams(), kind, mode, nWaiters, seed, r)
 }
 
 // CascadeWith is Cascade under an explicit fabric calibration, used to
 // check that the schemes' ordering is interconnect-independent.
 func CascadeWith(params fabric.Params, kind Kind, mode Mode, nWaiters int, seed int64) (CascadeResult, error) {
+	return cascade(params, kind, mode, nWaiters, seed, nil)
+}
+
+func cascade(params fabric.Params, kind Kind, mode Mode, nWaiters int, seed int64, r *trace.Registry) (CascadeResult, error) {
 	env := sim.NewEnv(seed)
 	defer env.Shutdown()
+	trace.AttachRegistry(env, r)
 	nw := verbs.NewNetwork(env, params)
 	// Node 0 homes the lock; node 1 holds it; nodes 2.. are waiters.
 	nodes := make([]*cluster.Node, nWaiters+2)
 	for i := range nodes {
 		nodes[i] = cluster.NewNode(env, i, 2, 1<<30)
 	}
-	m := New(kind, nw, nodes, 1)
+	m := New(nw, nodes, Options{Kind: kind, NumLocks: 1})
 	const lock = 0
 
 	res := CascadeResult{Kind: kind, Mode: mode, NWaiters: nWaiters, GrantLat: make([]time.Duration, nWaiters)}

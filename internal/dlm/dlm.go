@@ -105,10 +105,24 @@ type Client interface {
 	NodeID() int
 }
 
-// New builds a lock manager of the given design over the nodes. Lock l is
-// homed on nodes[l % len(nodes)]. numLocks bounds the lock namespace.
-func New(kind Kind, nw *verbs.Network, nodes []*cluster.Node, numLocks int) *Manager {
-	m := &Manager{Kind: kind, nw: nw, nodes: nodes, locks: numLocks, clients: map[int]Client{}}
+// Options configures a lock manager.
+type Options struct {
+	// Kind selects the design (SRSL, DQNL or the default N-CoSED zero
+	// value is SRSL; set explicitly).
+	Kind Kind
+	// NumLocks bounds the lock namespace (default 64).
+	NumLocks int
+}
+
+// New builds a lock manager over nodes attached to the verbs network,
+// in the framework's canonical (nw, nodes, opts) constructor form. Lock
+// l is homed on nodes[l % len(nodes)].
+func New(nw *verbs.Network, nodes []*cluster.Node, opts Options) *Manager {
+	if opts.NumLocks <= 0 {
+		opts.NumLocks = 64
+	}
+	kind := opts.Kind
+	m := &Manager{Kind: kind, nw: nw, nodes: nodes, locks: opts.NumLocks, clients: map[int]Client{}}
 	switch kind {
 	case SRSL:
 		newSRSL(m)

@@ -21,7 +21,7 @@ func testManager(seed int64, kind Kind, nNodes, nLocks int) (*sim.Env, *Manager,
 	for i := range nodes {
 		nodes[i] = cluster.NewNode(env, i, 2, 1<<30)
 	}
-	m := New(kind, nw, nodes, nLocks)
+	m := New(nw, nodes, Options{Kind: kind, NumLocks: nLocks})
 	return env, m, nodes
 }
 

@@ -35,6 +35,7 @@ import (
 	"ngdc/internal/cluster"
 	"ngdc/internal/fabric"
 	"ngdc/internal/sim"
+	"ngdc/internal/trace"
 	"ngdc/internal/verbs"
 	"ngdc/internal/workload"
 )
@@ -90,7 +91,13 @@ type Config struct {
 	ClientsPerProxy int
 	Warmup, Measure time.Duration
 	Seed            int64
+	// Trace, when non-nil, collects the run's observability counters.
+	Trace *trace.Registry
 }
+
+// Run executes the configured experiment — the uniform experiment entry
+// point every config type in the framework shares.
+func (cfg Config) Run() (Stats, error) { return Run(cfg) }
 
 // DefaultConfig returns a two-tier deployment with a meaningful update
 // rate: popular documents get invalidated while cached.
@@ -182,6 +189,7 @@ func Run(cfg Config) (Stats, error) {
 
 func build(cfg Config) *deployment {
 	env := sim.NewEnv(cfg.Seed)
+	trace.AttachRegistry(env, cfg.Trace)
 	nw := verbs.NewNetwork(env, fabric.DefaultParams())
 	d := &deployment{cfg: cfg, env: env, nw: nw}
 	id := 0

@@ -22,6 +22,7 @@ import (
 	"ngdc/internal/reconfig"
 	"ngdc/internal/sockets"
 	"ngdc/internal/storm"
+	"ngdc/internal/trace"
 )
 
 // Options tunes a run.
@@ -32,12 +33,15 @@ type Options struct {
 	Quick bool
 	// Proxies selects the Fig 6 variant (2 → 6a, 8 → 6b).
 	Proxies int
-	// Mode selects the Fig 5 variant ("shared" → 5a, else 5b).
+	// Mode selects the Fig 5 variant ("exclusive" → 5b, else 5a).
 	Mode string
 	// RUBiS selects the auction mix for Fig 8b.
 	RUBiS bool
 	// Measure overrides the virtual measurement window (0 = default).
 	Measure time.Duration
+	// Trace, when non-nil, accumulates every run's observability
+	// counters into one registry (snapshot it after the experiment).
+	Trace *trace.Registry
 }
 
 func (o Options) seed() int64 {
@@ -55,31 +59,48 @@ type Experiment struct {
 	Figure string
 	// Name is the ngdc-bench subcommand.
 	Name string
+	// Flags is the flag suffix selecting this variant, for listings
+	// (e.g. "-mode shared").
+	Flags string
+	// Pin fixes the options that select this catalogue entry's variant
+	// (e.g. Fig 5a pins Mode "shared"); nil means no pinned variant.
+	Pin func(Options) Options
 	// Run produces the rendered table.
 	Run func(Options) (*metrics.Table, error)
 }
 
-// All returns the full catalogue in paper order.
+// Render runs the experiment with its variant pinned.
+func (e Experiment) Render(o Options) (*metrics.Table, error) {
+	if e.Pin != nil {
+		o = e.Pin(o)
+	}
+	return e.Run(o)
+}
+
+// CommandName returns the full subcommand line including pinned flags,
+// for the catalogue listing.
+func (e Experiment) CommandName() string {
+	if e.Flags == "" {
+		return e.Name
+	}
+	return e.Name + " " + e.Flags
+}
+
+// All returns the full catalogue in paper order. Subcommand names repeat
+// where one command covers several figure variants; Find resolves a name
+// to its first (canonical) entry.
 func All() []Experiment {
 	return []Experiment{
 		{ID: "E1", Figure: "Fig 3a", Name: "ddss-latency", Run: DDSSLatency},
 		{ID: "E2", Figure: "Fig 3b", Name: "storm", Run: Storm},
-		{ID: "E3", Figure: "Fig 5a", Name: "lock-cascade -mode shared", Run: func(o Options) (*metrics.Table, error) {
-			o.Mode = "shared"
-			return LockCascade(o)
-		}},
-		{ID: "E4", Figure: "Fig 5b", Name: "lock-cascade -mode exclusive", Run: func(o Options) (*metrics.Table, error) {
-			o.Mode = "exclusive"
-			return LockCascade(o)
-		}},
-		{ID: "E5", Figure: "Fig 6a", Name: "coopcache -proxies 2", Run: func(o Options) (*metrics.Table, error) {
-			o.Proxies = 2
-			return CoopCache(o)
-		}},
-		{ID: "E6", Figure: "Fig 6b", Name: "coopcache -proxies 8", Run: func(o Options) (*metrics.Table, error) {
-			o.Proxies = 8
-			return CoopCache(o)
-		}},
+		{ID: "E3", Figure: "Fig 5a", Name: "lock-cascade", Flags: "-mode shared",
+			Pin: func(o Options) Options { o.Mode = "shared"; return o }, Run: LockCascade},
+		{ID: "E4", Figure: "Fig 5b", Name: "lock-cascade", Flags: "-mode exclusive",
+			Pin: func(o Options) Options { o.Mode = "exclusive"; return o }, Run: LockCascade},
+		{ID: "E5", Figure: "Fig 6a", Name: "coopcache", Flags: "-proxies 2",
+			Pin: func(o Options) Options { o.Proxies = 2; return o }, Run: CoopCache},
+		{ID: "E6", Figure: "Fig 6b", Name: "coopcache", Flags: "-proxies 8",
+			Pin: func(o Options) Options { o.Proxies = 8; return o }, Run: CoopCache},
 		{ID: "E7", Figure: "Fig 8a", Name: "monitor-accuracy", Run: MonitorAccuracy},
 		{ID: "E8", Figure: "Fig 8b", Name: "monitor-throughput", Run: MonitorThroughput},
 		{ID: "E9", Figure: "§6 flow control", Name: "flowcontrol", Run: FlowControl},
@@ -90,6 +111,19 @@ func All() []Experiment {
 		{ID: "E14", Figure: "multicast", Name: "multicast", Run: Multicast},
 		{ID: "E16", Figure: "§6 integrated", Name: "integrated", Run: Integrated},
 	}
+}
+
+// Find resolves a subcommand name to its catalogue entry. Variant flags
+// stay under the caller's control: the resolved experiment is run
+// without pinning, so -mode/-proxies flags apply.
+func Find(name string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.Name == name {
+			e.Pin = nil
+			return e, true
+		}
+	}
+	return Experiment{}, false
 }
 
 // DDSSLatency regenerates Fig 3a.
@@ -106,7 +140,7 @@ func DDSSLatency(o Options) (*metrics.Table, error) {
 	for _, sz := range sizes {
 		row := []any{sz}
 		for _, m := range ddss.Models {
-			lat, err := ddss.MeasurePutLatency(m, sz, o.seed())
+			lat, err := ddss.MeasurePutLatencyTraced(m, sz, o.seed(), o.Trace)
 			if err != nil {
 				return nil, err
 			}
@@ -126,7 +160,7 @@ func Storm(o Options) (*metrics.Table, error) {
 	tb := metrics.NewTable("Fig 3b — STORM query execution time (ms)",
 		"records", "STORM", "STORM-DDSS", "improvement%")
 	for _, rec := range records {
-		tcp, dd, err := storm.Compare(rec, 4, storm.Selector{Modulo: 3}, o.seed())
+		tcp, dd, err := storm.CompareTraced(rec, 4, storm.Selector{Modulo: 3}, o.seed(), o.Trace)
 		if err != nil {
 			return nil, err
 		}
@@ -155,7 +189,7 @@ func LockCascade(o Options) (*metrics.Table, error) {
 	for _, n := range waiters {
 		var vals []time.Duration
 		for _, kind := range []dlm.Kind{dlm.SRSL, dlm.DQNL, dlm.NCoSED} {
-			r, err := dlm.Cascade(kind, mode, n, o.seed())
+			r, err := dlm.CascadeTraced(kind, mode, n, o.seed(), o.Trace)
 			if err != nil {
 				return nil, err
 			}
@@ -196,13 +230,14 @@ func CoopCache(o Options) (*metrics.Table, error) {
 		for _, scheme := range coopcache.Schemes {
 			cfg := coopcache.DefaultConfig(scheme, proxies, fsz)
 			cfg.Seed = o.seed()
+			cfg.Trace = o.Trace
 			if o.Measure > 0 {
 				cfg.Measure = o.Measure
 			} else if o.Quick {
 				cfg.Measure = 400 * time.Millisecond
 				cfg.Warmup = 150 * time.Millisecond
 			}
-			st, err := coopcache.Run(cfg)
+			st, err := cfg.Run()
 			if err != nil {
 				return nil, err
 			}
@@ -220,10 +255,11 @@ func MonitorAccuracy(o Options) (*metrics.Table, error) {
 	for _, sc := range monitor.Schemes {
 		cfg := monitor.DefaultAccuracyConfig(sc)
 		cfg.Seed = o.seed()
+		cfg.Trace = o.Trace
 		if o.Quick {
 			cfg.Duration = 600 * time.Millisecond
 		}
-		res, err := monitor.Accuracy(cfg)
+		res, err := cfg.Run()
 		if err != nil {
 			return nil, err
 		}
@@ -275,8 +311,9 @@ func improvementQuick(alpha float64, o Options) (map[monitor.Scheme]float64, map
 		cfg := monitor.DefaultLBConfig(sc, alpha)
 		cfg.RUBiS = o.RUBiS
 		cfg.Seed = o.seed()
+		cfg.Trace = o.Trace
 		cfg.Measure = 500 * time.Millisecond
-		s, err := monitor.RunLB(cfg)
+		s, err := cfg.Run()
 		if err != nil {
 			return nil, nil, err
 		}
@@ -301,11 +338,11 @@ func FlowControl(o Options) (*metrics.Table, error) {
 	tb := metrics.NewTable("§6 — credit-based vs packetized flow control (MB/s)",
 		"msg size", "BSDP (credit)", "P-SDP (packetized)", "speedup x")
 	for _, sz := range sizes {
-		bsdp, err := sockets.Bandwidth(sockets.BSDP, sz, msgs, sockets.DefaultOptions(), o.seed())
+		bsdp, err := sockets.BandwidthTraced(sockets.BSDP, sz, msgs, sockets.DefaultOptions(), o.seed(), o.Trace)
 		if err != nil {
 			return nil, err
 		}
-		psdp, err := sockets.Bandwidth(sockets.PSDP, sz, msgs, sockets.DefaultOptions(), o.seed())
+		psdp, err := sockets.BandwidthTraced(sockets.PSDP, sz, msgs, sockets.DefaultOptions(), o.seed(), o.Trace)
 		if err != nil {
 			return nil, err
 		}
@@ -331,7 +368,7 @@ func SDP(o Options) (*metrics.Table, error) {
 	for _, sz := range sizes {
 		row := []any{fmt.Sprintf("%dk", sz>>10)}
 		for _, sc := range schemes {
-			bw, err := sockets.Bandwidth(sc, sz, msgs, sockets.DefaultOptions(), o.seed())
+			bw, err := sockets.BandwidthTraced(sc, sz, msgs, sockets.DefaultOptions(), o.seed(), o.Trace)
 			if err != nil {
 				return nil, err
 			}
@@ -349,10 +386,11 @@ func Reconfig(o Options) (*metrics.Table, error) {
 	for _, p := range []reconfig.Policy{reconfig.Naive, reconfig.HistoryAware} {
 		cfg := reconfig.DefaultConfig(p)
 		cfg.Seed = o.seed()
+		cfg.Trace = o.Trace
 		if o.Quick {
 			cfg.Measure = time.Second
 		}
-		res, err := reconfig.Run(cfg)
+		res, err := cfg.Run()
 		if err != nil {
 			return nil, err
 		}
@@ -368,10 +406,11 @@ func DynCache(o Options) (*metrics.Table, error) {
 	for _, sc := range dyncache.Schemes {
 		cfg := dyncache.DefaultConfig(sc)
 		cfg.Seed = o.seed()
+		cfg.Trace = o.Trace
 		if o.Quick {
 			cfg.Measure = 500 * time.Millisecond
 		}
-		st, err := dyncache.Run(cfg)
+		st, err := cfg.Run()
 		if err != nil {
 			return nil, err
 		}
@@ -391,10 +430,11 @@ func QoS(o Options) (*metrics.Table, error) {
 	for _, p := range []qos.Policy{qos.NoControl, qos.PriorityAdmission} {
 		cfg := qos.DefaultConfig(p)
 		cfg.Seed = o.seed()
+		cfg.Trace = o.Trace
 		if o.Quick {
 			cfg.Measure = 700 * time.Millisecond
 		}
-		st, err := qos.Run(cfg)
+		st, err := cfg.Run()
 		if err != nil {
 			return nil, err
 		}
@@ -413,11 +453,11 @@ func Multicast(o Options) (*metrics.Table, error) {
 	tb := metrics.NewTable("framework — multicast dissemination latency (µs, to last member)",
 		"group size", "serial", "binomial", "speedup x")
 	for _, n := range sizes {
-		serial, err := multicast.MeasureLatency(multicast.Serial, n, 4096, o.seed())
+		serial, err := multicast.MeasureLatencyTraced(multicast.Serial, n, 4096, o.seed(), o.Trace)
 		if err != nil {
 			return nil, err
 		}
-		binom, err := multicast.MeasureLatency(multicast.Binomial, n, 4096, o.seed())
+		binom, err := multicast.MeasureLatencyTraced(multicast.Binomial, n, 4096, o.seed(), o.Trace)
 		if err != nil {
 			return nil, err
 		}
@@ -436,10 +476,11 @@ func Integrated(o Options) (*metrics.Table, error) {
 	for _, st := range []integrated.Stack{integrated.Traditional, integrated.RDMAStack} {
 		cfg := integrated.DefaultConfig(st)
 		cfg.Seed = o.seed()
+		cfg.Trace = o.Trace
 		if o.Quick {
 			cfg.Measure = time.Second
 		}
-		res, err := integrated.Run(cfg)
+		res, err := cfg.Run()
 		if err != nil {
 			return nil, err
 		}

@@ -18,6 +18,7 @@ import (
 
 	"ngdc/internal/cluster"
 	"ngdc/internal/sim"
+	"ngdc/internal/trace"
 )
 
 // Params holds the fabric cost model.
@@ -133,17 +134,32 @@ func (p Params) BackendTime(n int) time.Duration {
 type NIC struct {
 	Node *cluster.Node
 	tx   *sim.Resource
+	ts   *trace.NICStats // nil unless a trace registry is attached
 }
 
 // AcquireTx occupies the transmit engine for the serialization time of a
 // transfer, then releases it. It returns after the last byte is on the
 // wire.
 func (n *NIC) AcquireTx(p *sim.Proc, ser time.Duration) {
-	n.tx.Use(p, 1, ser)
+	if n.ts == nil {
+		n.tx.Use(p, 1, ser)
+		return
+	}
+	env := n.Node.Env()
+	start := env.Now()
+	n.tx.Acquire(p, 1)
+	n.ts.RecordTx(ser, time.Duration(env.Now()-start))
+	p.Sleep(ser)
+	n.tx.Release(1)
 }
 
 // Tx exposes the transmit resource for instrumentation.
 func (n *NIC) Tx() *sim.Resource { return n.tx }
+
+// Trace returns the NIC's trace counters, or nil when untraced. Callers
+// that drive the transmit resource directly (the RDMA-read response
+// path) use it to keep occupancy accounting complete.
+func (n *NIC) Trace() *trace.NICStats { return n.ts }
 
 // Fabric is the interconnect: cost parameters plus the NIC registry.
 type Fabric struct {
@@ -167,6 +183,9 @@ func (f *Fabric) Attach(node *cluster.Node) *NIC {
 	nic := &NIC{
 		Node: node,
 		tx:   sim.NewResource(f.Env, fmt.Sprintf("%s/nic-tx", node.Name), 1),
+	}
+	if r := trace.Of(f.Env); r != nil {
+		nic.ts = r.NIC(node.ID)
 	}
 	f.nics[node.ID] = nic
 	return nic

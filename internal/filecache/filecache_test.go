@@ -23,7 +23,7 @@ func rig(t testing.TB, mode Mode) (*sim.Env, *Cache) {
 	var agg *gma.Aggregator
 	if mode == RemoteMemory {
 		var err error
-		agg, err = gma.New(nw, nodes, 16<<20)
+		agg, err = gma.New(nw, nodes, gma.Options{ArenaPerNode: 16 << 20})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -56,10 +56,21 @@ type Aggregator struct {
 	order  []int          // deterministic iteration order
 }
 
-// New pools arenaPerNode bytes from each node. The arenas are registered
+// Options configures an aggregator.
+type Options struct {
+	// ArenaPerNode is each node's contribution in bytes (default 16 MiB).
+	ArenaPerNode int64
+}
+
+// New pools opts.ArenaPerNode bytes from each node, in the framework's
+// canonical (nw, nodes, opts) constructor form. The arenas are registered
 // at setup (no virtual time is charged); node memory accounting reflects
 // the contribution.
-func New(nw *verbs.Network, nodes []*cluster.Node, arenaPerNode int64) (*Aggregator, error) {
+func New(nw *verbs.Network, nodes []*cluster.Node, opts Options) (*Aggregator, error) {
+	arenaPerNode := opts.ArenaPerNode
+	if arenaPerNode <= 0 {
+		arenaPerNode = 16 << 20
+	}
 	a := &Aggregator{nw: nw, arenas: map[int]*arena{}}
 	for _, n := range nodes {
 		dev := nw.Attach(n)

@@ -20,7 +20,7 @@ func pool(t testing.TB, seed int64, nodes int, arena int64) (*sim.Env, *Aggregat
 	for i := 0; i < nodes; i++ {
 		ns = append(ns, cluster.NewNode(env, i, 2, arena*4))
 	}
-	a, err := New(nw, ns, arena)
+	a, err := New(nw, ns, Options{ArenaPerNode: arena})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,6 +28,7 @@ import (
 	"ngdc/internal/metrics"
 	"ngdc/internal/monitor"
 	"ngdc/internal/sim"
+	"ngdc/internal/trace"
 	"ngdc/internal/verbs"
 	"ngdc/internal/workload"
 )
@@ -67,7 +68,13 @@ type Config struct {
 	ZipfAlpha       float64
 	Warmup, Measure time.Duration
 	Seed            int64
+	// Trace, when non-nil, collects the run's observability counters.
+	Trace *trace.Registry
 }
+
+// Run executes the configured experiment — the uniform experiment entry
+// point every config type in the framework shares.
+func (cfg Config) Run() (Stats, error) { return Run(cfg) }
 
 // DefaultConfig returns the integrated-evaluation shape: working sets
 // that do not fit one proxy, and load that swaps between the services.
@@ -108,6 +115,7 @@ func docKey(service, doc int) int { return service*1_000_000 + doc }
 // Run executes one integrated experiment.
 func Run(cfg Config) (Stats, error) {
 	env := sim.NewEnv(cfg.Seed)
+	trace.AttachRegistry(env, cfg.Trace)
 	defer env.Shutdown()
 	nw := verbs.NewNetwork(env, fabric.DefaultParams())
 	pp := nw.Params()

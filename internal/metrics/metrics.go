@@ -68,6 +68,23 @@ func (s *Summary) Stddev() float64 {
 // Sum returns the sum of all observations.
 func (s *Summary) Sum() float64 { return s.sum }
 
+// Merge folds another summary into s, as if every observation of o had
+// been Added to s directly.
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 || o.min < s.min {
+		s.min = o.min
+	}
+	if s.n == 0 || o.max > s.max {
+		s.max = o.max
+	}
+	s.n += o.n
+	s.sum += o.sum
+	s.sumSq += o.sumSq
+}
+
 // Sample retains every observation, enabling percentiles.
 type Sample struct {
 	vals   []float64

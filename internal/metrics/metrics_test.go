@@ -33,6 +33,50 @@ func TestSummaryAddDuration(t *testing.T) {
 	}
 }
 
+func TestSummaryMerge(t *testing.T) {
+	var a, b, all Summary
+	for _, v := range []float64{1, 5, 9} {
+		a.Add(v)
+		all.Add(v)
+	}
+	for _, v := range []float64{-3, 4} {
+		b.Add(v)
+		all.Add(v)
+	}
+	a.Merge(b)
+	if a.N() != all.N() || a.Sum() != all.Sum() || a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatalf("merge: n=%d sum=%v min=%v max=%v", a.N(), a.Sum(), a.Min(), a.Max())
+	}
+	if math.Abs(a.Stddev()-all.Stddev()) > 1e-9 {
+		t.Fatalf("merged stddev = %v, want %v", a.Stddev(), all.Stddev())
+	}
+}
+
+func TestSummaryMergeEmpty(t *testing.T) {
+	var s Summary
+	s.Add(7)
+	before := s
+	s.Merge(Summary{}) // merging empty must not disturb min/max
+	if s != before {
+		t.Fatalf("merge with empty changed summary: %+v -> %+v", before, s)
+	}
+	var empty Summary
+	empty.Merge(before) // merging into empty adopts the other's bounds
+	if empty.Min() != 7 || empty.Max() != 7 || empty.N() != 1 {
+		t.Fatalf("empty.Merge: %+v", empty)
+	}
+}
+
+func TestSummaryNegativeBounds(t *testing.T) {
+	// A summary of all-negative observations must not report min/max 0.
+	var s Summary
+	s.Add(-4)
+	s.Add(-2)
+	if s.Min() != -4 || s.Max() != -2 {
+		t.Fatalf("min=%v max=%v", s.Min(), s.Max())
+	}
+}
+
 func TestSamplePercentiles(t *testing.T) {
 	var s Sample
 	for i := 1; i <= 100; i++ {

@@ -6,6 +6,7 @@ import (
 	"ngdc/internal/cluster"
 	"ngdc/internal/fabric"
 	"ngdc/internal/sim"
+	"ngdc/internal/trace"
 	"ngdc/internal/verbs"
 )
 
@@ -25,7 +26,13 @@ type AccuracyConfig struct {
 	// socket-based daemons).
 	LoadWorkers int
 	Seed        int64
+	// Trace, when non-nil, collects the run's observability counters.
+	Trace *trace.Registry
 }
+
+// Run executes the configured experiment — the uniform experiment entry
+// point every config type in the framework shares.
+func (cfg AccuracyConfig) Run() (AccuracyResult, error) { return Accuracy(cfg) }
 
 // DefaultAccuracyConfig mirrors the paper's setup: a heavily loaded
 // back-end and millisecond-granularity monitoring.
@@ -89,6 +96,7 @@ func (r AccuracyResult) MaxAbsDeviation() int {
 // Accuracy runs the Fig 8a experiment for one scheme.
 func Accuracy(cfg AccuracyConfig) (AccuracyResult, error) {
 	env := sim.NewEnv(cfg.Seed)
+	trace.AttachRegistry(env, cfg.Trace)
 	defer env.Shutdown()
 	nw := verbs.NewNetwork(env, fabric.DefaultParams())
 	front := cluster.NewNode(env, 0, 2, 1<<30)

@@ -8,6 +8,7 @@ import (
 	"ngdc/internal/cluster"
 	"ngdc/internal/fabric"
 	"ngdc/internal/sim"
+	"ngdc/internal/trace"
 	"ngdc/internal/verbs"
 	"ngdc/internal/workload"
 )
@@ -29,7 +30,13 @@ type LBConfig struct {
 	RUBiS           bool
 	Warmup, Measure time.Duration
 	Seed            int64
+	// Trace, when non-nil, collects the run's observability counters.
+	Trace *trace.Registry
 }
+
+// Run executes the configured experiment — the uniform experiment entry
+// point every config type in the framework shares.
+func (cfg LBConfig) Run() (LBStats, error) { return RunLB(cfg) }
 
 // DefaultLBConfig mirrors the paper's two-service hosting setup.
 func DefaultLBConfig(scheme Scheme, alpha float64) LBConfig {
@@ -77,6 +84,7 @@ func docCost(doc int) time.Duration {
 // RunLB runs the Fig 8b experiment for one scheme.
 func RunLB(cfg LBConfig) (LBStats, error) {
 	env := sim.NewEnv(cfg.Seed)
+	trace.AttachRegistry(env, cfg.Trace)
 	defer env.Shutdown()
 	nw := verbs.NewNetwork(env, fabric.DefaultParams())
 	front := cluster.NewNode(env, 0, 4, 1<<30)

@@ -24,6 +24,7 @@ import (
 	"ngdc/internal/cluster"
 	"ngdc/internal/fabric"
 	"ngdc/internal/sim"
+	"ngdc/internal/trace"
 	"ngdc/internal/verbs"
 )
 
@@ -60,15 +61,27 @@ type Group struct {
 // header: rank(4) | seq(4); payload follows.
 const hdrSize = 8
 
+// Options configures a multicast group.
+type Options struct {
+	// Name labels the group's verbs service (default "group").
+	Name string
+	// Strategy selects the distribution tree (Serial or Binomial).
+	Strategy Strategy
+}
+
 // NewGroup builds a group over the member nodes (rank order as given)
-// and starts the relay agents.
-func NewGroup(name string, nw *verbs.Network, strategy Strategy, members []*cluster.Node) *Group {
+// and starts the relay agents, in the framework's canonical
+// (nw, nodes, opts) constructor form.
+func NewGroup(nw *verbs.Network, members []*cluster.Node, opts Options) *Group {
 	if len(members) == 0 {
 		panic("multicast: empty group")
 	}
+	if opts.Name == "" {
+		opts.Name = "group"
+	}
 	g := &Group{
-		name:     name,
-		strategy: strategy,
+		name:     opts.Name,
+		strategy: opts.Strategy,
 		env:      members[0].Env(),
 		rankOf:   map[int]int{},
 	}
@@ -76,11 +89,11 @@ func NewGroup(name string, nw *verbs.Network, strategy Strategy, members []*clus
 		dev := nw.Attach(n)
 		g.devs = append(g.devs, dev)
 		g.rankOf[n.ID] = rank
-		g.subs = append(g.subs, sim.NewChan[[]byte](g.env, fmt.Sprintf("mcast/%s/%d", name, rank), 1024))
+		g.subs = append(g.subs, sim.NewChan[[]byte](g.env, fmt.Sprintf("mcast/%s/%d", g.name, rank), 1024))
 	}
 	for rank := range g.devs {
 		rank := rank
-		g.env.GoDaemon(fmt.Sprintf("mcast/%s/agent%d", name, rank), func(p *sim.Proc) {
+		g.env.GoDaemon(fmt.Sprintf("mcast/%s/agent%d", g.name, rank), func(p *sim.Proc) {
 			g.agent(p, rank)
 		})
 	}
@@ -192,14 +205,21 @@ func (g *Group) Send(p *sim.Proc, payload []byte) {
 // the time from Send until the last member delivered, for a group of n
 // nodes — the primitive's figure of merit.
 func MeasureLatency(strategy Strategy, n int, payload int, seed int64) (time.Duration, error) {
+	return MeasureLatencyTraced(strategy, n, payload, seed, nil)
+}
+
+// MeasureLatencyTraced is MeasureLatency publishing the run's counters
+// into r (which may span a sweep of such runs).
+func MeasureLatencyTraced(strategy Strategy, n int, payload int, seed int64, r *trace.Registry) (time.Duration, error) {
 	env := sim.NewEnv(seed)
 	defer env.Shutdown()
+	trace.AttachRegistry(env, r)
 	nw := verbs.NewNetwork(env, fabric.DefaultParams())
 	var nodes []*cluster.Node
 	for i := 0; i < n; i++ {
 		nodes = append(nodes, cluster.NewNode(env, i, 2, 1<<20))
 	}
-	g := NewGroup("bench", nw, strategy, nodes)
+	g := NewGroup(nw, nodes, Options{Name: "bench", Strategy: strategy})
 	var last sim.Time
 	done := sim.NewWaitGroup(env, "deliveries")
 	done.Add(n)

@@ -20,7 +20,7 @@ func group(t testing.TB, strategy Strategy, n int) (*sim.Env, *Group, []*cluster
 	for i := 0; i < n; i++ {
 		nodes = append(nodes, cluster.NewNode(env, i, 2, 1<<20))
 	}
-	return env, NewGroup("g", nw, strategy, nodes), nodes
+	return env, NewGroup(nw, nodes, Options{Name: "g", Strategy: strategy}), nodes
 }
 
 func TestEveryMemberDeliversExactlyOnce(t *testing.T) {

@@ -26,6 +26,7 @@ import (
 	"ngdc/internal/metrics"
 	"ngdc/internal/monitor"
 	"ngdc/internal/sim"
+	"ngdc/internal/trace"
 	"ngdc/internal/verbs"
 )
 
@@ -77,7 +78,13 @@ type Config struct {
 	Backoff         time.Duration
 	Warmup, Measure time.Duration
 	Seed            int64
+	// Trace, when non-nil, collects the run's observability counters.
+	Trace *trace.Registry
 }
+
+// Run executes the configured experiment — the uniform experiment entry
+// point every config type in the framework shares.
+func (cfg Config) Run() (Stats, error) { return Run(cfg) }
 
 // DefaultConfig returns a 2× overloaded two-class deployment.
 func DefaultConfig(policy Policy) Config {
@@ -115,6 +122,7 @@ type Stats struct {
 // Run executes one experiment.
 func Run(cfg Config) (Stats, error) {
 	env := sim.NewEnv(cfg.Seed)
+	trace.AttachRegistry(env, cfg.Trace)
 	defer env.Shutdown()
 	nw := verbs.NewNetwork(env, fabric.DefaultParams())
 	front := cluster.NewNode(env, 0, 4, 1<<30)

@@ -24,6 +24,7 @@ import (
 	"ngdc/internal/cluster"
 	"ngdc/internal/fabric"
 	"ngdc/internal/sim"
+	"ngdc/internal/trace"
 	"ngdc/internal/verbs"
 )
 
@@ -58,7 +59,13 @@ type Config struct {
 	Agents          int
 	Warmup, Measure time.Duration
 	Seed            int64
+	// Trace, when non-nil, collects the run's observability counters.
+	Trace *trace.Registry
 }
+
+// Run executes the configured experiment — the uniform experiment entry
+// point every config type in the framework shares.
+func (cfg Config) Run() (Result, error) { return Run(cfg) }
 
 // DefaultConfig returns the E11 ablation shape.
 func DefaultConfig(policy Policy) Config {
@@ -103,6 +110,7 @@ const (
 // Run executes the experiment.
 func Run(cfg Config) (Result, error) {
 	env := sim.NewEnv(cfg.Seed)
+	trace.AttachRegistry(env, cfg.Trace)
 	defer env.Shutdown()
 	nw := verbs.NewNetwork(env, fabric.DefaultParams())
 	front := cluster.NewNode(env, 0, 2, 1<<30)

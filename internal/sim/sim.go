@@ -104,7 +104,16 @@ type Env struct {
 	procsSpawned    uint64
 	maxEventQueue   int
 	tracer          func(TraceEvent)
+	meter           any
 }
+
+// SetMeter binds an opaque observability registry to the environment.
+// The engine never inspects it; layers built over the environment look
+// it up (see internal/trace) and cache the counters they publish into.
+func (e *Env) SetMeter(m any) { e.meter = m }
+
+// Meter returns the registry bound with SetMeter, or nil.
+func (e *Env) Meter() any { return e.meter }
 
 // NewEnv returns a fresh environment whose PRNG is seeded with seed.
 func NewEnv(seed int64) *Env {

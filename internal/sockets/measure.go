@@ -7,6 +7,7 @@ import (
 	"ngdc/internal/cluster"
 	"ngdc/internal/fabric"
 	"ngdc/internal/sim"
+	"ngdc/internal/trace"
 	"ngdc/internal/verbs"
 )
 
@@ -14,13 +15,24 @@ import (
 // virtual time: a sender streams msgs messages of msgSize to a tight
 // receiver over a fresh two-node network.
 func Bandwidth(scheme Scheme, msgSize, msgs int, opt Options, seed int64) (float64, error) {
-	return BandwidthWith(fabric.DefaultParams(), scheme, msgSize, msgs, opt, seed)
+	return measureBandwidth(fabric.DefaultParams(), scheme, msgSize, msgs, opt, seed, nil)
+}
+
+// BandwidthTraced is Bandwidth publishing the run's counters into r
+// (which may span a sweep of such runs).
+func BandwidthTraced(scheme Scheme, msgSize, msgs int, opt Options, seed int64, r *trace.Registry) (float64, error) {
+	return measureBandwidth(fabric.DefaultParams(), scheme, msgSize, msgs, opt, seed, r)
 }
 
 // BandwidthWith is Bandwidth under an explicit fabric calibration.
 func BandwidthWith(params fabric.Params, scheme Scheme, msgSize, msgs int, opt Options, seed int64) (float64, error) {
+	return measureBandwidth(params, scheme, msgSize, msgs, opt, seed, nil)
+}
+
+func measureBandwidth(params fabric.Params, scheme Scheme, msgSize, msgs int, opt Options, seed int64, r *trace.Registry) (float64, error) {
 	env := sim.NewEnv(seed)
 	defer env.Shutdown()
+	trace.AttachRegistry(env, r)
 	nw := verbs.NewNetwork(env, params)
 	a := nw.Attach(cluster.NewNode(env, 0, 4, 1<<30))
 	b := nw.Attach(cluster.NewNode(env, 1, 4, 1<<30))

@@ -2,6 +2,7 @@ package sockets
 
 import (
 	"ngdc/internal/sim"
+	"ngdc/internal/trace"
 )
 
 // cloneBytes copies payload so callers may reuse their buffers the moment
@@ -18,6 +19,10 @@ func (h *half) sendTCP(p *sim.Proc, data []byte) error {
 	params := h.src.Params()
 	h.src.Node.Exec(p, params.TCPCPUTime(len(data)))
 	h.src.NIC().AcquireTx(p, params.TCPTxTime(len(data)))
+	if h.tr != nil {
+		h.tr.RecordOp(trace.OpTCP, params.TCPTxTime(len(data))+params.TCPLatency,
+			params.TCPCPUTime(len(data)))
+	}
 	wm := wireMsg{data: cloneBytes(data), last: true}
 	h.src.Env().After(params.TCPLatency, func() { h.q.PostSend(wm) })
 	return nil
@@ -36,9 +41,19 @@ func (h *half) sendBSDP(p *sim.Proc, data []byte) error {
 			last = true
 		}
 		chunk := cloneBytes(data[off:end])
-		h.credits.Acquire(p, 1)
+		if h.ts != nil {
+			start := h.src.Env().Now()
+			h.credits.Acquire(p, 1)
+			h.recordStall(trace.StallCredits, start)
+			h.tr.RecordOp(trace.OpCopy, 0, params.SDPPerChunkCPU+params.CopyTime(len(chunk)))
+		} else {
+			h.credits.Acquire(p, 1)
+		}
 		p.Sleep(params.SDPPerChunkCPU + params.CopyTime(len(chunk))) // copy into the bounce buffer
 		h.src.NIC().AcquireTx(p, params.IBMsgTxTime(len(chunk)))
+		if h.tr != nil {
+			h.tr.RecordOp(trace.OpSend, params.IBMsgTxTime(len(chunk))+params.IBSendLatency, 0)
+		}
 		wm := wireMsg{data: chunk, last: last, credit: 1}
 		env.After(params.IBSendLatency, func() { h.q.PostSend(wm) })
 		if last {
@@ -62,7 +77,14 @@ func (h *half) sendPSDP(p *sim.Proc, data []byte) error {
 			end = len(data)
 		}
 		chunk := cloneBytes(data[off:end])
-		h.pool.Acquire(p, len(chunk))
+		if h.ts != nil {
+			start := h.src.Env().Now()
+			h.pool.Acquire(p, len(chunk))
+			h.recordStall(trace.StallPool, start)
+			h.tr.RecordOp(trace.OpCopy, 0, params.SDPPerChunkCPU+params.CopyTime(len(chunk)))
+		} else {
+			h.pool.Acquire(p, len(chunk))
+		}
 		p.Sleep(params.SDPPerChunkCPU + params.CopyTime(len(chunk))) // copy into the staging pool
 		h.staged.Send(p, wireMsg{data: chunk, last: end == len(data), pool: len(chunk)})
 	}
@@ -89,8 +111,17 @@ func (h *half) psdpPump(p *sim.Proc) {
 			frame = append(frame, next)
 			bytes += len(next.data)
 		}
-		h.credits.Acquire(p, 1)
+		if h.ts != nil {
+			start := h.src.Env().Now()
+			h.credits.Acquire(p, 1)
+			h.recordStall(trace.StallCredits, start)
+		} else {
+			h.credits.Acquire(p, 1)
+		}
 		h.src.NIC().AcquireTx(p, params.IBMsgTxTime(bytes))
+		if h.tr != nil {
+			h.tr.RecordOp(trace.OpSend, params.IBMsgTxTime(bytes)+params.IBSendLatency, 0)
+		}
 		// The frame's credit rides on its final chunk; pool bytes return
 		// per chunk as the application copies each one out.
 		frame[len(frame)-1].credit = 1
@@ -120,7 +151,13 @@ func (h *half) sendZSDP(p *sim.Proc, data []byte) error {
 // sequence numbers.
 func (h *half) sendAZSDP(p *sim.Proc, data []byte) error {
 	p.Sleep(h.opt.MProtect)
-	h.window.Acquire(p, 1)
+	if h.ts != nil {
+		start := h.src.Env().Now()
+		h.window.Acquire(p, 1)
+		h.recordStall(trace.StallWindow, start)
+	} else {
+		h.window.Acquire(p, 1)
+	}
 	seq := h.sendSeq
 	h.sendSeq++
 	buf := cloneBytes(data)
@@ -177,6 +214,9 @@ func (h *half) writePayload(p *sim.Proc, data []byte) {
 	params := h.src.Params()
 	h.src.NIC().AcquireTx(p, params.IBMsgTxTime(len(data)))
 	p.Sleep(params.IBWriteLatency)
+	if h.tr != nil {
+		h.tr.RecordOp(trace.OpRDMAWrite, params.IBMsgTxTime(len(data))+params.IBWriteLatency, 0)
+	}
 }
 
 // deliverOrdered releases messages to the receive queue in sequence

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"ngdc/internal/sim"
+	"ngdc/internal/trace"
 	"ngdc/internal/verbs"
 )
 
@@ -136,6 +137,23 @@ type half struct {
 	// Counters.
 	BytesSent int64
 	MsgsSent  int64
+
+	// tr/ts publish into the env's trace registry; nil when untraced.
+	tr *trace.Registry
+	ts *trace.SchemeStats
+}
+
+// recordStall accounts one flow-control wait (credit, pool or window)
+// that lasted from start until now.
+func (h *half) recordStall(kind trace.StallKind, start sim.Time) {
+	wait := time.Duration(h.src.Env().Now() - start)
+	if wait <= 0 {
+		return
+	}
+	st := &h.ts.Stalls[kind]
+	st.Count++
+	st.Wait += wait
+	h.tr.Emit("sockets", h.scheme.String()+"-stall-"+kind.String(), h.src.Node.ID, 0, wait)
 }
 
 type rendezvous struct {
@@ -164,6 +182,10 @@ func newHalf(scheme Scheme, src, dst *verbs.Device, opt Options) *half {
 		dst:    dst,
 		q:      sim.NewChan[wireMsg](env, name+"/rq", 1<<20),
 	}
+	if r := trace.Of(env); r != nil {
+		h.tr = r
+		h.ts = r.Scheme(scheme.String())
+	}
 	switch scheme {
 	case BSDP:
 		h.credits = sim.NewResource(env, name+"/credits", opt.Credits)
@@ -191,6 +213,17 @@ func (c *Conn) Send(p *sim.Proc, data []byte) error {
 	h := c.send
 	h.BytesSent += int64(len(data))
 	h.MsgsSent++
+	if h.ts != nil {
+		h.ts.Msgs++
+		// ZSDP/AZ-SDP move the payload with one-sided RDMA writes and no
+		// host copies; the other schemes pass through bounce buffers or
+		// the host TCP stack.
+		if c.scheme == ZSDP || c.scheme == AZSDP {
+			h.ts.ZeroCopyBytes += int64(len(data))
+		} else {
+			h.ts.BCopyBytes += int64(len(data))
+		}
+	}
 	switch c.scheme {
 	case TCP:
 		return h.sendTCP(p, data)
@@ -237,11 +270,17 @@ func (h *half) copyOut(p *sim.Proc, wm wireMsg) {
 	switch h.scheme {
 	case TCP:
 		h.dst.Node.Exec(p, params.TCPCPUTime(len(wm.data)))
+		if h.tr != nil {
+			h.tr.RecordOp(trace.OpTCP, 0, params.TCPCPUTime(len(wm.data)))
+		}
 	case BSDP, PSDP:
 		// Copy from the bounce buffer to the application buffer, then
 		// return the credit to the sender (one RDMA write of the credit
 		// update later).
 		p.Sleep(params.CopyTime(len(wm.data)))
+		if h.tr != nil {
+			h.tr.RecordOp(trace.OpCopy, 0, params.CopyTime(len(wm.data)))
+		}
 		credit, pool := wm.credit, wm.pool
 		if credit > 0 || pool > 0 {
 			env := h.dst.Env()

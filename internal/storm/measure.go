@@ -6,30 +6,38 @@ import (
 	"ngdc/internal/cluster"
 	"ngdc/internal/fabric"
 	"ngdc/internal/sim"
+	"ngdc/internal/trace"
 	"ngdc/internal/verbs"
 )
 
 // Compare runs the same query on fresh STORM and STORM-DDSS deployments
 // and returns both results — one Fig 3b data point.
 func Compare(records, dataNodes int, sel Selector, seed int64) (tcp, dd Result, err error) {
-	tcp, err = measure(OverTCP, records, dataNodes, sel, seed)
+	return CompareTraced(records, dataNodes, sel, seed, nil)
+}
+
+// CompareTraced is Compare publishing both runs' counters into r (which
+// may span a sweep of such runs).
+func CompareTraced(records, dataNodes int, sel Selector, seed int64, r *trace.Registry) (tcp, dd Result, err error) {
+	tcp, err = measure(OverTCP, records, dataNodes, sel, seed, r)
 	if err != nil {
 		return
 	}
-	dd, err = measure(OverDDSS, records, dataNodes, sel, seed)
+	dd, err = measure(OverDDSS, records, dataNodes, sel, seed, r)
 	return
 }
 
-func measure(tr Transport, records, dataNodes int, sel Selector, seed int64) (Result, error) {
+func measure(tr Transport, records, dataNodes int, sel Selector, seed int64, r *trace.Registry) (Result, error) {
 	env := sim.NewEnv(seed)
 	defer env.Shutdown()
+	trace.AttachRegistry(env, r)
 	nw := verbs.NewNetwork(env, fabric.DefaultParams())
 	client := cluster.NewNode(env, 0, 2, 1<<31)
 	var dns []*cluster.Node
 	for i := 1; i <= dataNodes; i++ {
 		dns = append(dns, cluster.NewNode(env, i, 2, 1<<31))
 	}
-	c := New(tr, nw, client, dns)
+	c := New(nw, dns, Options{Transport: tr, Client: client})
 	var res Result
 	var runErr error
 	env.Go("driver", func(p *sim.Proc) {

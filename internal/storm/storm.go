@@ -87,9 +87,23 @@ type Cluster struct {
 	queries int
 }
 
-// New builds a STORM deployment over an existing verbs network. The
-// client node must be distinct from the data nodes.
-func New(t Transport, nw *verbs.Network, client *cluster.Node, dataNodes []*cluster.Node) *Cluster {
+// Options configures a STORM deployment.
+type Options struct {
+	// Transport selects how query results travel (OverTCP or OverDDSS).
+	Transport Transport
+	// Client is the query-issuing node; it must be distinct from the
+	// data nodes.
+	Client *cluster.Node
+}
+
+// New builds a STORM deployment over an existing verbs network, in the
+// framework's canonical (nw, nodes, opts) constructor form; nodes are
+// the data nodes holding record partitions.
+func New(nw *verbs.Network, dataNodes []*cluster.Node, opts Options) *Cluster {
+	if opts.Client == nil {
+		panic("storm: Options.Client is required")
+	}
+	t, client := opts.Transport, opts.Client
 	c := &Cluster{
 		transport:  t,
 		env:        client.Env(),

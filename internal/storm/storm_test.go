@@ -19,7 +19,7 @@ func deploy(seed int64, t Transport, dataNodes int) (*sim.Env, *Cluster) {
 	for i := 1; i <= dataNodes; i++ {
 		dns = append(dns, cluster.NewNode(env, i, 2, 256<<20))
 	}
-	return env, New(t, nw, client, dns)
+	return env, New(nw, dns, Options{Transport: t, Client: client})
 }
 
 func runQuery(t *testing.T, tr Transport, total int, sel Selector) Result {

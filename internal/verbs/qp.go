@@ -2,8 +2,10 @@ package verbs
 
 import (
 	"fmt"
+	"time"
 
 	"ngdc/internal/sim"
+	"ngdc/internal/trace"
 )
 
 // QP is one endpoint of a connected queue pair: the classic verbs object
@@ -46,9 +48,16 @@ func (q *QP) Send(p *sim.Proc, data []byte) {
 	pp := q.dev.Params()
 	buf := make([]byte, len(data))
 	copy(buf, data)
+	start := q.dev.nw.Env.Now()
 	q.dev.nic.AcquireTx(p, pp.IBMsgTxTime(len(data)))
 	q.Sent++
 	q.dev.Sends++
+	if q.dev.ts != nil {
+		lat := time.Duration(q.dev.nw.Env.Now() - start)
+		q.dev.ts.Send.Record(len(data), lat)
+		q.dev.tr.RecordOp(trace.OpSend, pp.IBSendLatency+pp.IBMsgTxTime(len(data)), 0)
+		q.dev.tr.Emit("verbs", "qp-send", q.dev.Node.ID, len(data), lat)
+	}
 	peer := q.remote
 	q.dev.nw.Env.After(pp.IBSendLatency, func() { peer.rq.PostSend(buf) })
 }

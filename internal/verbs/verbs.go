@@ -15,10 +15,12 @@ package verbs
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 
 	"ngdc/internal/cluster"
 	"ngdc/internal/fabric"
 	"ngdc/internal/sim"
+	"ngdc/internal/trace"
 )
 
 // RemoteAddr names a registered memory region on some node.
@@ -76,6 +78,10 @@ func (nw *Network) Attach(node *cluster.Node) *Device {
 		mrs:   map[uint32]*MR{},
 		recvq: map[string]*sim.Chan[Message]{},
 	}
+	if r := trace.Of(nw.Env); r != nil {
+		d.tr = r
+		d.ts = r.Device(node.ID)
+	}
 	nw.devs[node.ID] = d
 	return d
 }
@@ -95,6 +101,11 @@ type Device struct {
 
 	// Counters for instrumentation and tests.
 	Reads, Writes, Atomics, Sends int64
+
+	// tr/ts publish into the env's trace registry; nil when untraced, so
+	// the fast path is one pointer comparison per operation.
+	tr *trace.Registry
+	ts *trace.DeviceStats
 }
 
 // NIC returns the device's network interface.
@@ -116,7 +127,11 @@ type MR struct {
 // Register registers buf with the HCA and returns its memory region. The
 // calling process pays the registration (pinning) cost.
 func (d *Device) Register(p *sim.Proc, buf []byte) *MR {
-	p.Sleep(d.nw.Fab.P.RegisterTime(len(buf)))
+	cost := d.nw.Fab.P.RegisterTime(len(buf))
+	p.Sleep(cost)
+	if d.tr != nil {
+		d.tr.RecordOp(trace.OpRegister, 0, cost)
+	}
 	return d.registerFree(buf)
 }
 
@@ -172,18 +187,29 @@ func (d *Device) Read(p *sim.Proc, dst []byte, r RemoteAddr, off int) error {
 	}
 	d.Reads++
 	pp := d.nw.Fab.P
+	start := d.nw.Env.Now()
 	// Request propagation to the target.
 	p.Sleep(pp.IBReadLatency / 2)
 	// The target HCA serializes the response data onto the wire; sample
 	// memory at transmit time.
 	target := d.nw.devs[r.Node]
 	ser := pp.IBTxTime(len(dst))
+	txStart := d.nw.Env.Now()
 	target.nic.Tx().Acquire(p, 1)
+	if ns := target.nic.Trace(); ns != nil {
+		ns.RecordTx(ser, time.Duration(d.nw.Env.Now()-txStart))
+	}
 	copy(dst, mr.buf[off:off+len(dst)])
 	p.Sleep(ser)
 	target.nic.Tx().Release(1)
 	// Response propagation back.
 	p.Sleep(pp.IBReadLatency / 2)
+	if d.ts != nil {
+		lat := time.Duration(d.nw.Env.Now() - start)
+		d.ts.Read.Record(len(dst), lat)
+		d.tr.RecordOp(trace.OpRDMARead, pp.IBReadLatency+ser, 0)
+		d.tr.Emit("verbs", "read", d.Node.ID, len(dst), lat)
+	}
 	return nil
 }
 
@@ -201,9 +227,16 @@ func (d *Device) Write(p *sim.Proc, r RemoteAddr, off int, src []byte) error {
 	d.Writes++
 	pp := d.nw.Fab.P
 	ser := pp.IBTxTime(len(src))
+	start := d.nw.Env.Now()
 	d.nic.AcquireTx(p, ser)
 	p.Sleep(pp.IBWriteLatency)
 	copy(mr.buf[off:off+len(src)], src)
+	if d.ts != nil {
+		lat := time.Duration(d.nw.Env.Now() - start)
+		d.ts.Write.Record(len(src), lat)
+		d.tr.RecordOp(trace.OpRDMAWrite, pp.IBWriteLatency+ser, 0)
+		d.tr.Emit("verbs", "write", d.Node.ID, len(src), lat)
+	}
 	return nil
 }
 
@@ -228,6 +261,11 @@ func (d *Device) atomic(p *sim.Proc, op string, r RemoteAddr, off int, fn func(o
 	old := binary.LittleEndian.Uint64(mr.buf[off:])
 	binary.LittleEndian.PutUint64(mr.buf[off:], fn(old))
 	p.Sleep(lat - lat/2)
+	if d.ts != nil {
+		d.ts.Atomic.Record(8, lat)
+		d.tr.RecordOp(trace.OpRDMAAtomic, lat, 0)
+		d.tr.Emit("verbs", op, d.Node.ID, 8, lat)
+	}
 	return old, nil
 }
 
@@ -272,7 +310,14 @@ func (d *Device) Send(p *sim.Proc, dstNode int, service string, data []byte) err
 	pp := d.nw.Fab.P
 	buf := make([]byte, len(data))
 	copy(buf, data)
+	start := d.nw.Env.Now()
 	d.nic.AcquireTx(p, pp.IBMsgTxTime(len(data)))
+	if d.ts != nil {
+		lat := time.Duration(d.nw.Env.Now() - start)
+		d.ts.Send.Record(len(data), lat)
+		d.tr.RecordOp(trace.OpSend, pp.IBSendLatency+pp.IBMsgTxTime(len(data)), 0)
+		d.tr.Emit("verbs", "send", d.Node.ID, len(data), lat)
+	}
 	msg := Message{From: d.Node.ID, Service: service, Data: buf}
 	q := dst.queue(service)
 	d.nw.Env.After(pp.IBSendLatency, func() { q.PostSend(msg) })
@@ -292,6 +337,11 @@ func (d *Device) PostSendAt(dstNode int, service string, data []byte) error {
 	pp := d.nw.Fab.P
 	buf := make([]byte, len(data))
 	copy(buf, data)
+	if d.ts != nil {
+		d.ts.Send.Record(len(data), 0)
+		d.tr.RecordOp(trace.OpSend, pp.IBSendLatency+pp.IBTxTime(len(data)), 0)
+		d.tr.Emit("verbs", "send", d.Node.ID, len(data), 0)
+	}
 	msg := Message{From: d.Node.ID, Service: service, Data: buf}
 	q := dst.queue(service)
 	d.nw.Env.After(pp.IBSendLatency+pp.IBTxTime(len(data)), func() { q.PostSend(msg) })

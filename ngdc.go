@@ -39,6 +39,7 @@ import (
 	"ngdc/internal/sim"
 	"ngdc/internal/sockets"
 	"ngdc/internal/storm"
+	"ngdc/internal/trace"
 	"ngdc/internal/verbs"
 	"ngdc/internal/workload"
 )
@@ -91,6 +92,28 @@ func New(cfg Config) *Framework { return core.New(cfg) }
 
 // DefaultConfig returns an 8-node framework configuration.
 func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Observability.
+type (
+	// TraceStats is a point-in-time snapshot of every layer's counters:
+	// per-device verbs ops, per-NIC transmit occupancy, fabric
+	// wire-vs-host-CPU time per op class, socket flow-control stalls and
+	// the simulation-engine totals. Obtain one from Framework.Trace or
+	// TraceRegistry.Snapshot.
+	TraceStats = trace.TraceStats
+	// TraceRegistry collects trace counters for one or more simulation
+	// environments; attach it before building layers on an Env.
+	TraceRegistry = trace.Registry
+)
+
+// NewTraceRegistry creates an unattached registry, for standalone-Env
+// and experiment-sweep use (a Framework carries its own).
+func NewTraceRegistry() *TraceRegistry { return trace.NewRegistry() }
+
+// AttachTrace binds a registry to an environment so layers built on it
+// afterwards publish counters; re-attaching across sequential
+// environments accumulates engine totals into one view.
+func AttachTrace(env *Env, r *TraceRegistry) { trace.AttachRegistry(env, r) }
 
 // Layer 1 — communication protocols.
 type (
@@ -167,10 +190,21 @@ const (
 	NCoSED        = dlm.NCoSED
 )
 
-// NewLockManager builds a standalone lock manager over nodes attached to
-// a verbs network (Framework users get one wired already).
+// LockOptions configures a standalone lock manager.
+type LockOptions = dlm.Options
+
+// NewLocks builds a standalone lock manager over nodes attached to a
+// verbs network (Framework users get one wired already).
+func NewLocks(nw *verbs.Network, nodes []*Node, opts LockOptions) *LockManager {
+	return dlm.New(nw, nodes, opts)
+}
+
+// NewLockManager builds a standalone lock manager.
+//
+// Deprecated: use NewLocks, which follows the framework's canonical
+// (nw, nodes, opts) constructor form.
 func NewLockManager(kind LockKind, nw *verbs.Network, nodes []*Node, numLocks int) *LockManager {
-	return dlm.New(kind, nw, nodes, numLocks)
+	return dlm.New(nw, nodes, dlm.Options{Kind: kind, NumLocks: numLocks})
 }
 
 // LockCascade runs the Fig 5 cascading experiment.
@@ -288,9 +322,21 @@ const (
 	StormOverDDSS = storm.OverDDSS
 )
 
-// NewStorm builds a STORM deployment on an existing verbs network.
+// StormOptions configures a STORM deployment.
+type StormOptions = storm.Options
+
+// NewStormCluster builds a STORM deployment on an existing verbs
+// network; nodes are the data nodes and opts.Client issues queries.
+func NewStormCluster(nw *verbs.Network, dataNodes []*Node, opts StormOptions) *StormCluster {
+	return storm.New(nw, dataNodes, opts)
+}
+
+// NewStorm builds a STORM deployment.
+//
+// Deprecated: use NewStormCluster, which follows the framework's
+// canonical (nw, nodes, opts) constructor form.
 func NewStorm(t StormTransport, nw *verbs.Network, client *Node, dataNodes []*Node) *StormCluster {
-	return storm.New(t, nw, client, dataNodes)
+	return storm.New(nw, dataNodes, storm.Options{Transport: t, Client: client})
 }
 
 // Workloads.
@@ -366,9 +412,21 @@ type (
 	PoolBuf = gma.Buf
 )
 
+// PoolOptions configures a memory pool.
+type PoolOptions = gma.Options
+
+// NewPool aggregates opts.ArenaPerNode bytes from every node into one
+// allocatable cluster-wide memory space.
+func NewPool(nw *verbs.Network, nodes []*Node, opts PoolOptions) (*MemoryPool, error) {
+	return gma.New(nw, nodes, opts)
+}
+
 // NewMemoryPool pools arenaPerNode bytes from every node.
+//
+// Deprecated: use NewPool, which follows the framework's canonical
+// (nw, nodes, opts) constructor form.
 func NewMemoryPool(nw *verbs.Network, nodes []*Node, arenaPerNode int64) (*MemoryPool, error) {
-	return gma.New(nw, nodes, arenaPerNode)
+	return gma.New(nw, nodes, gma.Options{ArenaPerNode: arenaPerNode})
 }
 
 // Layer 1 — multicast.
@@ -385,10 +443,21 @@ const (
 	BinomialMulticast = multicast.Binomial
 )
 
-// NewMulticastGroup builds a group over the member nodes; members[0] is
-// the root.
+// MulticastOptions configures a multicast group.
+type MulticastOptions = multicast.Options
+
+// NewMulticast builds a group over the member nodes; members[0] is the
+// root.
+func NewMulticast(nw *verbs.Network, members []*Node, opts MulticastOptions) *MulticastGroup {
+	return multicast.NewGroup(nw, members, opts)
+}
+
+// NewMulticastGroup builds a group over the member nodes.
+//
+// Deprecated: use NewMulticast, which follows the framework's canonical
+// (nw, nodes, opts) constructor form.
 func NewMulticastGroup(name string, nw *verbs.Network, strategy MulticastStrategy, members []*Node) *MulticastGroup {
-	return multicast.NewGroup(name, nw, strategy, members)
+	return multicast.NewGroup(nw, members, multicast.Options{Name: name, Strategy: strategy})
 }
 
 // MulticastLatency measures dissemination latency for a group size.

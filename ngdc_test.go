@@ -108,8 +108,8 @@ func TestPublicExperimentEntryPoints(t *testing.T) {
 func TestPublicStormAndPool(t *testing.T) {
 	f := ngdc.New(ngdc.Config{Nodes: 5, Seed: 1})
 	defer f.Shutdown()
-	st := ngdc.NewStorm(ngdc.StormOverDDSS, f.Network,
-		f.Node(0), []*ngdc.Node{f.Node(1), f.Node(2)})
+	st := ngdc.NewStormCluster(f.Network, []*ngdc.Node{f.Node(1), f.Node(2)},
+		ngdc.StormOptions{Transport: ngdc.StormOverDDSS, Client: f.Node(0)})
 	var res ngdc.StormResult
 	f.Go("driver", func(p *ngdc.Proc) {
 		if err := st.Load(p, 600); err != nil {
@@ -129,7 +129,8 @@ func TestPublicStormAndPool(t *testing.T) {
 		t.Fatalf("query returned %d records", res.Records)
 	}
 
-	pool, err := ngdc.NewMemoryPool(f.Network, []*ngdc.Node{f.Node(3), f.Node(4)}, 1<<20)
+	pool, err := ngdc.NewPool(f.Network, []*ngdc.Node{f.Node(3), f.Node(4)},
+		ngdc.PoolOptions{ArenaPerNode: 1 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
