@@ -55,9 +55,6 @@ func BenchmarkFig3bStorm(b *testing.B) {
 		b.Run(tr.String(), func(b *testing.B) {
 			var last storm.Result
 			for i := 0; i < b.N; i++ {
-				env := ngdc.NewEnv(1)
-				_ = env
-				env.Shutdown()
 				tcp, dd, err := storm.Compare(10000, 4, storm.Selector{Modulo: 3}, 1)
 				if err != nil {
 					b.Fatal(err)

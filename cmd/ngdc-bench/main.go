@@ -8,8 +8,10 @@
 //
 //	ngdc-bench <experiment> [flags]
 //
-// Common flags: -seed N (default 1), -quick (shrunken sweeps), and
-// -trace <file> (write the run's per-layer observability counters —
+// Common flags: -seed N (default 1), -quick (shrunken sweeps),
+// -parallel N (worker goroutines a sweep fans its independent cells
+// across, default GOMAXPROCS; results are byte-identical for every N),
+// and -trace <file> (write the run's per-layer observability counters —
 // verbs ops per device, NIC occupancy, fabric wire-vs-CPU time, socket
 // flow-control stalls, engine totals — as JSONL records).
 //
@@ -36,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"ngdc/internal/experiments"
 	"ngdc/internal/trace"
@@ -55,6 +58,8 @@ func main() {
 	proxies := fs.Int("proxies", 2, "coopcache: proxy nodes")
 	rubis := fs.Bool("rubis", false, "monitor-throughput: RUBiS mix instead of Zipf")
 	measure := fs.Duration("measure", 0, "override the virtual measurement window")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker goroutines per sweep (cells run concurrently; results are byte-identical for every value)")
 	traceFile := fs.String("trace", "", "write per-layer trace counters (JSONL) to this file")
 
 	switch cmd {
@@ -64,12 +69,13 @@ func main() {
 	}
 	fs.Parse(args)
 	opt := experiments.Options{
-		Seed:    *seed,
-		Quick:   *quick,
-		Mode:    *mode,
-		Proxies: *proxies,
-		RUBiS:   *rubis,
-		Measure: *measure,
+		Seed:     *seed,
+		Quick:    *quick,
+		Mode:     *mode,
+		Proxies:  *proxies,
+		RUBiS:    *rubis,
+		Measure:  *measure,
+		Parallel: *parallel,
 	}
 
 	var traceOut *os.File
@@ -131,7 +137,7 @@ func fail(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: ngdc-bench <experiment> [-seed N] [-quick] [-trace file] [flags]
+	fmt.Fprintln(os.Stderr, `usage: ngdc-bench <experiment> [-seed N] [-quick] [-parallel N] [-trace file] [flags]
 
 experiments:`)
 	for _, e := range experiments.All() {

@@ -39,6 +39,11 @@ type Options struct {
 	RUBiS bool
 	// Measure overrides the virtual measurement window (0 = default).
 	Measure time.Duration
+	// Parallel bounds the worker goroutines a sweep fans its cells
+	// across (0 = GOMAXPROCS). Results are identical for every value:
+	// cells are independent simulations and the runner merges their
+	// outputs in cell-index order (see runCells).
+	Parallel int
 	// Trace, when non-nil, accumulates every run's observability
 	// counters into one registry (snapshot it after the experiment).
 	Trace *trace.Registry
@@ -136,15 +141,21 @@ func DDSSLatency(o Options) (*metrics.Table, error) {
 	for _, m := range ddss.Models {
 		cols = append(cols, m.String())
 	}
+	models := ddss.Models
+	lats := make([]time.Duration, len(sizes)*len(models))
+	err := runCells(o, len(lats), func(i int, o Options) error {
+		var err error
+		lats[i], err = ddss.MeasurePutLatencyTraced(models[i%len(models)], sizes[i/len(models)], o.seed(), o.Trace)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	tb := metrics.NewTable("Fig 3a — DDSS put() latency (µs) per coherence model", cols...)
-	for _, sz := range sizes {
+	for si, sz := range sizes {
 		row := []any{sz}
-		for _, m := range ddss.Models {
-			lat, err := ddss.MeasurePutLatencyTraced(m, sz, o.seed(), o.Trace)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, float64(lat)/float64(time.Microsecond))
+		for mi := range models {
+			row = append(row, float64(lats[si*len(models)+mi])/float64(time.Microsecond))
 		}
 		tb.AddRow(row...)
 	}
@@ -157,13 +168,19 @@ func Storm(o Options) (*metrics.Table, error) {
 	if o.Quick {
 		records = []int{1000, 5000}
 	}
+	res := make([]struct{ tcp, dd storm.Result }, len(records))
+	err := runCells(o, len(records), func(i int, o Options) error {
+		var err error
+		res[i].tcp, res[i].dd, err = storm.CompareTraced(records[i], 4, storm.Selector{Modulo: 3}, o.seed(), o.Trace)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	tb := metrics.NewTable("Fig 3b — STORM query execution time (ms)",
 		"records", "STORM", "STORM-DDSS", "improvement%")
-	for _, rec := range records {
-		tcp, dd, err := storm.CompareTraced(rec, 4, storm.Selector{Modulo: 3}, o.seed(), o.Trace)
-		if err != nil {
-			return nil, err
-		}
+	for i, rec := range records {
+		tcp, dd := res[i].tcp, res[i].dd
 		imp := metrics.PercentImprovement(1/float64(tcp.Elapsed), 1/float64(dd.Elapsed))
 		tb.AddRow(rec,
 			float64(tcp.Elapsed)/float64(time.Millisecond),
@@ -183,18 +200,21 @@ func LockCascade(o Options) (*metrics.Table, error) {
 	if o.Quick {
 		waiters = []int{2, 8}
 	}
+	kinds := []dlm.Kind{dlm.SRSL, dlm.DQNL, dlm.NCoSED}
+	lasts := make([]time.Duration, len(waiters)*len(kinds))
+	err := runCells(o, len(lasts), func(i int, o Options) error {
+		r, err := dlm.CascadeTraced(kinds[i%len(kinds)], mode, waiters[i/len(kinds)], o.seed(), o.Trace)
+		lasts[i] = r.Last
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	tb := metrics.NewTable(
 		fmt.Sprintf("Fig %s — %v-lock cascading latency (µs, release to last grant)", sub, mode),
 		"waiters", "SRSL", "DQNL", "N-CoSED", "N-CoSED gain vs DQNL%")
-	for _, n := range waiters {
-		var vals []time.Duration
-		for _, kind := range []dlm.Kind{dlm.SRSL, dlm.DQNL, dlm.NCoSED} {
-			r, err := dlm.CascadeTraced(kind, mode, n, o.seed(), o.Trace)
-			if err != nil {
-				return nil, err
-			}
-			vals = append(vals, r.Last)
-		}
+	for wi, n := range waiters {
+		vals := lasts[wi*len(kinds) : (wi+1)*len(kinds)]
 		gain := metrics.PercentImprovement(1/float64(vals[1]), 1/float64(vals[2]))
 		tb.AddRow(n,
 			float64(vals[0])/float64(time.Microsecond),
@@ -223,25 +243,31 @@ func CoopCache(o Options) (*metrics.Table, error) {
 	for _, s := range coopcache.Schemes {
 		cols = append(cols, s.String())
 	}
+	schemes := coopcache.Schemes
+	tps := make([]float64, len(sizes)*len(schemes))
+	err := runCells(o, len(tps), func(i int, o Options) error {
+		cfg := coopcache.DefaultConfig(schemes[i%len(schemes)], proxies, sizes[i/len(schemes)])
+		cfg.Seed = o.seed()
+		cfg.Trace = o.Trace
+		if o.Measure > 0 {
+			cfg.Measure = o.Measure
+		} else if o.Quick {
+			cfg.Measure = 400 * time.Millisecond
+			cfg.Warmup = 150 * time.Millisecond
+		}
+		st, err := cfg.Run()
+		tps[i] = st.TPS
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	tb := metrics.NewTable(
 		fmt.Sprintf("Fig %s — data-center throughput (TPS), %d proxy nodes", sub, proxies), cols...)
-	for _, fsz := range sizes {
+	for si, fsz := range sizes {
 		row := []any{fmt.Sprintf("%dk", fsz>>10)}
-		for _, scheme := range coopcache.Schemes {
-			cfg := coopcache.DefaultConfig(scheme, proxies, fsz)
-			cfg.Seed = o.seed()
-			cfg.Trace = o.Trace
-			if o.Measure > 0 {
-				cfg.Measure = o.Measure
-			} else if o.Quick {
-				cfg.Measure = 400 * time.Millisecond
-				cfg.Warmup = 150 * time.Millisecond
-			}
-			st, err := cfg.Run()
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, st.TPS)
+		for ci := range schemes {
+			row = append(row, tps[si*len(schemes)+ci])
 		}
 		tb.AddRow(row...)
 	}
@@ -250,20 +276,26 @@ func CoopCache(o Options) (*metrics.Table, error) {
 
 // MonitorAccuracy regenerates Fig 8a.
 func MonitorAccuracy(o Options) (*metrics.Table, error) {
-	tb := metrics.NewTable("Fig 8a — monitoring accuracy (deviation of reported vs actual threads)",
-		"scheme", "mean |dev|", "max |dev|", "samples")
-	for _, sc := range monitor.Schemes {
-		cfg := monitor.DefaultAccuracyConfig(sc)
+	schemes := monitor.Schemes
+	res := make([]monitor.AccuracyResult, len(schemes))
+	err := runCells(o, len(schemes), func(i int, o Options) error {
+		cfg := monitor.DefaultAccuracyConfig(schemes[i])
 		cfg.Seed = o.seed()
 		cfg.Trace = o.Trace
 		if o.Quick {
 			cfg.Duration = 600 * time.Millisecond
 		}
-		res, err := cfg.Run()
-		if err != nil {
-			return nil, err
-		}
-		tb.AddRow(sc.String(), res.MeanAbsDeviation(), res.MaxAbsDeviation(), len(res.Samples))
+		var err error
+		res[i], err = cfg.Run()
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := metrics.NewTable("Fig 8a — monitoring accuracy (deviation of reported vs actual threads)",
+		"scheme", "mean |dev|", "max |dev|", "samples")
+	for i, sc := range schemes {
+		tb.AddRow(sc.String(), res[i].MeanAbsDeviation(), res[i].MaxAbsDeviation(), len(res[i].Samples))
 	}
 	return tb, nil
 }
@@ -283,48 +315,60 @@ func MonitorThroughput(o Options) (*metrics.Table, error) {
 		title = "Fig 8b — throughput improvement over Socket-Async (%), RUBiS mix"
 		alphas = []float64{0}
 	}
-	tb := metrics.NewTable(title, cols...)
-	for _, a := range alphas {
-		imp, _, err := improvementQuick(a, o)
-		if err != nil {
-			return nil, err
+	imps := make([]map[monitor.Scheme]float64, len(alphas))
+	var err error
+	if o.Quick {
+		// Quick mode runs shrunken per-scheme LB simulations itself, so
+		// each (alpha, scheme) point is its own sweep cell; the baseline
+		// improvement is computed after the barrier.
+		schemes := monitor.Schemes
+		stats := make([]monitor.LBStats, len(alphas)*len(schemes))
+		err = runCells(o, len(stats), func(i int, o Options) error {
+			cfg := monitor.DefaultLBConfig(schemes[i%len(schemes)], alphas[i/len(schemes)])
+			cfg.RUBiS = o.RUBiS
+			cfg.Seed = o.seed()
+			cfg.Trace = o.Trace
+			cfg.Measure = 500 * time.Millisecond
+			var err error
+			stats[i], err = cfg.Run()
+			return err
+		})
+		for ai := range alphas {
+			var base float64
+			for si, sc := range schemes {
+				if sc == monitor.SocketAsync {
+					base = stats[ai*len(schemes)+si].TPS
+				}
+			}
+			imp := map[monitor.Scheme]float64{}
+			for si, sc := range schemes {
+				imp[sc] = metrics.PercentImprovement(base, stats[ai*len(schemes)+si].TPS)
+			}
+			imps[ai] = imp
 		}
+	} else {
+		err = runCells(o, len(alphas), func(i int, o Options) error {
+			var err error
+			imps[i], _, err = monitor.Improvement(alphas[i], o.RUBiS, o.seed())
+			return err
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	tb := metrics.NewTable(title, cols...)
+	for i, a := range alphas {
 		label := fmt.Sprintf("%.2f", a)
 		if o.RUBiS {
 			label = "RUBiS"
 		}
 		row := []any{label}
 		for _, sc := range monitor.Schemes {
-			row = append(row, imp[sc])
+			row = append(row, imps[i][sc])
 		}
 		tb.AddRow(row...)
 	}
 	return tb, nil
-}
-
-func improvementQuick(alpha float64, o Options) (map[monitor.Scheme]float64, map[monitor.Scheme]monitor.LBStats, error) {
-	if !o.Quick {
-		return monitor.Improvement(alpha, o.RUBiS, o.seed())
-	}
-	stats := map[monitor.Scheme]monitor.LBStats{}
-	for _, sc := range monitor.Schemes {
-		cfg := monitor.DefaultLBConfig(sc, alpha)
-		cfg.RUBiS = o.RUBiS
-		cfg.Seed = o.seed()
-		cfg.Trace = o.Trace
-		cfg.Measure = 500 * time.Millisecond
-		s, err := cfg.Run()
-		if err != nil {
-			return nil, nil, err
-		}
-		stats[sc] = s
-	}
-	base := stats[monitor.SocketAsync].TPS
-	imp := map[monitor.Scheme]float64{}
-	for sc, s := range stats {
-		imp[sc] = metrics.PercentImprovement(base, s.TPS)
-	}
-	return imp, stats, nil
 }
 
 // FlowControl regenerates the §6 packetized-flow-control comparison.
@@ -335,17 +379,21 @@ func FlowControl(o Options) (*metrics.Table, error) {
 		sizes = []int{64}
 		msgs = 500
 	}
+	schemes := []sockets.Scheme{sockets.BSDP, sockets.PSDP}
+	bws := make([]float64, len(sizes)*len(schemes))
+	err := runCells(o, len(bws), func(i int, o Options) error {
+		var err error
+		bws[i], err = sockets.BandwidthTraced(schemes[i%len(schemes)], sizes[i/len(schemes)], msgs,
+			sockets.DefaultOptions(), o.seed(), o.Trace)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	tb := metrics.NewTable("§6 — credit-based vs packetized flow control (MB/s)",
 		"msg size", "BSDP (credit)", "P-SDP (packetized)", "speedup x")
-	for _, sz := range sizes {
-		bsdp, err := sockets.BandwidthTraced(sockets.BSDP, sz, msgs, sockets.DefaultOptions(), o.seed(), o.Trace)
-		if err != nil {
-			return nil, err
-		}
-		psdp, err := sockets.BandwidthTraced(sockets.PSDP, sz, msgs, sockets.DefaultOptions(), o.seed(), o.Trace)
-		if err != nil {
-			return nil, err
-		}
+	for si, sz := range sizes {
+		bsdp, psdp := bws[si*len(schemes)], bws[si*len(schemes)+1]
 		tb.AddRow(sz, bsdp/1e6, psdp/1e6, metrics.Ratio(psdp, bsdp))
 	}
 	return tb, nil
@@ -364,15 +412,21 @@ func SDP(o Options) (*metrics.Table, error) {
 	for _, sc := range schemes {
 		cols = append(cols, sc.String())
 	}
+	bws := make([]float64, len(sizes)*len(schemes))
+	err := runCells(o, len(bws), func(i int, o Options) error {
+		var err error
+		bws[i], err = sockets.BandwidthTraced(schemes[i%len(schemes)], sizes[i/len(schemes)], msgs,
+			sockets.DefaultOptions(), o.seed(), o.Trace)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	tb := metrics.NewTable("§3 — streaming bandwidth (MB/s) of the SDP family", cols...)
-	for _, sz := range sizes {
+	for si, sz := range sizes {
 		row := []any{fmt.Sprintf("%dk", sz>>10)}
-		for _, sc := range schemes {
-			bw, err := sockets.BandwidthTraced(sc, sz, msgs, sockets.DefaultOptions(), o.seed(), o.Trace)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, bw/1e6)
+		for ci := range schemes {
+			row = append(row, bws[si*len(schemes)+ci]/1e6)
 		}
 		tb.AddRow(row...)
 	}
@@ -381,39 +435,52 @@ func SDP(o Options) (*metrics.Table, error) {
 
 // Reconfig regenerates the §6 reconfiguration ablation.
 func Reconfig(o Options) (*metrics.Table, error) {
-	tb := metrics.NewTable("§6 — dynamic reconfiguration ablation",
-		"policy", "TPS", "node moves", "CAS conflicts")
-	for _, p := range []reconfig.Policy{reconfig.Naive, reconfig.HistoryAware} {
-		cfg := reconfig.DefaultConfig(p)
+	policies := []reconfig.Policy{reconfig.Naive, reconfig.HistoryAware}
+	res := make([]reconfig.Result, len(policies))
+	err := runCells(o, len(policies), func(i int, o Options) error {
+		cfg := reconfig.DefaultConfig(policies[i])
 		cfg.Seed = o.seed()
 		cfg.Trace = o.Trace
 		if o.Quick {
 			cfg.Measure = time.Second
 		}
-		res, err := cfg.Run()
-		if err != nil {
-			return nil, err
-		}
-		tb.AddRow(p.String(), res.TPS, res.Reconfigs, res.CASConflicts)
+		var err error
+		res[i], err = cfg.Run()
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := metrics.NewTable("§6 — dynamic reconfiguration ablation",
+		"policy", "TPS", "node moves", "CAS conflicts")
+	for i, p := range policies {
+		tb.AddRow(p.String(), res[i].TPS, res[i].Reconfigs, res[i].CASConflicts)
 	}
 	return tb, nil
 }
 
 // DynCache regenerates the §3 dynamic-content coherence comparison.
 func DynCache(o Options) (*metrics.Table, error) {
-	tb := metrics.NewTable("§3 — dynamic-content caching with multi-dependency coherence",
-		"scheme", "TPS", "hit%", "renders", "stale served", "mean ms")
-	for _, sc := range dyncache.Schemes {
-		cfg := dyncache.DefaultConfig(sc)
+	schemes := dyncache.Schemes
+	sts := make([]dyncache.Stats, len(schemes))
+	err := runCells(o, len(schemes), func(i int, o Options) error {
+		cfg := dyncache.DefaultConfig(schemes[i])
 		cfg.Seed = o.seed()
 		cfg.Trace = o.Trace
 		if o.Quick {
 			cfg.Measure = 500 * time.Millisecond
 		}
-		st, err := cfg.Run()
-		if err != nil {
-			return nil, err
-		}
+		var err error
+		sts[i], err = cfg.Run()
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := metrics.NewTable("§3 — dynamic-content caching with multi-dependency coherence",
+		"scheme", "TPS", "hit%", "renders", "stale served", "mean ms")
+	for i, sc := range schemes {
+		st := sts[i]
 		hit := 0.0
 		if st.Requests > 0 {
 			hit = 100 * float64(st.CoherentHits) / float64(st.Requests)
@@ -425,19 +492,26 @@ func DynCache(o Options) (*metrics.Table, error) {
 
 // QoS regenerates the §3 admission-control comparison.
 func QoS(o Options) (*metrics.Table, error) {
-	tb := metrics.NewTable("§3 — soft QoS under 2x overload (premium vs basic)",
-		"policy", "class", "TPS", "p95 ms", "rejected")
-	for _, p := range []qos.Policy{qos.NoControl, qos.PriorityAdmission} {
-		cfg := qos.DefaultConfig(p)
+	policies := []qos.Policy{qos.NoControl, qos.PriorityAdmission}
+	sts := make([]qos.Stats, len(policies))
+	err := runCells(o, len(policies), func(i int, o Options) error {
+		cfg := qos.DefaultConfig(policies[i])
 		cfg.Seed = o.seed()
 		cfg.Trace = o.Trace
 		if o.Quick {
 			cfg.Measure = 700 * time.Millisecond
 		}
-		st, err := cfg.Run()
-		if err != nil {
-			return nil, err
-		}
+		var err error
+		sts[i], err = cfg.Run()
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := metrics.NewTable("§3 — soft QoS under 2x overload (premium vs basic)",
+		"policy", "class", "TPS", "p95 ms", "rejected")
+	for i, p := range policies {
+		st := sts[i]
 		tb.AddRow(p.String(), "premium", st.Premium.TPS, st.Premium.P95Ms, st.Premium.Rejected)
 		tb.AddRow(p.String(), "basic", st.Basic.TPS, st.Basic.P95Ms, st.Basic.Rejected)
 	}
@@ -450,17 +524,21 @@ func Multicast(o Options) (*metrics.Table, error) {
 	if o.Quick {
 		sizes = []int{4, 16}
 	}
+	strategies := []multicast.Strategy{multicast.Serial, multicast.Binomial}
+	lats := make([]time.Duration, len(sizes)*len(strategies))
+	err := runCells(o, len(lats), func(i int, o Options) error {
+		var err error
+		lats[i], err = multicast.MeasureLatencyTraced(strategies[i%len(strategies)], sizes[i/len(strategies)],
+			4096, o.seed(), o.Trace)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	tb := metrics.NewTable("framework — multicast dissemination latency (µs, to last member)",
 		"group size", "serial", "binomial", "speedup x")
-	for _, n := range sizes {
-		serial, err := multicast.MeasureLatencyTraced(multicast.Serial, n, 4096, o.seed(), o.Trace)
-		if err != nil {
-			return nil, err
-		}
-		binom, err := multicast.MeasureLatencyTraced(multicast.Binomial, n, 4096, o.seed(), o.Trace)
-		if err != nil {
-			return nil, err
-		}
+	for si, n := range sizes {
+		serial, binom := lats[si*len(strategies)], lats[si*len(strategies)+1]
 		tb.AddRow(n,
 			float64(serial)/float64(time.Microsecond),
 			float64(binom)/float64(time.Microsecond),
@@ -471,20 +549,27 @@ func Multicast(o Options) (*metrics.Table, error) {
 
 // Integrated regenerates the §6 full-stack comparison.
 func Integrated(o Options) (*metrics.Table, error) {
-	tb := metrics.NewTable("§6 — integrated evaluation: full stacks on the same workload",
-		"stack", "TPS", "p95 ms", "reconfigs", "sibling fills", "backend fetches")
-	for _, st := range []integrated.Stack{integrated.Traditional, integrated.RDMAStack} {
-		cfg := integrated.DefaultConfig(st)
+	stacks := []integrated.Stack{integrated.Traditional, integrated.RDMAStack}
+	res := make([]integrated.Stats, len(stacks))
+	err := runCells(o, len(stacks), func(i int, o Options) error {
+		cfg := integrated.DefaultConfig(stacks[i])
 		cfg.Seed = o.seed()
 		cfg.Trace = o.Trace
 		if o.Quick {
 			cfg.Measure = time.Second
 		}
-		res, err := cfg.Run()
-		if err != nil {
-			return nil, err
-		}
-		tb.AddRow(st.String(), res.TPS, res.P95Ms, res.Reconfigs, res.SiblingFills, res.BackendFetches)
+		var err error
+		res[i], err = cfg.Run()
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := metrics.NewTable("§6 — integrated evaluation: full stacks on the same workload",
+		"stack", "TPS", "p95 ms", "reconfigs", "sibling fills", "backend fetches")
+	for i, st := range stacks {
+		r := res[i]
+		tb.AddRow(st.String(), r.TPS, r.P95Ms, r.Reconfigs, r.SiblingFills, r.BackendFetches)
 	}
 	return tb, nil
 }

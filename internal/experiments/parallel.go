@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"ngdc/internal/trace"
+)
+
+// workers returns the sweep worker count: Options.Parallel when set,
+// otherwise GOMAXPROCS.
+func (o Options) workers() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runCells evaluates n independent sweep cells, fanning them across a
+// bounded pool of worker goroutines. Every generator in this package
+// routes its sweep through here: a cell is one simulation run (one
+// point of a size × scheme grid), and cells of one sweep never share
+// state — each builds its own environment, so runs are race-free by
+// construction and each worker drives at most one simulation at a time.
+//
+// Determinism: results must be written into index-addressed slots by the
+// cell function (never appended), and observability counters are
+// collected through a fresh per-cell trace.Registry which the barrier
+// folds back into o.Trace in cell-index order (see Registry.Fold). Both
+// are therefore independent of worker scheduling: tables and trace
+// snapshots are byte-identical for every Parallel value, including 1.
+// Errors are also reported in cell order — the first failing cell by
+// index wins, not the first to fail on the wall clock.
+func runCells(o Options, n int, cell func(i int, o Options) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := o.workers()
+	if workers > n {
+		workers = n
+	}
+	var regs []*trace.Registry
+	if o.Trace != nil {
+		regs = make([]*trace.Registry, n)
+	}
+	errs := make([]error, n)
+	run := func(i int) {
+		co := o
+		if regs != nil {
+			regs[i] = trace.NewRegistry()
+			co.Trace = regs[i]
+		}
+		errs[i] = cell(i, co)
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					run(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		if regs != nil {
+			o.Trace.Fold(regs[i].Snapshot())
+		}
+	}
+	return nil
+}

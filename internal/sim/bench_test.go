@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// The engine's hot paths — timer-callback scheduling, channel ping-pong
+// and contended resource hand-off — are designed to be allocation-free
+// in the steady state: events are heap values, waiter records recycle
+// through free lists and block reasons are preformatted. The benchmarks
+// report allocs/op and TestSteadyStateAllocationFree asserts the same
+// numerically, so a regression that reintroduces per-event allocation
+// fails the suite rather than just a benchmark eyeball.
+
+// BenchmarkTimerCallback measures scheduling and dispatching one inline
+// timer callback through the central loop (no process involved).
+func BenchmarkTimerCallback(b *testing.B) {
+	b.ReportAllocs()
+	env := NewEnv(1)
+	remaining := b.N
+	var tick func()
+	tick = func() {
+		if remaining > 0 {
+			remaining--
+			env.After(time.Microsecond, tick)
+		}
+	}
+	env.After(time.Microsecond, tick)
+	b.ResetTimer()
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkChanPingPong measures one request/response round trip between
+// two processes over unbuffered channels (four park/resume hand-offs per
+// iteration).
+func BenchmarkChanPingPong(b *testing.B) {
+	b.ReportAllocs()
+	env := NewEnv(1)
+	req := NewChan[int](env, "req", 0)
+	rsp := NewChan[int](env, "rsp", 0)
+	env.GoDaemon("echo", func(p *Proc) {
+		for {
+			v, ok := req.Recv(p)
+			if !ok {
+				return
+			}
+			rsp.Send(p, v)
+		}
+	})
+	env.Go("driver", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			req.Send(p, i)
+			rsp.Recv(p)
+			p.Sleep(time.Microsecond)
+		}
+		req.Close()
+	})
+	b.ResetTimer()
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+	env.Shutdown()
+}
+
+// BenchmarkResourceContended measures a unit-capacity resource bouncing
+// between two processes: every Acquire after the first blocks, so each
+// iteration exercises the waiter queue, free list and FIFO wake path.
+func BenchmarkResourceContended(b *testing.B) {
+	b.ReportAllocs()
+	env := NewEnv(1)
+	res := NewResource(env, "cpu", 1)
+	iters := b.N/2 + 1
+	for w := 0; w < 2; w++ {
+		env.Go("worker", func(p *Proc) {
+			for i := 0; i < iters; i++ {
+				res.Acquire(p, 1)
+				p.Sleep(time.Microsecond)
+				res.Release(1)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TestSteadyStateAllocationFree pins the allocation behaviour the
+// benchmarks report: once queues and free lists are warm, scheduling
+// work through the engine mallocs (approximately) nothing.
+func TestSteadyStateAllocationFree(t *testing.T) {
+	t.Run("timer", func(t *testing.T) {
+		env := NewEnv(1)
+		fired := 0
+		fn := func() { fired++ }
+		for i := 0; i < 64; i++ {
+			env.After(time.Microsecond, fn)
+		}
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			env.After(time.Microsecond, fn)
+			if err := env.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > 0 {
+			t.Errorf("timer scheduling allocates %.1f allocs/op, want 0", allocs)
+		}
+	})
+
+	t.Run("chan-ping-pong", func(t *testing.T) {
+		env := NewEnv(1)
+		req := NewChan[int](env, "req", 0)
+		rsp := NewChan[int](env, "rsp", 0)
+		env.GoDaemon("echo", func(p *Proc) {
+			for {
+				v, _ := req.Recv(p)
+				rsp.Send(p, v)
+			}
+		})
+		env.GoDaemon("driver", func(p *Proc) {
+			for {
+				req.Send(p, 1)
+				rsp.Recv(p)
+				p.Sleep(time.Microsecond)
+			}
+		})
+		limit := Time(0)
+		step := func() {
+			limit = limit.Add(100 * time.Microsecond)
+			if err := env.RunUntil(limit); err != nil {
+				t.Fatal(err)
+			}
+		}
+		step() // warm the waiter free lists and queue storage
+		allocs := testing.AllocsPerRun(20, step)
+		// ~100 round trips per run; allow a little runtime noise
+		// (goroutine park/unpark bookkeeping) but catch any per-op
+		// allocation, which would show up as >=100.
+		if allocs > 2 {
+			t.Errorf("chan ping-pong allocates %.1f allocs per 100 round trips, want ~0", allocs)
+		}
+		env.Shutdown()
+	})
+
+	t.Run("resource-contended", func(t *testing.T) {
+		env := NewEnv(1)
+		res := NewResource(env, "cpu", 1)
+		for w := 0; w < 2; w++ {
+			env.GoDaemon("worker", func(p *Proc) {
+				for {
+					res.Use(p, 1, time.Microsecond)
+				}
+			})
+		}
+		limit := Time(0)
+		step := func() {
+			limit = limit.Add(100 * time.Microsecond)
+			if err := env.RunUntil(limit); err != nil {
+				t.Fatal(err)
+			}
+		}
+		step()
+		allocs := testing.AllocsPerRun(20, step)
+		if allocs > 2 {
+			t.Errorf("contended resource allocates %.1f allocs per 100 hand-offs, want ~0", allocs)
+		}
+		env.Shutdown()
+	})
+}

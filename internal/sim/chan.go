@@ -8,14 +8,24 @@ import "time"
 // PostSend allows non-blocking delivery from timer callbacks regardless of
 // capacity (the buffer grows past cap in that case; cap only limits
 // blocking senders).
+//
+// Blocking is allocation-free in the steady state: waiter records are
+// recycled through per-channel free lists and the waiter queues reuse
+// their backing storage (see waitq).
 type Chan[T any] struct {
 	env    *Env
 	name   string
 	cap    int
-	buf    []T
-	sendq  []*sendWaiter[T]
-	recvq  []*recvWaiter[T]
+	buf    waitq[T]
+	sendq  waitq[*sendWaiter[T]]
+	recvq  waitq[*recvWaiter[T]]
 	closed bool
+
+	freeSend []*sendWaiter[T]
+	freeRecv []*recvWaiter[T]
+	sendWhy  string
+	recvWhy  string
+	rtoWhy   string
 }
 
 type sendWaiter[T any] struct {
@@ -28,30 +38,70 @@ type recvWaiter[T any] struct {
 	v        T
 	ok       bool
 	timedOut bool
+	gen      uint64 // reuse generation; guards stale RecvTimeout timers
 }
 
 // NewChan creates a channel with the given buffer capacity. Capacity 0
 // means blocking senders wait for a receiver.
 func NewChan[T any](e *Env, name string, capacity int) *Chan[T] {
-	return &Chan[T]{env: e, name: name, cap: capacity}
+	return &Chan[T]{
+		env:     e,
+		name:    name,
+		cap:     capacity,
+		sendWhy: "send on " + name,
+		recvWhy: "recv on " + name,
+		rtoWhy:  "recv-timeout on " + name,
+	}
 }
 
 // Len reports the number of buffered values.
-func (c *Chan[T]) Len() int { return len(c.buf) }
+func (c *Chan[T]) Len() int { return c.buf.len() }
 
 // Closed reports whether Close has been called.
 func (c *Chan[T]) Closed() bool { return c.closed }
 
+func (c *Chan[T]) getSendWaiter(p *Proc, v T) *sendWaiter[T] {
+	if n := len(c.freeSend); n > 0 {
+		w := c.freeSend[n-1]
+		c.freeSend = c.freeSend[:n-1]
+		w.p, w.v = p, v
+		return w
+	}
+	return &sendWaiter[T]{p: p, v: v}
+}
+
+func (c *Chan[T]) putSendWaiter(w *sendWaiter[T]) {
+	var zero T
+	w.p, w.v = nil, zero
+	c.freeSend = append(c.freeSend, w)
+}
+
+func (c *Chan[T]) getRecvWaiter(p *Proc) *recvWaiter[T] {
+	if n := len(c.freeRecv); n > 0 {
+		w := c.freeRecv[n-1]
+		c.freeRecv = c.freeRecv[:n-1]
+		w.p = p
+		return w
+	}
+	return &recvWaiter[T]{p: p}
+}
+
+func (c *Chan[T]) putRecvWaiter(w *recvWaiter[T]) {
+	var zero T
+	w.p, w.v, w.ok, w.timedOut = nil, zero, false, false
+	w.gen++ // invalidate any still-pending timeout timer for this record
+	c.freeRecv = append(c.freeRecv, w)
+}
+
 // deliver hands v to a parked receiver if one exists, else buffers it.
 func (c *Chan[T]) deliver(v T) {
-	if len(c.recvq) > 0 {
-		w := c.recvq[0]
-		c.recvq = c.recvq[1:]
+	if c.recvq.len() > 0 {
+		w := c.recvq.pop()
 		w.v, w.ok = v, true
 		c.env.wake(w.p)
 		return
 	}
-	c.buf = append(c.buf, v)
+	c.buf.push(v)
 }
 
 // PostSend delivers v without blocking. It is safe from timer callbacks
@@ -70,64 +120,64 @@ func (c *Chan[T]) Send(p *Proc, v T) {
 	if c.closed {
 		panic("sim: send on closed channel " + c.name)
 	}
-	if len(c.recvq) > 0 || len(c.buf) < c.cap {
+	if c.recvq.len() > 0 || c.buf.len() < c.cap {
 		c.deliver(v)
 		return
 	}
-	w := &sendWaiter[T]{p: p, v: v}
-	c.sendq = append(c.sendq, w)
-	p.block("send on " + c.name)
+	w := c.getSendWaiter(p, v)
+	c.sendq.push(w)
+	p.block(c.sendWhy)
+	c.putSendWaiter(w)
 }
 
 // Recv returns the next value. It blocks until a value is available. The
 // second result is false if the channel was closed and drained.
 func (c *Chan[T]) Recv(p *Proc) (T, bool) {
-	if len(c.buf) > 0 {
-		v := c.buf[0]
-		c.buf = c.buf[1:]
+	if c.buf.len() > 0 {
+		v := c.buf.pop()
 		c.admitSender()
 		return v, true
 	}
-	if len(c.sendq) > 0 {
-		w := c.sendq[0]
-		c.sendq = c.sendq[1:]
+	if c.sendq.len() > 0 {
+		w := c.sendq.pop()
+		v := w.v
 		c.env.wake(w.p)
-		return w.v, true
+		return v, true
 	}
 	if c.closed {
 		var zero T
 		return zero, false
 	}
-	w := &recvWaiter[T]{p: p}
-	c.recvq = append(c.recvq, w)
-	p.block("recv on " + c.name)
-	return w.v, w.ok
+	w := c.getRecvWaiter(p)
+	c.recvq.push(w)
+	p.block(c.recvWhy)
+	v, ok := w.v, w.ok
+	c.putRecvWaiter(w)
+	return v, ok
 }
 
 // TryRecv returns the next value without blocking; ok is false when no
 // value is immediately available.
 func (c *Chan[T]) TryRecv() (v T, ok bool) {
-	if len(c.buf) > 0 {
-		v = c.buf[0]
-		c.buf = c.buf[1:]
+	if c.buf.len() > 0 {
+		v = c.buf.pop()
 		c.admitSender()
 		return v, true
 	}
-	if len(c.sendq) > 0 {
-		w := c.sendq[0]
-		c.sendq = c.sendq[1:]
+	if c.sendq.len() > 0 {
+		w := c.sendq.pop()
+		v = w.v
 		c.env.wake(w.p)
-		return w.v, true
+		return v, true
 	}
 	return v, false
 }
 
 // admitSender moves one blocked sender's value into freed buffer space.
 func (c *Chan[T]) admitSender() {
-	if len(c.sendq) > 0 && len(c.buf) < c.cap {
-		w := c.sendq[0]
-		c.sendq = c.sendq[1:]
-		c.buf = append(c.buf, w.v)
+	if c.sendq.len() > 0 && c.buf.len() < c.cap {
+		w := c.sendq.pop()
+		c.buf.push(w.v)
 		c.env.wake(w.p)
 	}
 }
@@ -139,12 +189,12 @@ func (c *Chan[T]) Close() {
 		return
 	}
 	c.closed = true
-	if len(c.buf) == 0 && len(c.sendq) == 0 {
-		for _, w := range c.recvq {
+	if c.buf.len() == 0 && c.sendq.len() == 0 {
+		for c.recvq.len() > 0 {
+			w := c.recvq.pop()
 			w.ok = false
 			c.env.wake(w.p)
 		}
-		c.recvq = nil
 	}
 }
 
@@ -153,23 +203,24 @@ func (c *Chan[T]) Close() {
 // exactly the deadline instant is delivered (events beat timers queued
 // after them).
 func (c *Chan[T]) RecvTimeout(p *Proc, d time.Duration) (v T, ok, timedOut bool) {
-	if len(c.buf) > 0 || len(c.sendq) > 0 || c.closed {
+	if c.buf.len() > 0 || c.sendq.len() > 0 || c.closed {
 		v, ok = c.Recv(p)
 		return v, ok, false
 	}
-	w := &recvWaiter[T]{p: p}
-	c.recvq = append(c.recvq, w)
+	w := c.getRecvWaiter(p)
+	gen := w.gen
+	c.recvq.push(w)
 	c.env.After(d, func() {
-		// Cancel only if the waiter is still queued (not yet served).
-		for i, q := range c.recvq {
-			if q == w {
-				c.recvq = append(c.recvq[:i], c.recvq[i+1:]...)
-				w.timedOut = true
-				c.env.wake(p)
-				return
-			}
+		// Cancel only if this same wait is still queued: the waiter
+		// record may have been served, recycled and re-queued for a
+		// later wait, which the generation counter detects.
+		if w.gen == gen && c.recvq.remove(func(q *recvWaiter[T]) bool { return q == w }) {
+			w.timedOut = true
+			c.env.wake(p)
 		}
 	})
-	p.block("recv-timeout on " + c.name)
-	return w.v, w.ok, w.timedOut
+	p.block(c.rtoWhy)
+	v, ok, timedOut = w.v, w.ok, w.timedOut
+	c.putRecvWaiter(w)
+	return v, ok, timedOut
 }

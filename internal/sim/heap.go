@@ -1,0 +1,88 @@
+package sim
+
+// eventHeap is a hand-specialized 4-ary min-heap of event values ordered
+// by (at, seq). Compared with container/heap over a slice of *event it
+// removes the interface boxing and indirect Less/Swap dispatch on every
+// sift step, halves the tree depth (4 children per node), and — because
+// events live inline in the slice — scheduling allocates nothing once
+// the backing array has grown to the simulation's high-water mark.
+//
+// The engine never cancels a queued event (stale process wakeups are
+// skipped at pop time), so no per-event index bookkeeping is needed.
+type eventHeap struct {
+	ev []event
+}
+
+// before is the heap order: earlier virtual time first, FIFO by seq
+// among events at the same instant. seq strictly increases per Env, so
+// two events never compare equal.
+func (a *event) before(b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) len() int { return len(h.ev) }
+
+// top returns a pointer to the minimum event. It must not be retained
+// across a push or pop.
+func (h *eventHeap) top() *event { return &h.ev[0] }
+
+// push inserts ev, sifting the hole up rather than swapping.
+func (h *eventHeap) push(ev event) {
+	h.ev = append(h.ev, ev)
+	i := len(h.ev) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !ev.before(&h.ev[p]) {
+			break
+		}
+		h.ev[i] = h.ev[p]
+		i = p
+	}
+	h.ev[i] = ev
+}
+
+// pop removes and returns the minimum event.
+func (h *eventHeap) pop() event {
+	min := h.ev[0]
+	n := len(h.ev) - 1
+	last := h.ev[n]
+	h.ev[n] = event{} // release *Proc / func() references to the GC
+	h.ev = h.ev[:n]
+	if n > 0 {
+		h.siftDown(last)
+	}
+	return min
+}
+
+// siftDown re-inserts x starting from the root hole, moving the hole
+// toward the smallest child until x fits.
+func (h *eventHeap) siftDown(x event) {
+	ev := h.ev
+	n := len(ev)
+	i := 0
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if ev[c].before(&ev[best]) {
+				best = c
+			}
+		}
+		if !ev[best].before(&x) {
+			break
+		}
+		ev[i] = ev[best]
+		i = best
+	}
+	ev[i] = x
+}

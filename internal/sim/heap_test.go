@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestEventHeapFIFOTieBreak verifies the property the whole engine's
+// determinism rests on: among events scheduled for the same instant, the
+// 4-ary heap pops them in scheduling (seq) order.
+func TestEventHeapFIFOTieBreak(t *testing.T) {
+	var h eventHeap
+	var seq uint64
+	// Three instants, eight same-instant events each, pushed interleaved
+	// across the instants so tie-break must come from seq, not push order
+	// within a run of equal keys.
+	for round := 0; round < 8; round++ {
+		for _, at := range []Time{30, 10, 20} {
+			seq++
+			h.push(event{at: at, seq: seq})
+		}
+	}
+	var lastAt Time = -1
+	var lastSeq uint64
+	for h.len() > 0 {
+		ev := h.pop()
+		if ev.at < lastAt {
+			t.Fatalf("popped at=%d after at=%d", ev.at, lastAt)
+		}
+		if ev.at == lastAt && ev.seq <= lastSeq {
+			t.Fatalf("same-instant events out of FIFO order: seq %d after %d at t=%d",
+				ev.seq, lastSeq, ev.at)
+		}
+		lastAt, lastSeq = ev.at, ev.seq
+	}
+}
+
+// TestEventHeapRandomized pushes events with random times (seq assigned
+// in push order and pushes never before the current pop horizon, exactly
+// as the engine schedules) and checks the pop sequence is the exact
+// (at, seq) lexicographic order — i.e. time order with FIFO tie-break —
+// under interleaved pushes and pops.
+func TestEventHeapRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h eventHeap
+	var seq uint64
+	var lastAt Time
+	var lastSeq uint64
+	push := func() {
+		seq++
+		h.push(event{at: lastAt + Time(rng.Intn(8)), seq: seq})
+	}
+	pop := func() {
+		before := h.len()
+		ev := h.pop()
+		if h.len() != before-1 {
+			t.Fatalf("pop did not shrink heap: %d -> %d", before, h.len())
+		}
+		if ev.at < lastAt || (ev.at == lastAt && ev.seq <= lastSeq) {
+			t.Fatalf("pop order violated: (%d,%d) after (%d,%d)", ev.at, ev.seq, lastAt, lastSeq)
+		}
+		lastAt, lastSeq = ev.at, ev.seq
+	}
+	for i := 0; i < 2000; i++ {
+		push()
+	}
+	for i := 0; i < 5000; i++ {
+		if h.len() == 0 || rng.Intn(2) == 0 {
+			push()
+		} else {
+			pop()
+		}
+	}
+	for h.len() > 0 {
+		pop()
+	}
+}

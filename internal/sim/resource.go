@@ -7,13 +7,17 @@ import "time"
 // spindles. Acquire blocks until the requested units are available;
 // waiters are served strictly in arrival order (no barging), so a large
 // request at the head of the queue blocks later small ones, as in a FIFO
-// run queue.
+// run queue. Contended acquisition is allocation-free in the steady
+// state: waiter records are recycled through a free list and the waiter
+// queue reuses its backing storage.
 type Resource struct {
 	env   *Env
 	name  string
 	cap   int
 	inUse int
-	q     []*resWaiter
+	q     waitq[*resWaiter]
+	free  []*resWaiter
+	why   string
 	// maxQueued tracks the high-water mark of waiters, useful for
 	// instrumentation (e.g. run-queue length statistics).
 	maxQueued int
@@ -29,7 +33,7 @@ func NewResource(e *Env, name string, capacity int) *Resource {
 	if capacity <= 0 {
 		panic("sim: resource capacity must be positive: " + name)
 	}
-	return &Resource{env: e, name: name, cap: capacity}
+	return &Resource{env: e, name: name, cap: capacity, why: "acquire " + name}
 }
 
 // Cap returns the total capacity.
@@ -39,7 +43,7 @@ func (r *Resource) Cap() int { return r.cap }
 func (r *Resource) InUse() int { return r.inUse }
 
 // Queued returns the number of waiting acquirers.
-func (r *Resource) Queued() int { return len(r.q) }
+func (r *Resource) Queued() int { return r.q.len() }
 
 // MaxQueued returns the high-water mark of Queued since creation.
 func (r *Resource) MaxQueued() int { return r.maxQueued }
@@ -50,15 +54,25 @@ func (r *Resource) Acquire(p *Proc, n int) {
 	if n <= 0 || n > r.cap {
 		panic("sim: bad acquire count on " + r.name)
 	}
-	if len(r.q) == 0 && r.inUse+n <= r.cap {
+	if r.q.len() == 0 && r.inUse+n <= r.cap {
 		r.inUse += n
 		return
 	}
-	r.q = append(r.q, &resWaiter{p: p, n: n})
-	if len(r.q) > r.maxQueued {
-		r.maxQueued = len(r.q)
+	var w *resWaiter
+	if ln := len(r.free); ln > 0 {
+		w = r.free[ln-1]
+		r.free = r.free[:ln-1]
+		w.p, w.n = p, n
+	} else {
+		w = &resWaiter{p: p, n: n}
 	}
-	p.block("acquire " + r.name)
+	r.q.push(w)
+	if r.q.len() > r.maxQueued {
+		r.maxQueued = r.q.len()
+	}
+	p.block(r.why)
+	w.p = nil
+	r.free = append(r.free, w)
 }
 
 // TryAcquire takes n units if immediately available (and no earlier waiter
@@ -67,7 +81,7 @@ func (r *Resource) TryAcquire(n int) bool {
 	if n <= 0 || n > r.cap {
 		panic("sim: bad acquire count on " + r.name)
 	}
-	if len(r.q) == 0 && r.inUse+n <= r.cap {
+	if r.q.len() == 0 && r.inUse+n <= r.cap {
 		r.inUse += n
 		return true
 	}
@@ -81,9 +95,8 @@ func (r *Resource) Release(n int) {
 		panic("sim: bad release count on " + r.name)
 	}
 	r.inUse -= n
-	for len(r.q) > 0 && r.inUse+r.q[0].n <= r.cap {
-		w := r.q[0]
-		r.q = r.q[1:]
+	for r.q.len() > 0 && r.inUse+r.q.peek().n <= r.cap {
+		w := r.q.pop()
 		r.inUse += w.n
 		r.env.wake(w.p)
 	}

@@ -7,29 +7,29 @@ package sim
 type Signal struct {
 	env     *Env
 	name    string
-	waiters []*Proc
+	waiters waitq[*Proc]
+	why     string
 }
 
 // NewSignal creates a signal.
 func NewSignal(e *Env, name string) *Signal {
-	return &Signal{env: e, name: name}
+	return &Signal{env: e, name: name, why: "wait on " + name}
 }
 
 // Waiters returns the number of processes currently blocked in Wait.
-func (s *Signal) Waiters() int { return len(s.waiters) }
+func (s *Signal) Waiters() int { return s.waiters.len() }
 
 // Wait blocks the process until the next Broadcast.
 func (s *Signal) Wait(p *Proc) {
-	s.waiters = append(s.waiters, p)
-	p.block("wait on " + s.name)
+	s.waiters.push(p)
+	p.block(s.why)
 }
 
 // Broadcast wakes every waiting process. Safe from timer callbacks.
 func (s *Signal) Broadcast() {
-	for _, p := range s.waiters {
-		s.env.wake(p)
+	for s.waiters.len() > 0 {
+		s.env.wake(s.waiters.pop())
 	}
-	s.waiters = nil
 }
 
 // Future is a single-assignment container that processes can block on:
@@ -41,7 +41,8 @@ type Future[T any] struct {
 	name    string
 	set     bool
 	val     T
-	waiters []*futWaiter[T]
+	waiters waitq[*futWaiter[T]]
+	why     string
 }
 
 type futWaiter[T any] struct {
@@ -51,7 +52,7 @@ type futWaiter[T any] struct {
 
 // NewFuture creates an unresolved future.
 func NewFuture[T any](e *Env, name string) *Future[T] {
-	return &Future[T]{env: e, name: name}
+	return &Future[T]{env: e, name: name, why: "future " + name}
 }
 
 // Done reports whether the future has been resolved.
@@ -65,11 +66,11 @@ func (f *Future[T]) Resolve(v T) {
 	}
 	f.set = true
 	f.val = v
-	for _, w := range f.waiters {
+	for f.waiters.len() > 0 {
+		w := f.waiters.pop()
 		w.v = v
 		f.env.wake(w.p)
 	}
-	f.waiters = nil
 }
 
 // Wait blocks until the future resolves and returns its value.
@@ -78,8 +79,8 @@ func (f *Future[T]) Wait(p *Proc) T {
 		return f.val
 	}
 	w := &futWaiter[T]{p: p}
-	f.waiters = append(f.waiters, w)
-	p.block("future " + f.name)
+	f.waiters.push(w)
+	p.block(f.why)
 	return w.v
 }
 
@@ -89,12 +90,13 @@ type WaitGroup struct {
 	env     *Env
 	name    string
 	count   int
-	waiters []*Proc
+	waiters waitq[*Proc]
+	why     string
 }
 
 // NewWaitGroup creates a wait group with an initial count of zero.
 func NewWaitGroup(e *Env, name string) *WaitGroup {
-	return &WaitGroup{env: e, name: name}
+	return &WaitGroup{env: e, name: name, why: "waitgroup " + name}
 }
 
 // Add adjusts the count by delta; a negative result panics. Safe from
@@ -105,10 +107,9 @@ func (w *WaitGroup) Add(delta int) {
 		panic("sim: negative waitgroup count: " + w.name)
 	}
 	if w.count == 0 {
-		for _, p := range w.waiters {
-			w.env.wake(p)
+		for w.waiters.len() > 0 {
+			w.env.wake(w.waiters.pop())
 		}
-		w.waiters = nil
 	}
 }
 
@@ -123,6 +124,6 @@ func (w *WaitGroup) Wait(p *Proc) {
 	if w.count == 0 {
 		return
 	}
-	w.waiters = append(w.waiters, p)
-	p.block("waitgroup " + w.name)
+	w.waiters.push(p)
+	p.block(w.why)
 }

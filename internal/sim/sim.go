@@ -16,10 +16,19 @@
 // broadcast condition). Timer callbacks (Env.At, Env.After) run inline in
 // the scheduler and may use the non-blocking primitives (Chan.PostSend,
 // Resource.ReleaseFrom-free helpers) but must never block.
+//
+// The engine is built for throughput: the event queue is a hand
+// specialized 4-ary heap of event values (no allocation, no interface
+// dispatch per scheduling operation), waiter queues recycle their
+// storage, and when one process parks while another is runnable at the
+// head of the queue the baton passes directly between the two process
+// goroutines — the central scheduler goroutine is only woken for timer
+// callbacks, run limits and termination. Steady-state scheduling
+// (Sleep/Yield, channel ping-pong, resource hand-off) is allocation
+// free; internal/sim's benchmarks assert this numerically.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -29,6 +38,10 @@ import (
 // Time is a point in virtual time, in nanoseconds since the start of the
 // simulation.
 type Time int64
+
+// maxTime is the largest representable virtual time, used as the "no
+// limit" sentinel by Run.
+const maxTime = Time(1<<62 - 1)
 
 // Duration converts the virtual time point to a time.Duration since the
 // simulation epoch, which is convenient for formatting.
@@ -40,40 +53,13 @@ func (t Time) Add(d time.Duration) Time { return t + Time(d) }
 func (t Time) String() string { return time.Duration(t).String() }
 
 // event is a scheduled occurrence: either the resumption of a parked
-// process or an inline timer callback.
+// process or an inline timer callback. Events are stored by value in the
+// engine's 4-ary heap; scheduling one allocates nothing.
 type event struct {
 	at   Time
 	seq  uint64 // tie-break: FIFO among events at the same instant
 	proc *Proc  // non-nil: resume this process
 	fn   func() // non-nil: run inline in the scheduler
-	idx  int
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx, q[j].idx = i, j
-}
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.idx = len(*q)
-	*q = append(*q, ev)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
 }
 
 // procSignal is the message a parked process receives when it is resumed.
@@ -91,10 +77,10 @@ type killSentinel struct{}
 type Env struct {
 	now     Time
 	seq     uint64
-	events  eventQueue
+	heap    eventHeap
+	limit   Time    // active run limit; only meaningful while running
 	yield   chan struct{}
-	live    map[*Proc]struct{}
-	parked  map[*Proc]string // processes blocked on a queue (no scheduled event)
+	procs   []*Proc // live processes, position mirrored in Proc.liveIdx
 	rng     *rand.Rand
 	err     error
 	running bool
@@ -118,10 +104,8 @@ func (e *Env) Meter() any { return e.meter }
 // NewEnv returns a fresh environment whose PRNG is seeded with seed.
 func NewEnv(seed int64) *Env {
 	return &Env{
-		yield:  make(chan struct{}),
-		live:   make(map[*Proc]struct{}),
-		parked: make(map[*Proc]string),
-		rng:    rand.New(rand.NewSource(seed)),
+		yield: make(chan struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -134,17 +118,15 @@ func (e *Env) Now() Time { return e.now }
 func (e *Env) Rand() *rand.Rand { return e.rng }
 
 // schedule enqueues an event at absolute time at (clamped to now).
-func (e *Env) schedule(at Time, p *Proc, fn func()) *event {
+func (e *Env) schedule(at Time, p *Proc, fn func()) {
 	if at < e.now {
 		at = e.now
 	}
 	e.seq++
-	ev := &event{at: at, seq: e.seq, proc: p, fn: fn}
-	heap.Push(&e.events, ev)
-	if e.events.Len() > e.maxEventQueue {
-		e.maxEventQueue = e.events.Len()
+	e.heap.push(event{at: at, seq: e.seq, proc: p, fn: fn})
+	if e.heap.len() > e.maxEventQueue {
+		e.maxEventQueue = e.heap.len()
 	}
-	return ev
 }
 
 // At schedules fn to run inline in the scheduler at absolute virtual time
@@ -174,7 +156,8 @@ func (e *Env) GoDaemon(name string, fn func(p *Proc)) *Proc {
 func (e *Env) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 	e.procsSpawned++
 	p := &Proc{env: e, name: name, resume: make(chan procSignal), daemon: daemon}
-	e.live[p] = struct{}{}
+	p.liveIdx = len(e.procs)
+	e.procs = append(e.procs, p)
 	e.schedule(e.now, p, nil)
 	go func() {
 		defer func() {
@@ -184,14 +167,25 @@ func (e *Env) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 				}
 				e.err = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
 			}
-			delete(e.live, p)
+			e.dropLive(p)
 			p.done = true
-			e.yield <- struct{}{}
+			e.finish()
 		}()
 		p.park() // wait for the start event
 		fn(p)
 	}()
 	return p
+}
+
+// dropLive removes p from the live slice by swapping the tail into its
+// slot — the intrusive-index replacement for the old live map.
+func (e *Env) dropLive(p *Proc) {
+	last := len(e.procs) - 1
+	tail := e.procs[last]
+	e.procs[p.liveIdx] = tail
+	tail.liveIdx = p.liveIdx
+	e.procs[last] = nil
+	e.procs = e.procs[:last]
 }
 
 // DeadlockError is returned by Run when live processes remain but no
@@ -219,7 +213,7 @@ func (d *DeadlockError) Error() string {
 // Run drives the simulation until no events remain or an error occurs. It
 // returns a *DeadlockError if processes remain parked with no pending
 // events, or the panic error of a crashed process.
-func (e *Env) Run() error { return e.run(Time(1<<62-1), true) }
+func (e *Env) Run() error { return e.run(maxTime, true) }
 
 // RunUntil drives the simulation until virtual time exceeds limit, no
 // events remain, or an error occurs. Events scheduled after limit remain
@@ -233,17 +227,17 @@ func (e *Env) run(limit Time, detectDeadlock bool) error {
 		return fmt.Errorf("sim: environment was shut down")
 	}
 	e.running = true
+	e.limit = limit
 	defer func() { e.running = false }()
-	for e.events.Len() > 0 {
-		ev := e.events[0]
-		if ev.at > limit {
+	for e.heap.len() > 0 {
+		if e.heap.top().at > limit {
 			// Do not advance the clock beyond the limit.
 			if e.now < limit {
 				e.now = limit
 			}
 			return nil
 		}
-		heap.Pop(&e.events)
+		ev := e.heap.pop()
 		e.now = ev.at
 		e.eventsProcessed++
 		switch {
@@ -258,6 +252,10 @@ func (e *Env) run(limit Time, detectDeadlock bool) error {
 				continue // stale wakeup for a finished process
 			}
 			e.trace(TraceProcResumed, ev.proc.name)
+			// Hand the baton to the process. While processes keep
+			// finding runnable peers at the head of the queue they pass
+			// it among themselves (see yieldAndPark); the scheduler is
+			// only woken again for callbacks, limits or termination.
 			ev.proc.resume <- procSignal{}
 			<-e.yield
 			if ev.proc.done {
@@ -268,26 +266,50 @@ func (e *Env) run(limit Time, detectDeadlock bool) error {
 			}
 		}
 	}
-	if e.now < limit && limit < Time(1<<62-1) {
+	if e.now < limit && limit < maxTime {
 		e.now = limit
 	}
 	if detectDeadlock {
-		d := &DeadlockError{Parked: map[string]string{}}
-		for p := range e.live {
+		var d *DeadlockError // allocated only on actual deadlock
+		for _, p := range e.procs {
 			if p.daemon {
 				continue
 			}
-			why, ok := e.parked[p]
-			if !ok {
+			why := p.parkedWhy
+			if why == "" {
 				why = "unknown"
+			}
+			if d == nil {
+				d = &DeadlockError{Parked: map[string]string{}}
 			}
 			d.Parked[p.name] = why
 		}
-		if len(d.Parked) > 0 {
+		if d != nil {
 			return d
 		}
 	}
 	return nil
+}
+
+// nextRunnable pops the next event if it is the resumption of a live
+// process within the active run limit — the only case a parking process
+// may dispatch itself. Timer callbacks, limit crossings and an empty
+// queue return ok == false: those are handled by the central run loop.
+func (e *Env) nextRunnable() (p *Proc, ok bool) {
+	for e.heap.len() > 0 {
+		top := e.heap.top()
+		if top.proc == nil || top.at > e.limit {
+			return nil, false
+		}
+		ev := e.heap.pop()
+		if ev.proc.done {
+			continue // stale wakeup for a finished process
+		}
+		e.now = ev.at
+		e.eventsProcessed++
+		return ev.proc, true
+	}
+	return nil, false
 }
 
 // Shutdown terminates every live process goroutine so that the environment
@@ -298,25 +320,23 @@ func (e *Env) Shutdown() {
 		return
 	}
 	e.stopped = true
-	for p := range e.live {
-		if p.done {
-			continue
-		}
+	for _, p := range e.procs {
 		p.resume <- procSignal{kill: true}
 	}
-	e.live = map[*Proc]struct{}{}
-	e.events = nil
-	e.parked = map[*Proc]string{}
+	e.procs = nil
+	e.heap.ev = nil
 }
 
 // Proc is a simulated process. Its methods must only be called from the
 // goroutine running the process body.
 type Proc struct {
-	env    *Env
-	name   string
-	resume chan procSignal
-	done   bool
-	daemon bool
+	env       *Env
+	name      string
+	resume    chan procSignal
+	done      bool
+	daemon    bool
+	liveIdx   int    // position in env.procs (intrusive live-set slot)
+	parkedWhy string // what the process is blocked on; "" when runnable
 }
 
 // Name returns the process name given to Env.Go.
@@ -338,23 +358,59 @@ func (p *Proc) park() {
 
 // yieldAndPark is used by blocking primitives: the caller must already
 // have registered a wakeup (a scheduled event or a waiter-queue entry).
+//
+// This is the engine's hot path. If the head of the event queue resumes
+// the parking process itself (a Sleep/Yield with nothing scheduled
+// earlier), it keeps the baton and returns without any channel
+// operation. If the head resumes another process, the baton passes
+// directly to that goroutine — one channel round-trip instead of two.
+// Only when the head is a timer callback, past the run limit, or absent
+// does the central scheduler goroutine wake up. Direct hand-off is
+// disabled while a tracer is installed so that the tracer observes every
+// scheduler step from the central loop, in the exact legacy order.
 func (p *Proc) yieldAndPark() {
-	p.env.yield <- struct{}{}
+	e := p.env
+	if e.tracer == nil && e.err == nil {
+		if next, ok := e.nextRunnable(); ok {
+			if next == p {
+				return // own wakeup is next: keep the baton
+			}
+			next.resume <- procSignal{}
+			p.park()
+			return
+		}
+	}
+	e.yield <- struct{}{}
 	p.park()
+}
+
+// finish hands the baton onward when a process goroutine ends: directly
+// to the next runnable process if possible, else to the central
+// scheduler loop.
+func (e *Env) finish() {
+	if e.tracer == nil && e.err == nil {
+		if next, ok := e.nextRunnable(); ok {
+			next.resume <- procSignal{}
+			return
+		}
+	}
+	e.yield <- struct{}{}
 }
 
 // block registers the process as parked on a queue described by why and
 // then yields. The primitive that later wakes the process must call
-// env.wake, which clears the parked entry.
+// env.wake, which clears the parked note. Callers pass preformatted
+// strings (built once per primitive, not per operation) so blocking
+// allocates nothing.
 func (p *Proc) block(why string) {
-	p.env.parked[p] = why
+	p.parkedWhy = why
 	p.yieldAndPark()
 }
 
 // wake schedules p to resume at the current instant (FIFO among same-time
-// events) and clears its parked registration.
+// events) and clears its parked note.
 func (e *Env) wake(p *Proc) {
-	delete(e.parked, p)
+	p.parkedWhy = ""
 	e.schedule(e.now, p, nil)
 }
 
@@ -397,7 +453,7 @@ func (e *Env) Stats() EngineStats {
 	return EngineStats{
 		EventsProcessed: e.eventsProcessed,
 		ProcsSpawned:    e.procsSpawned,
-		ProcsLive:       len(e.live),
+		ProcsLive:       len(e.procs),
 		MaxEventQueue:   e.maxEventQueue,
 	}
 }
@@ -425,7 +481,10 @@ type TraceEvent struct {
 
 // SetTracer installs fn to observe every scheduler step — the execution
 // timeline of the simulation. A nil fn disables tracing. The tracer runs
-// inline in the scheduler: keep it cheap and never block.
+// inline in the scheduler: keep it cheap and never block. Installing a
+// tracer routes every resumption through the central scheduler loop
+// (direct process-to-process hand-off is suspended) so the timeline is
+// observed completely and in order.
 func (e *Env) SetTracer(fn func(TraceEvent)) { e.tracer = fn }
 
 func (e *Env) trace(kind TraceEventKind, proc string) {

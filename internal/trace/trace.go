@@ -28,6 +28,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"ngdc/internal/metrics"
@@ -300,6 +301,49 @@ func AttachRegistry(env *sim.Env, r *Registry) {
 	}
 	r.env = env
 	env.SetMeter(r)
+}
+
+// Fold merges a snapshot's counters into the registry, in a fixed
+// (sorted) key order so that folding the same snapshots in the same
+// sequence always reproduces the same registry state bit-for-bit. It is
+// the merge half of the parallel sweep runner: each sweep cell runs
+// against its own registry and the runner folds the per-cell snapshots
+// back into the caller's registry in cell-index order at the barrier,
+// making the merged counters independent of worker scheduling.
+func (r *Registry) Fold(s TraceStats) {
+	r.engine.merge(s.Engine)
+	devs := make([]int, 0, len(s.Devices))
+	for id := range s.Devices {
+		devs = append(devs, id)
+	}
+	sort.Ints(devs)
+	for _, id := range devs {
+		d := s.Devices[id]
+		r.Device(id).merge(d)
+	}
+	nics := make([]int, 0, len(s.NICs))
+	for id := range s.NICs {
+		nics = append(nics, id)
+	}
+	sort.Ints(nics)
+	for _, id := range nics {
+		n := s.NICs[id]
+		r.NIC(id).merge(n)
+	}
+	for c := OpClass(0); c < numOpClasses; c++ {
+		if t, ok := s.Fabric[c.String()]; ok {
+			r.fabric[c].merge(t)
+		}
+	}
+	schemes := make([]string, 0, len(s.Schemes))
+	for n := range s.Schemes {
+		schemes = append(schemes, n)
+	}
+	sort.Strings(schemes)
+	for _, n := range schemes {
+		sc := s.Schemes[n]
+		r.Scheme(n).merge(sc)
+	}
 }
 
 // SetSink installs w as the JSONL event sink: every verbs operation and
