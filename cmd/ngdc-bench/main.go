@@ -15,6 +15,15 @@
 // verbs ops per device, NIC occupancy, fabric wire-vs-CPU time, socket
 // flow-control stalls, engine totals — as JSONL records).
 //
+// Profiling: -cpuprofile <file> and -memprofile <file> write pprof
+// profiles covering the experiment run.
+//
+// The special command "bench" runs wall-clock microbenchmarks of the
+// hot substrate paths (engine events/s and verbs posted-ops/s) and,
+// with -bench-json <file> (default BENCH_ngdc.json), writes the numbers
+// as a machine-readable snapshot so the performance trajectory can be
+// tracked across commits.
+//
 // Experiments:
 //
 //	ddss-latency        Fig 3a — DDSS put() latency per coherence model
@@ -35,13 +44,20 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"time"
 
+	"ngdc/internal/cluster"
 	"ngdc/internal/experiments"
+	"ngdc/internal/fabric"
+	"ngdc/internal/sim"
 	"ngdc/internal/trace"
+	"ngdc/internal/verbs"
 )
 
 func main() {
@@ -61,6 +77,10 @@ func main() {
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker goroutines per sweep (cells run concurrently; results are byte-identical for every value)")
 	traceFile := fs.String("trace", "", "write per-layer trace counters (JSONL) to this file")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile taken at the end of the run to this file")
+	benchJSON := fs.String("bench-json", "BENCH_ngdc.json",
+		"bench: write the microbenchmark snapshot as JSON to this file (empty to skip)")
 
 	switch cmd {
 	case "-h", "--help", "help":
@@ -68,6 +88,37 @@ func main() {
 		return
 	}
 	fs.Parse(args)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fail(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}()
+	}
+
+	if cmd == "bench" {
+		runBench(*benchJSON)
+		return
+	}
 	opt := experiments.Options{
 		Seed:     *seed,
 		Quick:    *quick,
@@ -131,6 +182,106 @@ func writeTrace(f *os.File, r *trace.Registry) {
 	}
 }
 
+// benchSnapshot is the machine-readable perf record -bench-json emits.
+type benchSnapshot struct {
+	Date               string  `json:"date"`
+	GoVersion          string  `json:"go_version"`
+	EngineEventsPerSec float64 `json:"engine_events_per_sec"`
+	VerbsPostedOpsSec  float64 `json:"verbs_posted_ops_per_sec"`
+}
+
+// runBench measures the two hot substrate paths against the wall clock
+// and writes the snapshot to jsonPath (skipped when empty).
+func runBench(jsonPath string) {
+	snap := benchSnapshot{
+		Date:               time.Now().UTC().Format(time.RFC3339),
+		GoVersion:          runtime.Version(),
+		EngineEventsPerSec: benchEngine(),
+		VerbsPostedOpsSec:  benchPostedOps(),
+	}
+	fmt.Printf("engine            %14.0f events/s\n", snap.EngineEventsPerSec)
+	fmt.Printf("verbs posted ops  %14.0f ops/s\n", snap.VerbsPostedOpsSec)
+	if jsonPath == "" {
+		return
+	}
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		fail(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Println("wrote", jsonPath)
+}
+
+// benchEngine reruns a 16-process timer workload until enough wall time
+// has accumulated, then reports scheduler events per wall second.
+func benchEngine() float64 {
+	var events uint64
+	var elapsed time.Duration
+	for elapsed < 500*time.Millisecond {
+		env := sim.NewEnv(1)
+		for w := 0; w < 16; w++ {
+			env.Go(fmt.Sprintf("w%d", w), func(p *sim.Proc) {
+				for k := 0; k < 10000; k++ {
+					p.Sleep(time.Microsecond)
+				}
+			})
+		}
+		start := time.Now()
+		if err := env.Run(); err != nil {
+			fail(err)
+		}
+		elapsed += time.Since(start)
+		events += env.Stats().EventsProcessed
+	}
+	return float64(events) / elapsed.Seconds()
+}
+
+// benchPostedOps drives the doorbell-batched verbs datapath — batches of
+// 64 512-byte RDMA writes posted with PostList and drained through a CQ
+// — and reports completed work requests per wall second.
+func benchPostedOps() float64 {
+	const batch = 64
+	var ops uint64
+	var elapsed time.Duration
+	for elapsed < 500*time.Millisecond {
+		env := sim.NewEnv(1)
+		nw := verbs.NewNetwork(env, fabric.DefaultParams())
+		d0 := nw.Attach(cluster.NewNode(env, 0, 4, 1<<30))
+		d1 := nw.Attach(cluster.NewNode(env, 1, 4, 1<<30))
+		mr := d1.RegisterAtSetup(make([]byte, 1<<16))
+		cq := d0.CreateCQ("bench", 256)
+		src := make([]byte, 512)
+		wrs := make([]verbs.WR, batch)
+		for i := range wrs {
+			wrs[i] = verbs.WR{ID: uint64(i), Op: verbs.OpWrite,
+				Target: mr.Addr(), Off: (i * 512) % (1 << 16), Src: src}
+		}
+		const rounds = 2000
+		env.Go("driver", func(p *sim.Proc) {
+			for r := 0; r < rounds; r++ {
+				d0.PostList(cq, wrs)
+				for i := 0; i < batch; i++ {
+					cq.Poll(p)
+				}
+			}
+		})
+		start := time.Now()
+		if err := env.Run(); err != nil {
+			fail(err)
+		}
+		elapsed += time.Since(start)
+		ops += batch * rounds
+	}
+	return float64(ops) / elapsed.Seconds()
+}
+
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "ngdc-bench:", err)
 	os.Exit(1)
@@ -144,4 +295,5 @@ experiments:`)
 		fmt.Fprintf(os.Stderr, "  %-34s %s (%s)\n", e.CommandName(), e.Figure, e.ID)
 	}
 	fmt.Fprintln(os.Stderr, "  all                                run every experiment")
+	fmt.Fprintln(os.Stderr, "  bench                              substrate microbenchmarks (-bench-json file)")
 }

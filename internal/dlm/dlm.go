@@ -185,11 +185,24 @@ type wire struct {
 
 func (w wire) encode() []byte {
 	b := make([]byte, msgSize)
+	w.encodeInto(b)
+	return b
+}
+
+func (w wire) encodeInto(b []byte) {
 	b[0] = w.op
 	binary.LittleEndian.PutUint32(b[1:], uint32(w.lock))
 	binary.LittleEndian.PutUint32(b[5:], uint32(w.from))
 	binary.LittleEndian.PutUint32(b[9:], uint32(w.arg))
-	return b
+}
+
+// sendWire transmits one protocol message through the device's pooled
+// buffers: encode into a pool buffer, hand ownership to the receiver
+// (which releases it after decoding), no per-message allocation.
+func sendWire(p *sim.Proc, dev *verbs.Device, dstNode int, service string, w wire) error {
+	b := dev.GetBuf(msgSize)
+	w.encodeInto(b)
+	return dev.SendBuf(p, dstNode, service, b)
 }
 
 func decodeWire(b []byte) wire {

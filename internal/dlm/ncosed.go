@@ -90,6 +90,7 @@ func (c *ncosedClientImpl) clientLoop(p *sim.Proc) {
 	for {
 		msg := c.dev.Recv(p, ncosedClientSvc)
 		w := decodeWire(msg.Data)
+		msg.Release()
 		switch w.op {
 		case opGrant:
 			c.grants.grant(w.lock, w.arg)
@@ -110,6 +111,7 @@ func (c *ncosedClientImpl) agentLoop(p *sim.Proc) {
 	for {
 		msg := c.dev.Recv(p, ncosedAgentSvc)
 		w := decodeWire(msg.Data)
+		msg.Release()
 		st := c.agentLockState(w.lock)
 		switch w.op {
 		case opSharedRegister:
@@ -151,7 +153,7 @@ func (c *ncosedClientImpl) ensurePoller(lock int, st *ncosedLockState) {
 				d := st.pendingDrain - 1
 				st.pendingDrain = 0
 				g := wire{op: opGrant, lock: lock, from: c.dev.Node.ID}
-				if err := c.dev.Send(p, d, ncosedClientSvc, g.encode()); err != nil {
+				if err := sendWire(p, c.dev, d, ncosedClientSvc, g); err != nil {
 					panic(err)
 				}
 				continue
@@ -165,7 +167,7 @@ func (c *ncosedClientImpl) ensurePoller(lock int, st *ncosedLockState) {
 				c.tails.PutUint64At(off, ncWord(0, ncCnt(w)+uint64(len(cohort))))
 				for _, nodeID := range cohort {
 					g := wire{op: opGrant, lock: lock, from: c.dev.Node.ID}
-					if err := c.dev.Send(p, nodeID, ncosedClientSvc, g.encode()); err != nil {
+					if err := sendWire(p, c.dev, nodeID, ncosedClientSvc, g); err != nil {
 						panic(err)
 					}
 				}
@@ -206,7 +208,7 @@ func (c *ncosedClientImpl) lockShared(p *sim.Proc, lock int) {
 	}
 	fut := c.grants.arm(lock)
 	reg := wire{op: opSharedRegister, lock: lock, from: c.dev.Node.ID}
-	if err := c.dev.Send(p, c.m.homeNodeID(lock), ncosedAgentSvc, reg.encode()); err != nil {
+	if err := sendWire(p, c.dev, c.m.homeNodeID(lock), ncosedAgentSvc, reg); err != nil {
 		panic(err)
 	}
 	fut.Wait(p)
@@ -237,7 +239,7 @@ func (c *ncosedClientImpl) lockExclusive(p *sim.Proc, lock int) {
 		// count drains to zero.
 		fut := c.grants.arm(lock)
 		req := wire{op: opWaitDrain, lock: lock, from: c.dev.Node.ID}
-		if err := c.dev.Send(p, c.m.homeNodeID(lock), ncosedAgentSvc, req.encode()); err != nil {
+		if err := sendWire(p, c.dev, c.m.homeNodeID(lock), ncosedAgentSvc, req); err != nil {
 			panic(err)
 		}
 		fut.Wait(p)
@@ -245,7 +247,7 @@ func (c *ncosedClientImpl) lockExclusive(p *sim.Proc, lock int) {
 		// Queue behind the previous tail, peer-to-peer.
 		fut := c.grants.arm(lock)
 		enq := wire{op: opEnqueue, lock: lock, from: c.dev.Node.ID}
-		if err := c.dev.Send(p, int(prevTail-1), ncosedClientSvc, enq.encode()); err != nil {
+		if err := sendWire(p, c.dev, int(prevTail-1), ncosedClientSvc, enq); err != nil {
 			panic(err)
 		}
 		fut.Wait(p)
@@ -295,7 +297,7 @@ func (c *ncosedClientImpl) Unlock(p *sim.Proc, lock int, mode Mode) {
 		if s, ok := c.succ[lock]; ok {
 			delete(c.succ, lock)
 			g := wire{op: opGrant, lock: lock, from: c.dev.Node.ID}
-			if err := c.dev.Send(p, s-1, ncosedClientSvc, g.encode()); err != nil {
+			if err := sendWire(p, c.dev, s-1, ncosedClientSvc, g); err != nil {
 				panic(err)
 			}
 			return
@@ -322,7 +324,7 @@ func (c *ncosedClientImpl) Unlock(p *sim.Proc, lock int, mode Mode) {
 		c.succWait[lock] = fut
 		s := fut.Wait(p)
 		g := wire{op: opGrant, lock: lock, from: c.dev.Node.ID}
-		if err := c.dev.Send(p, s, ncosedClientSvc, g.encode()); err != nil {
+		if err := sendWire(p, c.dev, s, ncosedClientSvc, g); err != nil {
 			panic(err)
 		}
 		return

@@ -60,6 +60,7 @@ func (s *srslServer) serve(p *sim.Proc) {
 		// competes with whatever else runs on the home node.
 		s.dev.Node.Exec(p, ServerCPU)
 		w := decodeWire(msg.Data)
+		msg.Release()
 		st := s.state(w.lock)
 		switch w.op {
 		case opLockReq:
@@ -135,7 +136,7 @@ func (s *srslServer) drain(p *sim.Proc, st *srslLockState) {
 
 func (s *srslServer) sendGrant(p *sim.Proc, req wire) {
 	g := wire{op: opGrant, lock: req.lock, from: s.dev.Node.ID, arg: req.arg}
-	if err := s.dev.Send(p, req.from, srslClient, g.encode()); err != nil {
+	if err := sendWire(p, s.dev, req.from, srslClient, g); err != nil {
 		panic(err)
 	}
 }
@@ -145,6 +146,7 @@ func (c *srslClientImpl) serve(p *sim.Proc) {
 	for {
 		msg := c.dev.Recv(p, srslClient)
 		w := decodeWire(msg.Data)
+		msg.Release()
 		if w.op == opGrant {
 			c.grants.grant(w.lock, w.arg)
 		}
@@ -156,7 +158,7 @@ func (c *srslClientImpl) Lock(p *sim.Proc, lock int, mode Mode) {
 	c.m.checkLock(lock)
 	fut := c.grants.arm(lock)
 	req := wire{op: opLockReq, lock: lock, from: c.dev.Node.ID, arg: int(mode)}
-	if err := c.dev.Send(p, c.m.homeNodeID(lock), srslService, req.encode()); err != nil {
+	if err := sendWire(p, c.dev, c.m.homeNodeID(lock), srslService, req); err != nil {
 		panic(err)
 	}
 	fut.Wait(p)
@@ -168,7 +170,7 @@ func (c *srslClientImpl) TryLock(p *sim.Proc, lock int, mode Mode) bool {
 	c.m.checkLock(lock)
 	fut := c.grants.arm(lock)
 	req := wire{op: opTryLockReq, lock: lock, from: c.dev.Node.ID, arg: int(mode)}
-	if err := c.dev.Send(p, c.m.homeNodeID(lock), srslService, req.encode()); err != nil {
+	if err := sendWire(p, c.dev, c.m.homeNodeID(lock), srslService, req); err != nil {
 		panic(err)
 	}
 	return fut.Wait(p)&srslDenied == 0
@@ -178,7 +180,7 @@ func (c *srslClientImpl) TryLock(p *sim.Proc, lock int, mode Mode) bool {
 func (c *srslClientImpl) Unlock(p *sim.Proc, lock int, mode Mode) {
 	c.m.checkLock(lock)
 	req := wire{op: opUnlockReq, lock: lock, from: c.dev.Node.ID, arg: int(mode)}
-	if err := c.dev.Send(p, c.m.homeNodeID(lock), srslService, req.encode()); err != nil {
+	if err := sendWire(p, c.dev, c.m.homeNodeID(lock), srslService, req); err != nil {
 		panic(err)
 	}
 }

@@ -141,16 +141,36 @@ type NIC struct {
 // transfer, then releases it. It returns after the last byte is on the
 // wire.
 func (n *NIC) AcquireTx(p *sim.Proc, ser time.Duration) {
-	if n.ts == nil {
-		n.tx.Use(p, 1, ser)
-		return
-	}
+	n.AcquireTxWith(p, ser, nil)
+}
+
+// AcquireTxWith is AcquireTx with a hook run at the grant instant, after
+// the queueing delay but before the serialization sleep. RDMA read uses
+// it to sample target memory at the exact virtual moment the response
+// leaves the remote NIC, while sharing the occupancy/stall accounting of
+// every other transmit.
+func (n *NIC) AcquireTxWith(p *sim.Proc, ser time.Duration, atGrant func()) {
 	env := n.Node.Env()
 	start := env.Now()
 	n.tx.Acquire(p, 1)
-	n.ts.RecordTx(ser, time.Duration(env.Now()-start))
+	if n.ts != nil {
+		n.ts.RecordTx(ser, time.Duration(env.Now()-start))
+	}
+	if atGrant != nil {
+		atGrant()
+	}
 	p.Sleep(ser)
 	n.tx.Release(1)
+}
+
+// GrantTx records one granted transmit (occupancy ser, queueing delay
+// wait) against the NIC's trace counters. Event-chain callers that drive
+// the transmit resource through Tx().AcquireAsync call it from the grant
+// callback so their accounting matches AcquireTx exactly.
+func (n *NIC) GrantTx(ser, wait time.Duration) {
+	if n.ts != nil {
+		n.ts.RecordTx(ser, wait)
+	}
 }
 
 // Tx exposes the transmit resource for instrumentation.

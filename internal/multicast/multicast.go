@@ -121,6 +121,7 @@ func (g *Group) agent(p *sim.Proc, rank int) {
 	for {
 		msg := dev.Recv(p, g.service())
 		if len(msg.Data) < hdrSize {
+			msg.Release()
 			continue
 		}
 		payload := msg.Data[hdrSize:]
@@ -130,6 +131,9 @@ func (g *Group) agent(p *sim.Proc, rank int) {
 			g.relay(p, rank, payload)
 		}
 		g.deliver(rank, payload)
+		// payload aliases the pooled frame; relaying and delivery have
+		// copied what they need.
+		msg.Release()
 	}
 }
 
@@ -169,12 +173,14 @@ func highestBit(v uint) uint {
 	return b
 }
 
-// send unicasts a frame from one rank to another.
+// send unicasts a frame from one rank to another, assembled directly in
+// a pooled buffer the receiving agent releases.
 func (g *Group) send(p *sim.Proc, from, to int, payload []byte) {
-	frame := make([]byte, hdrSize+len(payload))
+	dev := g.devs[from]
+	frame := dev.GetBuf(hdrSize + len(payload))
 	binary.LittleEndian.PutUint32(frame, uint32(from))
 	copy(frame[hdrSize:], payload)
-	if err := g.devs[from].Send(p, g.devs[to].Node.ID, g.service(), frame); err != nil {
+	if err := dev.SendBuf(p, g.devs[to].Node.ID, g.service(), frame); err != nil {
 		panic(err)
 	}
 }

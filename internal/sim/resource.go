@@ -10,6 +10,12 @@ import "time"
 // run queue. Contended acquisition is allocation-free in the steady
 // state: waiter records are recycled through a free list and the waiter
 // queue reuses its backing storage.
+//
+// Besides blocking acquisition from a process, a resource supports
+// callback-context acquisition (AcquireAsync): the grant is delivered to
+// a function run inline in the scheduler instead of waking a parked
+// process. Both kinds of requester share the same FIFO queue, so
+// event-chain state machines and blocking processes contend fairly.
 type Resource struct {
 	env   *Env
 	name  string
@@ -18,6 +24,10 @@ type Resource struct {
 	q     waitq[*resWaiter]
 	free  []*resWaiter
 	why   string
+	// granted holds async grants awaiting dispatch through the event
+	// queue; dispatch pops them FIFO so grant order matches queue order.
+	granted  waitq[asyncGrant]
+	dispatch func()
 	// maxQueued tracks the high-water mark of waiters, useful for
 	// instrumentation (e.g. run-queue length statistics).
 	maxQueued int
@@ -26,6 +36,16 @@ type Resource struct {
 type resWaiter struct {
 	p *Proc
 	n int
+	// fn is non-nil for callback-context requests: the waiter has no
+	// process; the grant runs fn inline in the scheduler with the time
+	// the request spent queued.
+	fn  func(waited time.Duration)
+	enq Time
+}
+
+type asyncGrant struct {
+	fn     func(waited time.Duration)
+	waited time.Duration
 }
 
 // NewResource creates a resource with the given capacity (units).
@@ -33,7 +53,14 @@ func NewResource(e *Env, name string, capacity int) *Resource {
 	if capacity <= 0 {
 		panic("sim: resource capacity must be positive: " + name)
 	}
-	return &Resource{env: e, name: name, cap: capacity, why: "acquire " + name}
+	r := &Resource{env: e, name: name, cap: capacity, why: "acquire " + name}
+	// One dispatch closure per resource: scheduling an async grant through
+	// the event queue allocates nothing per operation.
+	r.dispatch = func() {
+		g := r.granted.pop()
+		g.fn(g.waited)
+	}
+	return r
 }
 
 // Cap returns the total capacity.
@@ -58,14 +85,8 @@ func (r *Resource) Acquire(p *Proc, n int) {
 		r.inUse += n
 		return
 	}
-	var w *resWaiter
-	if ln := len(r.free); ln > 0 {
-		w = r.free[ln-1]
-		r.free = r.free[:ln-1]
-		w.p, w.n = p, n
-	} else {
-		w = &resWaiter{p: p, n: n}
-	}
+	w := r.waiter()
+	w.p, w.n = p, n
 	r.q.push(w)
 	if r.q.len() > r.maxQueued {
 		r.maxQueued = r.q.len()
@@ -73,6 +94,41 @@ func (r *Resource) Acquire(p *Proc, n int) {
 	p.block(r.why)
 	w.p = nil
 	r.free = append(r.free, w)
+}
+
+// AcquireAsync requests n units from callback context. If the units are
+// immediately available (and no earlier waiter is queued) fn runs
+// synchronously with waited == 0 — the uncontended fast path. Otherwise
+// the request joins the same FIFO queue as blocking acquirers and fn is
+// dispatched through the event queue at the grant instant, so grant
+// order relative to process wakes at the same instant matches arrival
+// order exactly. The caller owns the units once fn runs and must
+// Release them. Steady-state contended grants allocate nothing: waiter
+// records, the grant queue and the dispatch closure are all recycled.
+func (r *Resource) AcquireAsync(n int, fn func(waited time.Duration)) {
+	if n <= 0 || n > r.cap {
+		panic("sim: bad acquire count on " + r.name)
+	}
+	if r.q.len() == 0 && r.inUse+n <= r.cap {
+		r.inUse += n
+		fn(0)
+		return
+	}
+	w := r.waiter()
+	w.n, w.fn, w.enq = n, fn, r.env.now
+	r.q.push(w)
+	if r.q.len() > r.maxQueued {
+		r.maxQueued = r.q.len()
+	}
+}
+
+func (r *Resource) waiter() *resWaiter {
+	if ln := len(r.free); ln > 0 {
+		w := r.free[ln-1]
+		r.free = r.free[:ln-1]
+		return w
+	}
+	return &resWaiter{}
 }
 
 // TryAcquire takes n units if immediately available (and no earlier waiter
@@ -98,6 +154,15 @@ func (r *Resource) Release(n int) {
 	for r.q.len() > 0 && r.inUse+r.q.peek().n <= r.cap {
 		w := r.q.pop()
 		r.inUse += w.n
+		if w.fn != nil {
+			// Callback waiter: hand the grant through the event queue so
+			// it interleaves with same-instant process wakes in FIFO order.
+			r.granted.push(asyncGrant{fn: w.fn, waited: time.Duration(r.env.now - w.enq)})
+			r.env.schedule(r.env.now, nil, r.dispatch)
+			w.fn = nil
+			r.free = append(r.free, w)
+			continue
+		}
 		r.env.wake(w.p)
 	}
 }

@@ -407,6 +407,30 @@ func (p *Proc) block(why string) {
 	p.yieldAndPark()
 }
 
+// Park suspends the process until some other context resumes it with
+// Env.Wake or Env.WakeAfter. It is the building block for event-chain
+// code: a process issues an operation, hands its continuation to timer
+// or grant callbacks, and parks exactly once instead of sleeping through
+// every stage. reason describes the wait in deadlock reports; pass a
+// preformatted string so parking allocates nothing.
+func (p *Proc) Park(reason string) { p.block(reason) }
+
+// Wake resumes a process parked with Park at the current instant (FIFO
+// among same-time events). It is safe to call from timer callbacks.
+func (e *Env) Wake(p *Proc) { e.wake(p) }
+
+// WakeAfter resumes a process parked with Park d of virtual time from
+// now. The wake event is sequenced at the moment WakeAfter is called, so
+// calling it from a mid-chain callback preserves the same-instant FIFO
+// order a staged Sleep at that point would have produced.
+func (e *Env) WakeAfter(p *Proc, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.parkedWhy = ""
+	e.schedule(e.now.Add(d), p, nil)
+}
+
 // wake schedules p to resume at the current instant (FIFO among same-time
 // events) and clears its parked note.
 func (e *Env) wake(p *Proc) {

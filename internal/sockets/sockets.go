@@ -120,6 +120,13 @@ type half struct {
 	// BSDP/PSDP flow control.
 	credits *sim.Resource
 	pool    *sim.Resource
+	// Pending credit returns, drained FIFO by the precomputed crFn
+	// callback (the return delay is the constant IBWriteLatency, so pop
+	// order matches scheduling order); replaces a captured closure per
+	// received chunk.
+	crq    []creditReturn
+	crHead int
+	crFn   func()
 
 	// PSDP staging.
 	staged *sim.Chan[wireMsg]
@@ -186,6 +193,7 @@ func newHalf(scheme Scheme, src, dst *verbs.Device, opt Options) *half {
 		h.tr = r
 		h.ts = r.Scheme(scheme.String())
 	}
+	h.crFn = h.returnCredits
 	switch scheme {
 	case BSDP:
 		h.credits = sim.NewResource(env, name+"/credits", opt.Credits)
@@ -281,18 +289,31 @@ func (h *half) copyOut(p *sim.Proc, wm wireMsg) {
 		if h.tr != nil {
 			h.tr.RecordOp(trace.OpCopy, 0, params.CopyTime(len(wm.data)))
 		}
-		credit, pool := wm.credit, wm.pool
-		if credit > 0 || pool > 0 {
-			env := h.dst.Env()
-			env.After(params.IBWriteLatency, func() {
-				if credit > 0 {
-					h.credits.Release(credit)
-				}
-				if pool > 0 {
-					h.pool.Release(pool)
-				}
-			})
+		if wm.credit > 0 || wm.pool > 0 {
+			h.crq = append(h.crq, creditReturn{credit: wm.credit, pool: wm.pool})
+			h.dst.Env().After(params.IBWriteLatency, h.crFn)
 		}
+	}
+}
+
+type creditReturn struct {
+	credit, pool int
+}
+
+// returnCredits releases the oldest pending credit return; the backing
+// slice is recycled once drained.
+func (h *half) returnCredits() {
+	cr := h.crq[h.crHead]
+	h.crHead++
+	if h.crHead == len(h.crq) {
+		h.crq = h.crq[:0]
+		h.crHead = 0
+	}
+	if cr.credit > 0 {
+		h.credits.Release(cr.credit)
+	}
+	if cr.pool > 0 {
+		h.pool.Release(cr.pool)
 	}
 }
 

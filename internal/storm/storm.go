@@ -231,15 +231,18 @@ func (c *Cluster) serveDDSS(p *sim.Proc, dn *cluster.Node, h *ddss.Handle) {
 	dev := c.nw.Device(dn.ID)
 	for {
 		msg := dev.Recv(p, "storm-query")
-		out := c.scan(p, dn, decodeSelector(msg.Data))
+		sel := decodeSelector(msg.Data)
+		msg.Release()
+		out := c.scan(p, dn, sel)
 		buf := make([]byte, 8+len(out))
 		binary.LittleEndian.PutUint64(buf, uint64(len(out)))
 		copy(buf[8:], out)
 		if _, err := h.Put(p, buf); err != nil {
 			panic(err)
 		}
-		done := []byte{1}
-		if err := dev.Send(p, c.client.ID, "storm-done", done); err != nil {
+		done := dev.GetBuf(1)
+		done[0] = 1
+		if err := dev.SendBuf(p, c.client.ID, "storm-done", done); err != nil {
 			panic(err)
 		}
 	}
@@ -291,6 +294,7 @@ func (c *Cluster) Query(p *sim.Proc, sel Selector) (Result, error) {
 		cl := c.ss.Client(c.client.ID)
 		for range c.dataNodes {
 			msg := dev.Recv(p, "storm-done")
+			msg.Release()
 			h, err := cl.Open(fmt.Sprintf("storm-res-%d", msg.From))
 			if err != nil {
 				return res, err

@@ -383,6 +383,13 @@ func (r *Registry) Scheme(name string) *SchemeStats {
 }
 
 // RecordOp accounts wire and host-CPU time against an op class.
+//
+// Scheduler-context guarantee: RecordOp, Emit and every per-object
+// recorder handed out by this registry (DeviceStats, NICStats, ...) are
+// plain counter updates with no process dependency, so the verbs
+// event-chain datapath calls them from timer and grant callbacks — not
+// just from processes. Implementations must stay free of blocking
+// primitives for that to hold.
 func (r *Registry) RecordOp(c OpClass, wire, cpu time.Duration) {
 	t := &r.fabric[c]
 	t.Ops++

@@ -52,41 +52,97 @@ func (cq *CQ) TryPoll() (Completion, bool) {
 // Pending returns the number of undelivered completions.
 func (cq *CQ) Pending() int { return cq.ch.Len() }
 
-// post runs op asynchronously in a NIC work-processing context and
-// delivers its completion to the CQ.
-func (d *Device) post(cq *CQ, id uint64, opName string, op func(p *sim.Proc) (uint64, error)) {
-	d.nw.Env.Go(fmt.Sprintf("%s/wr-%s-%d", d.Node.Name, opName, id), func(p *sim.Proc) {
-		old, err := op(p)
-		cq.ch.PostSend(Completion{ID: id, Op: opName, Old: old, Err: err})
-	})
+// Work-request op names, used in WR.Op and echoed in Completion.Op.
+const (
+	OpRead  = "read"
+	OpWrite = "write"
+	OpCAS   = "cas"
+	OpFAA   = "faa"
+)
+
+// WR describes one work request for PostList. Exactly the fields for the
+// chosen Op are consulted: Dst for OpRead; Src for OpWrite; Compare/Swap
+// for OpCAS; Delta for OpFAA.
+type WR struct {
+	ID     uint64
+	Op     string
+	Target RemoteAddr
+	Off    int
+	Dst    []byte
+	Src    []byte
+	Compare, Swap uint64
+	Delta  uint64
+}
+
+// post starts one work request as an event chain: no goroutine is
+// spawned; the chain's doorbell fires at the instant a posted work
+// process would previously have started.
+func (d *Device) post(cq *CQ, id uint64, opName string, op wrOp, r RemoteAddr, off int, dst, src []byte, cmp, swp, delta uint64) *workReq {
+	w := d.getWorkReq()
+	w.cq, w.b, w.id, w.op, w.opName = cq, nil, id, op, opName
+	w.r, w.off, w.dst, w.src = r, off, dst, src
+	w.cmp, w.swp, w.delta = cmp, swp, delta
+	w.err = nil
+	return w
 }
 
 // PostRead starts an RDMA read; the caller continues immediately.
 func (d *Device) PostRead(cq *CQ, id uint64, dst []byte, r RemoteAddr, off int) {
-	d.post(cq, id, "read", func(p *sim.Proc) (uint64, error) {
-		return 0, d.Read(p, dst, r, off)
-	})
+	w := d.post(cq, id, OpRead, wrRead, r, off, dst, nil, 0, 0, 0)
+	d.nw.Env.After(0, w.startFn)
 }
 
 // PostWrite starts an RDMA write; the caller continues immediately. The
 // source buffer is captured as-is: it must not be reused until the
 // completion arrives (the verbs contract).
 func (d *Device) PostWrite(cq *CQ, id uint64, r RemoteAddr, off int, src []byte) {
-	d.post(cq, id, "write", func(p *sim.Proc) (uint64, error) {
-		return 0, d.Write(p, r, off, src)
-	})
+	w := d.post(cq, id, OpWrite, wrWrite, r, off, nil, src, 0, 0, 0)
+	d.nw.Env.After(0, w.startFn)
 }
 
 // PostCompareSwap starts an asynchronous compare-and-swap.
 func (d *Device) PostCompareSwap(cq *CQ, id uint64, r RemoteAddr, off int, compare, swap uint64) {
-	d.post(cq, id, "cas", func(p *sim.Proc) (uint64, error) {
-		return d.CompareSwap(p, r, off, compare, swap)
-	})
+	w := d.post(cq, id, OpCAS, wrCAS, r, off, nil, nil, compare, swap, 0)
+	d.nw.Env.After(0, w.startFn)
 }
 
 // PostFetchAdd starts an asynchronous fetch-and-add.
 func (d *Device) PostFetchAdd(cq *CQ, id uint64, r RemoteAddr, off int, delta uint64) {
-	d.post(cq, id, "faa", func(p *sim.Proc) (uint64, error) {
-		return d.FetchAdd(p, r, off, delta)
-	})
+	w := d.post(cq, id, OpFAA, wrFAA, r, off, nil, nil, 0, 0, delta)
+	d.nw.Env.After(0, w.startFn)
+}
+
+// PostList posts a batch of work requests with a single doorbell: one
+// scheduled event starts every chain, and completions are delivered to
+// the CQ in posting order regardless of how the operations finish (a
+// per-batch reorder buffer holds stragglers' successors back). An
+// unknown WR.Op completes with an error; other requests in the batch
+// still run.
+func (d *Device) PostList(cq *CQ, wrs []WR) {
+	if len(wrs) == 0 {
+		return
+	}
+	b := d.getBatch(cq, len(wrs))
+	for i, wr := range wrs {
+		var op wrOp
+		switch wr.Op {
+		case OpRead:
+			op = wrRead
+		case OpWrite:
+			op = wrWrite
+		case OpCAS:
+			op = wrCAS
+		case OpFAA:
+			op = wrFAA
+		default:
+			b.comps[i] = Completion{ID: wr.ID, Op: wr.Op,
+				Err: &OpError{Op: wr.Op, Target: wr.Target, Reason: "unknown op"}}
+			b.done[i] = true
+			continue
+		}
+		w := d.post(cq, wr.ID, wr.Op, op, wr.Target, wr.Off, wr.Dst, wr.Src, wr.Compare, wr.Swap, wr.Delta)
+		w.b, w.slot = b, i
+		b.wrs = append(b.wrs, w)
+	}
+	d.nw.Env.After(0, b.doorbellFn)
 }

@@ -42,11 +42,12 @@ func ConnectQP(a, b *Device, depth int) (*QP, *QP) {
 }
 
 // Send transmits data to the peer's receive queue. It blocks until the
-// data is on the wire; delivery completes one base latency later. Data is
-// copied.
+// data is on the wire; delivery completes one base latency later. Data
+// is copied into a pooled buffer; the receiver may return it with
+// QP.Release after decoding.
 func (q *QP) Send(p *sim.Proc, data []byte) {
 	pp := q.dev.Params()
-	buf := make([]byte, len(data))
+	buf := q.dev.pool.getBuf(len(data))
 	copy(buf, data)
 	start := q.dev.nw.Env.Now()
 	q.dev.nic.AcquireTx(p, pp.IBMsgTxTime(len(data)))
@@ -58,9 +59,15 @@ func (q *QP) Send(p *sim.Proc, data []byte) {
 		q.dev.tr.RecordOp(trace.OpSend, pp.IBSendLatency+pp.IBMsgTxTime(len(data)), 0)
 		q.dev.tr.Emit("verbs", "qp-send", q.dev.Node.ID, len(data), lat)
 	}
-	peer := q.remote
-	q.dev.nw.Env.After(pp.IBSendLatency, func() { peer.rq.PostSend(buf) })
+	q.dev.qpDelq.push(qpDelivery{rq: q.remote.rq, buf: buf})
+	q.dev.nw.Env.After(pp.IBSendLatency, q.dev.deliverQPFn)
 }
+
+// Release returns a buffer obtained from Recv/TryRecv to the endpoint's
+// buffer pool. The caller must be done decoding; the bytes may be handed
+// to a later sender. Releasing is optional — unreleased buffers are
+// garbage-collected as before.
+func (q *QP) Release(buf []byte) { q.dev.pool.putBuf(buf) }
 
 // Recv blocks until the next message from the peer arrives.
 func (q *QP) Recv(p *sim.Proc) []byte {

@@ -21,12 +21,17 @@ func (d *Device) SendTCP(p *sim.Proc, dstNode int, service string, data []byte) 
 	pp := d.nw.Fab.P
 	// Sender-side protocol processing on this node's CPU.
 	d.Node.Exec(p, pp.TCPCPUTime(len(data)))
-	buf := make([]byte, len(data))
+	buf := d.pool.getBuf(len(data))
 	copy(buf, data)
 	d.nic.AcquireTx(p, pp.TCPTxTime(len(data)))
-	msg := Message{From: d.Node.ID, Service: service, Data: buf}
-	q := dst.queue("tcp:" + service)
-	d.nw.Env.After(pp.TCPLatency, func() { q.PostSend(msg) })
+	// TCP deliveries get their own FIFO: the constant-delay pop-in-push-
+	// order argument only holds per latency constant, and TCPLatency
+	// differs from IBSendLatency.
+	d.tcpDelq.push(sendDelivery{
+		q:   dst.queue("tcp:" + service),
+		msg: Message{From: d.Node.ID, Service: service, Data: buf, pool: &d.pool},
+	})
+	d.nw.Env.After(pp.TCPLatency, d.deliverTCPFn)
 	return nil
 }
 

@@ -29,11 +29,16 @@ type RemoteAddr struct {
 	Key  uint32
 }
 
-// Message is a two-sided send/recv payload.
+// Message is a two-sided send/recv payload. Messages produced by the
+// pooled send paths carry their buffer's home pool; the receiver returns
+// the payload with Release once decoded (see pool.go for the ownership
+// contract).
 type Message struct {
 	From    int
 	Service string
 	Data    []byte
+
+	pool *bufPool
 }
 
 // OpError reports a failed verbs operation.
@@ -82,6 +87,9 @@ func (nw *Network) Attach(node *cluster.Node) *Device {
 		d.tr = r
 		d.ts = r.Device(node.ID)
 	}
+	d.deliverSendFn = d.deliverSend
+	d.deliverTCPFn = d.deliverTCP
+	d.deliverQPFn = d.deliverQP
 	nw.devs[node.ID] = d
 	return d
 }
@@ -106,6 +114,21 @@ type Device struct {
 	// the fast path is one pointer comparison per operation.
 	tr *trace.Registry
 	ts *trace.DeviceStats
+
+	// Datapath pools: payload buffers, event-chain records and pending
+	// two-sided deliveries (see pool.go and chain.go). The deliver
+	// closures are bound once at Attach.
+	pool      bufPool
+	syncFree  []*syncOp
+	wrFree    []*workReq
+	batchFree []*postBatch
+	sendDelq  fifo[sendDelivery]
+	tcpDelq   fifo[sendDelivery]
+	qpDelq    fifo[qpDelivery]
+
+	deliverSendFn func()
+	deliverTCPFn  func()
+	deliverQPFn   func()
 }
 
 // NIC returns the device's network interface.
@@ -188,22 +211,19 @@ func (d *Device) Read(p *sim.Proc, dst []byte, r RemoteAddr, off int) error {
 	d.Reads++
 	pp := d.nw.Fab.P
 	start := d.nw.Env.Now()
-	// Request propagation to the target.
-	p.Sleep(pp.IBReadLatency / 2)
-	// The target HCA serializes the response data onto the wire; sample
-	// memory at transmit time.
+	// Event chain: request propagation, then the target HCA contends for
+	// its Tx engine (memory is sampled in the grant callback, the instant
+	// the response is serialized), then response propagation. The issuer
+	// parks once; every stage schedules its successor at the same instant
+	// the segmented timeline did.
 	target := d.nw.devs[r.Node]
 	ser := pp.IBTxTime(len(dst))
-	txStart := d.nw.Env.Now()
-	target.nic.Tx().Acquire(p, 1)
-	if ns := target.nic.Trace(); ns != nil {
-		ns.RecordTx(ser, time.Duration(d.nw.Env.Now()-txStart))
-	}
-	copy(dst, mr.buf[off:off+len(dst)])
-	p.Sleep(ser)
-	target.nic.Tx().Release(1)
-	// Response propagation back.
-	p.Sleep(pp.IBReadLatency / 2)
+	o := d.getSyncOp()
+	o.p, o.op, o.mr, o.dst, o.nic = p, wrRead, mr, dst, target.nic
+	o.off, o.ser, o.half2 = off, ser, pp.IBReadLatency/2
+	d.nw.Env.After(pp.IBReadLatency/2, o.midFn)
+	p.Park(parkRead)
+	d.putSyncOp(o)
 	if d.ts != nil {
 		lat := time.Duration(d.nw.Env.Now() - start)
 		d.ts.Read.Record(len(dst), lat)
@@ -228,8 +248,23 @@ func (d *Device) Write(p *sim.Proc, r RemoteAddr, off int, src []byte) error {
 	pp := d.nw.Fab.P
 	ser := pp.IBTxTime(len(src))
 	start := d.nw.Env.Now()
-	d.nic.AcquireTx(p, ser)
-	p.Sleep(pp.IBWriteLatency)
+	if d.nic.Tx().TryAcquire(1) {
+		// Uncontended fast path: one park instead of two. The chain
+		// releases the Tx engine at end-of-serialization and wakes the
+		// issuer after the placement latency — the same instants the
+		// segmented timeline used.
+		d.nic.GrantTx(ser, 0)
+		o := d.getSyncOp()
+		o.p, o.op, o.nic, o.half2 = p, wrWrite, d.nic, pp.IBWriteLatency
+		d.nw.Env.After(ser, o.txDoneFn)
+		p.Park(parkWrite)
+		d.putSyncOp(o)
+	} else {
+		// Segmented fallback under contention: queue on the Tx engine as
+		// a process waiter, exactly the pre-chain timeline.
+		d.nic.AcquireTx(p, ser)
+		p.Sleep(pp.IBWriteLatency)
+	}
 	copy(mr.buf[off:off+len(src)], src)
 	if d.ts != nil {
 		lat := time.Duration(d.nw.Env.Now() - start)
@@ -241,30 +276,37 @@ func (d *Device) Write(p *sim.Proc, r RemoteAddr, off int, src []byte) error {
 }
 
 // atomic performs the shared plumbing of CAS and FAA: it blocks the caller
-// for the atomic round trip and applies fn to the 64-bit word at the
-// remote offset at the halfway point (the instant the target HCA executes
-// the operation). fn returns the new value to store; the old value is
-// returned to the caller.
-func (d *Device) atomic(p *sim.Proc, op string, r RemoteAddr, off int, fn func(old uint64) uint64) (uint64, error) {
-	mr, err := d.nw.lookup(op, r)
+// for the atomic round trip and applies the operation to the 64-bit word
+// at the remote offset at the halfway point (the instant the target HCA
+// executes it). The operation is encoded as an opcode plus operands so
+// the chain record needs no per-call closure. The old value is returned
+// to the caller.
+func (d *Device) atomic(p *sim.Proc, name string, op wrOp, r RemoteAddr, off int, cmp, swp, delta uint64) (uint64, error) {
+	mr, err := d.nw.lookup(name, r)
 	if err != nil {
 		return 0, err
 	}
 	if off < 0 || off+8 > len(mr.buf) || off%8 != 0 {
-		return 0, &OpError{Op: op, Target: r, Reason: "bad atomic offset"}
+		return 0, &OpError{Op: name, Target: r, Reason: "bad atomic offset"}
 	}
 	d.Atomics++
 	lat := d.nw.Fab.P.IBAtomicLatency
-	p.Sleep(lat / 2)
-	// Executed atomically: the engine runs one process at a time and no
-	// virtual time passes between load and store.
-	old := binary.LittleEndian.Uint64(mr.buf[off:])
-	binary.LittleEndian.PutUint64(mr.buf[off:], fn(old))
-	p.Sleep(lat - lat/2)
+	// Event chain: the mid-chain callback loads, applies and stores the
+	// word atomically (the engine runs one callback at a time and no
+	// virtual time passes between load and store), then schedules the
+	// issuer's wake for the return half of the round trip.
+	o := d.getSyncOp()
+	o.p, o.op, o.mr, o.off = p, op, mr, off
+	o.cmp, o.swp, o.delta = cmp, swp, delta
+	o.half2 = lat - lat/2
+	d.nw.Env.After(lat/2, o.midFn)
+	p.Park(parkAtomic)
+	old := o.old
+	d.putSyncOp(o)
 	if d.ts != nil {
 		d.ts.Atomic.Record(8, lat)
 		d.tr.RecordOp(trace.OpRDMAAtomic, lat, 0)
-		d.tr.Emit("verbs", op, d.Node.ID, 8, lat)
+		d.tr.Emit("verbs", name, d.Node.ID, 8, lat)
 	}
 	return old, nil
 }
@@ -273,18 +315,13 @@ func (d *Device) atomic(p *sim.Proc, op string, r RemoteAddr, off int, fn func(o
 // with compare and, if equal, stores swap. It returns the previous value;
 // the operation succeeded iff the return equals compare.
 func (d *Device) CompareSwap(p *sim.Proc, r RemoteAddr, off int, compare, swap uint64) (uint64, error) {
-	return d.atomic(p, "cas", r, off, func(old uint64) uint64 {
-		if old == compare {
-			return swap
-		}
-		return old
-	})
+	return d.atomic(p, "cas", wrCAS, r, off, compare, swap, 0)
 }
 
 // FetchAdd atomically adds delta to the 64-bit word at the remote offset
 // and returns the previous value.
 func (d *Device) FetchAdd(p *sim.Proc, r RemoteAddr, off int, delta uint64) (uint64, error) {
-	return d.atomic(p, "faa", r, off, func(old uint64) uint64 { return old + delta })
+	return d.atomic(p, "faa", wrFAA, r, off, 0, 0, delta)
 }
 
 // queue returns (creating if needed) the named receive queue.
@@ -300,33 +337,47 @@ func (d *Device) queue(service string) *sim.Chan[Message] {
 // Send transmits a two-sided message to the named service queue on the
 // destination node. It blocks until the data is on the wire (local
 // completion); delivery happens one base latency later without remote CPU
-// involvement — processing cost is up to the receiving process.
+// involvement — processing cost is up to the receiving process. The data
+// is copied into a pooled buffer; the receiver may return it with
+// Message.Release.
 func (d *Device) Send(p *sim.Proc, dstNode int, service string, data []byte) error {
+	buf := d.pool.getBuf(len(data))
+	copy(buf, data)
+	return d.SendBuf(p, dstNode, service, buf)
+}
+
+// SendBuf is Send for a payload the caller obtained from GetBuf (or is
+// otherwise done with): ownership transfers to the receiver without a
+// copy, and the receiver returns the buffer to this device's pool with
+// Message.Release. Together with GetBuf it makes a steady-state
+// messaging loop allocation-free.
+func (d *Device) SendBuf(p *sim.Proc, dstNode int, service string, buf []byte) error {
 	dst, ok := d.nw.devs[dstNode]
 	if !ok {
 		return &OpError{Op: "send", Target: RemoteAddr{Node: dstNode}, Reason: "no such node"}
 	}
 	d.Sends++
 	pp := d.nw.Fab.P
-	buf := make([]byte, len(data))
-	copy(buf, data)
 	start := d.nw.Env.Now()
-	d.nic.AcquireTx(p, pp.IBMsgTxTime(len(data)))
+	d.nic.AcquireTx(p, pp.IBMsgTxTime(len(buf)))
 	if d.ts != nil {
 		lat := time.Duration(d.nw.Env.Now() - start)
-		d.ts.Send.Record(len(data), lat)
-		d.tr.RecordOp(trace.OpSend, pp.IBSendLatency+pp.IBMsgTxTime(len(data)), 0)
-		d.tr.Emit("verbs", "send", d.Node.ID, len(data), lat)
+		d.ts.Send.Record(len(buf), lat)
+		d.tr.RecordOp(trace.OpSend, pp.IBSendLatency+pp.IBMsgTxTime(len(buf)), 0)
+		d.tr.Emit("verbs", "send", d.Node.ID, len(buf), lat)
 	}
-	msg := Message{From: d.Node.ID, Service: service, Data: buf}
-	q := dst.queue(service)
-	d.nw.Env.After(pp.IBSendLatency, func() { q.PostSend(msg) })
+	d.sendDelq.push(sendDelivery{
+		q:   dst.queue(service),
+		msg: Message{From: d.Node.ID, Service: service, Data: buf, pool: &d.pool},
+	})
+	d.nw.Env.After(pp.IBSendLatency, d.deliverSendFn)
 	return nil
 }
 
 // PostSendAt is a scheduler-context variant of Send for protocol agents
 // that react inside timer callbacks: the message is delivered after the
-// base send latency plus serialization time, without modelling transmit
+// base send latency plus the full message transmit time (the same
+// IBMsgTxTime cost model Send charges), without modelling transmit
 // contention. Data is copied.
 func (d *Device) PostSendAt(dstNode int, service string, data []byte) error {
 	dst, ok := d.nw.devs[dstNode]
@@ -335,16 +386,18 @@ func (d *Device) PostSendAt(dstNode int, service string, data []byte) error {
 	}
 	d.Sends++
 	pp := d.nw.Fab.P
-	buf := make([]byte, len(data))
+	buf := d.pool.getBuf(len(data))
 	copy(buf, data)
 	if d.ts != nil {
 		d.ts.Send.Record(len(data), 0)
-		d.tr.RecordOp(trace.OpSend, pp.IBSendLatency+pp.IBTxTime(len(data)), 0)
+		d.tr.RecordOp(trace.OpSend, pp.IBSendLatency+pp.IBMsgTxTime(len(data)), 0)
 		d.tr.Emit("verbs", "send", d.Node.ID, len(data), 0)
 	}
-	msg := Message{From: d.Node.ID, Service: service, Data: buf}
+	msg := Message{From: d.Node.ID, Service: service, Data: buf, pool: &d.pool}
 	q := dst.queue(service)
-	d.nw.Env.After(pp.IBSendLatency+pp.IBTxTime(len(data)), func() { q.PostSend(msg) })
+	// Per-message delay (size-dependent), so this path keeps a captured
+	// closure instead of the constant-latency delivery FIFO.
+	d.nw.Env.After(pp.IBSendLatency+pp.IBMsgTxTime(len(data)), func() { q.PostSend(msg) })
 	return nil
 }
 
@@ -375,8 +428,10 @@ func (d *Device) WriteImm(p *sim.Proc, r RemoteAddr, off int, src []byte, imm ui
 	if err := d.Write(p, r, off, src); err != nil {
 		return err
 	}
+	b := d.pool.getBuf(4)
+	binary.LittleEndian.PutUint32(b, imm)
 	target := d.nw.devs[r.Node]
-	target.queue("imm").PostSend(Message{From: d.Node.ID, Service: "imm", Data: encodeImm(imm)})
+	target.queue("imm").PostSend(Message{From: d.Node.ID, Service: "imm", Data: b, pool: &d.pool})
 	return nil
 }
 
@@ -384,7 +439,9 @@ func (d *Device) WriteImm(p *sim.Proc, r RemoteAddr, off int, src []byte, imm ui
 // registered memory and returns its immediate value and source node.
 func (d *Device) RecvImm(p *sim.Proc) (imm uint32, from int) {
 	msg := d.Recv(p, "imm")
-	return decodeImm(msg.Data), msg.From
+	imm, from = decodeImm(msg.Data), msg.From
+	msg.Release()
+	return imm, from
 }
 
 // TryRecvImm returns a pending immediate without blocking.
@@ -393,13 +450,9 @@ func (d *Device) TryRecvImm() (imm uint32, from int, ok bool) {
 	if !ok {
 		return 0, 0, false
 	}
-	return decodeImm(msg.Data), msg.From, true
-}
-
-func encodeImm(v uint32) []byte {
-	b := make([]byte, 4)
-	binary.LittleEndian.PutUint32(b, v)
-	return b
+	imm, from = decodeImm(msg.Data), msg.From
+	msg.Release()
+	return imm, from, true
 }
 
 func decodeImm(b []byte) uint32 {
