@@ -11,9 +11,13 @@
 // Common flags: -seed N (default 1), -quick (shrunken sweeps),
 // -parallel N (worker goroutines a sweep fans its independent cells
 // across, default GOMAXPROCS; results are byte-identical for every N),
-// and -trace <file> (write the run's per-layer observability counters —
+// -trace <file> (write the run's per-layer observability counters —
 // verbs ops per device, NIC occupancy, fabric wire-vs-CPU time, socket
-// flow-control stalls, engine totals — as JSONL records).
+// flow-control stalls, engine totals — as JSONL records), and
+// -faults <plan> (a deterministic fault plan injected into experiments
+// that support one; e.g. "crash@700ms node=2; restart@1400ms node=2" —
+// see internal/faults for the grammar. Replaying the same plan and seed
+// reproduces the run byte-for-byte).
 //
 // Profiling: -cpuprofile <file> and -memprofile <file> write pprof
 // profiles covering the experiment run.
@@ -39,6 +43,7 @@
 //	qos                 §3     — soft QoS / admission control under overload
 //	multicast           framework — multicast dissemination latency
 //	integrated          §6     — full-stack integrated evaluation
+//	recovery            fault model — lock recovery latency vs lease length
 //	all                 run every experiment
 package main
 
@@ -55,6 +60,7 @@ import (
 	"ngdc/internal/cluster"
 	"ngdc/internal/experiments"
 	"ngdc/internal/fabric"
+	"ngdc/internal/faults"
 	"ngdc/internal/sim"
 	"ngdc/internal/trace"
 	"ngdc/internal/verbs"
@@ -77,6 +83,8 @@ func main() {
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker goroutines per sweep (cells run concurrently; results are byte-identical for every value)")
 	traceFile := fs.String("trace", "", "write per-layer trace counters (JSONL) to this file")
+	faultPlan := fs.String("faults", "",
+		`deterministic fault plan, e.g. "crash@700ms node=2; restart@1400ms node=2" (see internal/faults)`)
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile taken at the end of the run to this file")
 	benchJSON := fs.String("bench-json", "BENCH_ngdc.json",
@@ -127,6 +135,13 @@ func main() {
 		RUBiS:    *rubis,
 		Measure:  *measure,
 		Parallel: *parallel,
+	}
+	if *faultPlan != "" {
+		plan, err := faults.Parse(*faultPlan)
+		if err != nil {
+			fail(err)
+		}
+		opt.Faults = plan
 	}
 
 	var traceOut *os.File
@@ -288,7 +303,7 @@ func fail(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: ngdc-bench <experiment> [-seed N] [-quick] [-parallel N] [-trace file] [flags]
+	fmt.Fprintln(os.Stderr, `usage: ngdc-bench <experiment> [-seed N] [-quick] [-parallel N] [-trace file] [-faults plan] [flags]
 
 experiments:`)
 	for _, e := range experiments.All() {

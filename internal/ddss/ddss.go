@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"ngdc/internal/cluster"
+	"ngdc/internal/faults"
 	"ngdc/internal/sim"
 	"ngdc/internal/verbs"
 )
@@ -76,7 +77,10 @@ func (c Coherence) String() string {
 	}
 }
 
-// Models lists every coherence model, in the order Fig 3a plots them.
+// Models lists the coherence models of the paper's Fig 3a, in the order
+// the figure plots them. Temporal is deliberately absent: it is our
+// TTL-based extension beyond the figure's sweep, measured separately —
+// the full enumeration is the Coherence constants Null..Temporal.
 var Models = []Coherence{Null, Read, Write, Strict, Version, Delta}
 
 // Segment header layout.
@@ -145,15 +149,68 @@ func (s *Substrate) Client(nodeID int) *Client {
 }
 
 // PlaceLeastLoaded returns the substrate node with the most free memory —
-// the data-placement module's default policy.
+// the data-placement module's default policy. Nodes currently down under
+// an installed fault plan are not eligible.
 func (s *Substrate) PlaceLeastLoaded() int {
-	best := s.nodes[0]
-	for _, n := range s.nodes[1:] {
-		if n.MemFree() > best.MemFree() {
+	flt := faults.Of(s.nw.Env)
+	var best *cluster.Node
+	for _, n := range s.nodes {
+		if flt.Down(n.ID) {
+			continue
+		}
+		if best == nil || n.MemFree() > best.MemFree() {
 			best = n
 		}
 	}
+	if best == nil {
+		return s.nodes[0].ID // every node down: placement is moot
+	}
 	return best.ID
+}
+
+// Rehome moves a segment whose home node failed onto a live node,
+// allocating fresh storage there and rebinding the segment. The old
+// home's memory died with it, so the contents are NOT carried over: the
+// segment comes back zeroed at version 0, like a cold restart, and the
+// callers repopulate it. newHome may be NodeAuto. Returns the new home.
+//
+// Rehoming a segment whose home is still up is refused — the substrate
+// offers no live migration.
+func (s *Substrate) Rehome(p *sim.Proc, key string, newHome int) (int, error) {
+	seg, ok := s.segs[key]
+	if !ok || seg.freed {
+		return 0, fmt.Errorf("ddss: rehome %q: no such segment", key)
+	}
+	flt := faults.Of(s.nw.Env)
+	if !flt.Down(seg.home) {
+		return 0, fmt.Errorf("ddss: rehome %q: home node %d is up", key, seg.home)
+	}
+	if newHome == NodeAuto {
+		newHome = s.PlaceLeastLoaded()
+	}
+	if flt.Down(newHome) {
+		return 0, fmt.Errorf("ddss: rehome %q: node %d is down", key, newHome)
+	}
+	homeDev := s.nw.Device(newHome)
+	if homeDev == nil {
+		return 0, fmt.Errorf("ddss: rehome %q: no node %d", key, newHome)
+	}
+	bytes := hdrSize + seg.size
+	if seg.coh == Delta {
+		bytes = hdrSize + DeltaSlots*seg.size
+	}
+	if !homeDev.Node.Alloc(int64(bytes)) {
+		return 0, fmt.Errorf("ddss: rehome %q: node %d out of memory", key, newHome)
+	}
+	p.Sleep(IPCOverhead)
+	mr := homeDev.Register(p, make([]byte, bytes))
+	// Release the old home's accounting; its registered bytes were lost
+	// in the crash, and a restart brings the node back cold.
+	s.nw.Device(seg.home).Node.Free(int64(bytes))
+	seg.mr.Deregister()
+	seg.mr = mr
+	seg.home = newHome
+	return newHome, nil
 }
 
 // Client is a per-node (per-process group) access point.

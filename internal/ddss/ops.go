@@ -257,6 +257,9 @@ func (h *Handle) GetDelta(p *sim.Proc, buf []byte, v uint64) error {
 	if h.seg.coh != Delta {
 		return fmt.Errorf("ddss: getdelta on %v segment", h.seg.coh)
 	}
+	if h.seg.freed {
+		return fmt.Errorf("ddss: getdelta %q: segment freed", h.seg.key)
+	}
 	h.c.ss.Ops++
 	p.Sleep(IPCOverhead)
 	cur, err := h.readU64(p, hdrVersion)

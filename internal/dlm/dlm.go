@@ -83,10 +83,11 @@ const PollInterval = time.Microsecond
 
 // Manager is a cluster-wide lock service of one design.
 type Manager struct {
-	Kind  Kind
-	nw    *verbs.Network
-	nodes []*cluster.Node
-	locks int
+	Kind     Kind
+	nw       *verbs.Network
+	nodes    []*cluster.Node
+	locks    int
+	leaseTTL time.Duration
 
 	clients map[int]Client
 }
@@ -112,6 +113,13 @@ type Options struct {
 	Kind Kind
 	// NumLocks bounds the lock namespace (default 64).
 	NumLocks int
+	// LeaseTTL enables lease-based exclusive locks on N-CoSED: holders
+	// announce themselves to the lock's home agent, and a holder that
+	// crashes (under an installed fault plan) is detected within one
+	// lease interval — the home agent repairs the lock word and
+	// re-grants the queue. Zero (the default) disables leases and keeps
+	// the protocol byte-identical to the lease-free implementation.
+	LeaseTTL time.Duration
 }
 
 // New builds a lock manager over nodes attached to the verbs network,
@@ -122,7 +130,8 @@ func New(nw *verbs.Network, nodes []*cluster.Node, opts Options) *Manager {
 		opts.NumLocks = 64
 	}
 	kind := opts.Kind
-	m := &Manager{Kind: kind, nw: nw, nodes: nodes, locks: opts.NumLocks, clients: map[int]Client{}}
+	m := &Manager{Kind: kind, nw: nw, nodes: nodes, locks: opts.NumLocks,
+		leaseTTL: opts.LeaseTTL, clients: map[int]Client{}}
 	switch kind {
 	case SRSL:
 		newSRSL(m)
@@ -149,6 +158,22 @@ func (m *Manager) Client(nodeID int) Client {
 // NumLocks returns the size of the lock namespace.
 func (m *Manager) NumLocks() int { return m.locks }
 
+// LeaseTTL returns the configured exclusive-lock lease interval (zero
+// when leases are disabled).
+func (m *Manager) LeaseTTL() time.Duration { return m.leaseTTL }
+
+// LeaseRecoveries returns how many crashed-holder recoveries the home
+// agents have performed so far (N-CoSED with leases only).
+func (m *Manager) LeaseRecoveries() int {
+	n := 0
+	for _, cl := range m.clients {
+		if c, ok := cl.(*ncosedClientImpl); ok {
+			n += c.recoveries
+		}
+	}
+	return n
+}
+
 // home returns the home node index (into m.nodes) of a lock.
 func (m *Manager) home(lock int) int { return lock % len(m.nodes) }
 
@@ -174,6 +199,9 @@ const (
 	opSharedRegister // N-CoSED: "notify me when the exclusive chain drains"
 	opWaitDrain      // N-CoSED: "grant me when the shared holders drain"
 	opTryLockReq     // SRSL: non-blocking acquire attempt
+	opHolderNotify   // N-CoSED leases: "I now hold the lock exclusively"
+	opHolderRelease  // N-CoSED leases: "I freed the lock with a single CAS"
+	opEnqueueCC      // N-CoSED leases: copy of opEnqueue to the home (arg = predecessor)
 )
 
 type wire struct {

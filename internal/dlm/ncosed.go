@@ -2,7 +2,9 @@ package dlm
 
 import (
 	"fmt"
+	"time"
 
+	"ngdc/internal/faults"
 	"ngdc/internal/sim"
 	"ngdc/internal/verbs"
 )
@@ -43,6 +45,16 @@ type ncosedLockState struct {
 	polling       bool
 }
 
+// ncosedLease is the home agent's lease record for one lock (LeaseTTL >
+// 0 only): who holds it exclusively, until when the home trusts that
+// holder, and which queued successors have announced themselves.
+type ncosedLease struct {
+	holder   int // current exclusive holder's node ID, -1 when none known
+	deadline sim.Time
+	armed    bool        // a lease-expiry check is scheduled
+	succOf   map[int]int // predecessor node -> its announced queue successor
+}
+
 type ncosedClientImpl struct {
 	m   *Manager
 	dev *verbs.Device
@@ -58,6 +70,11 @@ type ncosedClientImpl struct {
 
 	// Home-agent state for locks homed here.
 	agentState map[int]*ncosedLockState
+
+	// Lease state for locks homed here (nil unless LeaseTTL > 0).
+	leases     map[int]*ncosedLease
+	inj        *faults.Injector
+	recoveries int
 }
 
 func newNCoSED(m *Manager) {
@@ -71,6 +88,10 @@ func newNCoSED(m *Manager) {
 			succ:       map[int]int{},
 			succWait:   map[int]*sim.Future[int]{},
 			agentState: map[int]*ncosedLockState{},
+		}
+		if m.leaseTTL > 0 {
+			c.leases = map[int]*ncosedLease{}
+			c.inj = faults.Of(node.Env())
 		}
 		m.clients[node.ID] = c
 		env := node.Env()
@@ -99,7 +120,7 @@ func (c *ncosedClientImpl) clientLoop(p *sim.Proc) {
 				delete(c.succWait, w.lock)
 				fut.Resolve(w.from)
 			} else {
-				c.succ[w.lock] = w.from + 1
+				c.succ[w.lock] = w.from
 			}
 		}
 	}
@@ -112,17 +133,27 @@ func (c *ncosedClientImpl) agentLoop(p *sim.Proc) {
 		msg := c.dev.Recv(p, ncosedAgentSvc)
 		w := decodeWire(msg.Data)
 		msg.Release()
-		st := c.agentLockState(w.lock)
 		switch w.op {
 		case opSharedRegister:
+			st := c.agentLockState(w.lock)
 			st.pendingShared = append(st.pendingShared, w.from)
+			c.ensurePoller(w.lock, st)
 		case opWaitDrain:
+			st := c.agentLockState(w.lock)
 			if st.pendingDrain != 0 {
 				panic("dlm: ncosed: two drain waiters on one lock")
 			}
 			st.pendingDrain = w.from + 1
+			c.ensurePoller(w.lock, st)
+		case opHolderNotify:
+			c.leaseHolderNotify(w.lock, w.from)
+		case opHolderRelease:
+			if ls := c.leaseState(w.lock); ls.holder == w.from {
+				ls.holder = -1
+			}
+		case opEnqueueCC:
+			c.leaseState(w.lock).succOf[w.arg] = w.from
 		}
-		c.ensurePoller(w.lock, st)
 	}
 }
 
@@ -133,6 +164,118 @@ func (c *ncosedClientImpl) agentLockState(lock int) *ncosedLockState {
 		c.agentState[lock] = st
 	}
 	return st
+}
+
+func (c *ncosedClientImpl) leaseState(lock int) *ncosedLease {
+	ls, ok := c.leases[lock]
+	if !ok {
+		ls = &ncosedLease{holder: -1, succOf: map[int]int{}}
+		c.leases[lock] = ls
+	}
+	return ls
+}
+
+// leaseHolderNotify records a new exclusive holder and (re)arms the
+// lease-expiry check for its lock.
+func (c *ncosedClientImpl) leaseHolderNotify(lock, holder int) {
+	ls := c.leaseState(lock)
+	for pred, s := range ls.succOf {
+		if s == holder {
+			// The hand-off to this holder consumed its queue edge.
+			delete(ls.succOf, pred)
+		}
+	}
+	ls.holder = holder
+	env := c.dev.Env()
+	ls.deadline = env.Now().Add(c.m.leaseTTL)
+	if !ls.armed {
+		ls.armed = true
+		env.After(c.m.leaseTTL, func() { c.leaseCheck(lock) })
+	}
+}
+
+// leaseCheck runs at lease-expiry instants (scheduler callback). A live
+// holder implicitly renews — the lease interval only bounds how long the
+// home can believe in a crashed holder before repairing the lock.
+func (c *ncosedClientImpl) leaseCheck(lock int) {
+	ls := c.leaseState(lock)
+	ls.armed = false
+	if ls.holder < 0 {
+		return
+	}
+	env := c.dev.Env()
+	if now := env.Now(); now < ls.deadline {
+		ls.armed = true
+		env.After(time.Duration(ls.deadline-now), func() { c.leaseCheck(lock) })
+		return
+	}
+	if c.inj == nil || !c.inj.Down(ls.holder) {
+		ls.deadline = env.Now().Add(c.m.leaseTTL)
+		ls.armed = true
+		env.After(c.m.leaseTTL, func() { c.leaseCheck(lock) })
+		return
+	}
+	c.recoverLock(lock, ls)
+}
+
+// recoverLock repairs a lock whose exclusive holder crashed: the home
+// agent hands the lock to the dead holder's announced queue successor,
+// or — when the dead holder was the tail of the chain — clears the tail
+// half of the word so new requests (and a parked shared cohort) proceed.
+func (c *ncosedClientImpl) recoverLock(lock int, ls *ncosedLease) {
+	dead := ls.holder
+	off := 8 * lock
+	w := c.tails.Uint64At(off)
+	next, ok := ls.succOf[dead]
+	if !ok && ncTail(w) != uint64(dead+1) {
+		// The word says the chain extends past the dead holder, but the
+		// successor's announcement copy is still in flight. Postpone.
+		ls.armed = true
+		c.dev.Env().After(PollInterval, func() { c.leaseCheck(lock) })
+		return
+	}
+	c.recoveries++
+	ls.holder = -1
+	if ok {
+		delete(ls.succOf, dead)
+		g := wire{op: opGrant, lock: lock, from: c.dev.Node.ID}
+		// Best-effort: the send only fails if the home itself is down,
+		// and then the grant is moot anyway.
+		_ = c.dev.PostSendAt(next, ncosedClientSvc, g.encode())
+		return // the successor's holder notification re-arms the lease
+	}
+	// The dead holder was the tail: reset the tail half, preserving any
+	// shared-count transients, and kick the poller in case a shared
+	// cohort is parked behind the now-gone chain.
+	c.tails.PutUint64At(off, ncWord(0, ncCnt(w)))
+	if st, have := c.agentState[lock]; have {
+		c.ensurePoller(lock, st)
+	}
+}
+
+// notifyHolder tells the home agent we now hold the lock exclusively
+// (lease protocol; no-op unless leases are enabled).
+func (c *ncosedClientImpl) notifyHolder(p *sim.Proc, lock int) {
+	if c.m.leaseTTL <= 0 {
+		return
+	}
+	w := wire{op: opHolderNotify, lock: lock, from: c.dev.Node.ID}
+	if err := sendWire(p, c.dev, c.m.homeNodeID(lock), ncosedAgentSvc, w); err != nil {
+		panic(err)
+	}
+}
+
+// releaseHolder tells the home agent we freed the lock with a single CAS
+// (lease protocol; no-op unless leases are enabled). Hand-offs need no
+// release: the successor's own notification supersedes us.
+func (c *ncosedClientImpl) releaseHolder(p *sim.Proc, lock int) {
+	if c.m.leaseTTL <= 0 {
+		return
+	}
+	w := wire{op: opHolderRelease, lock: lock, from: c.dev.Node.ID}
+	if err := sendWire(p, c.dev, c.m.homeNodeID(lock), ncosedAgentSvc, w); err != nil {
+		panic(err)
+	}
 }
 
 // ensurePoller starts the per-lock home poller if it is not running. The
@@ -203,9 +346,7 @@ func (c *ncosedClientImpl) lockShared(p *sim.Proc, lock int) {
 	// An exclusive chain is active: undo our increment (the count must
 	// reflect holders only, or drain detection breaks) and register with
 	// the home agent for the cohort grant.
-	if _, err := c.dev.FetchAdd(p, addr, off, ^uint64(0)); err != nil {
-		panic(err)
-	}
+	c.sharedDec(p, lock)
 	fut := c.grants.arm(lock)
 	reg := wire{op: opSharedRegister, lock: lock, from: c.dev.Node.ID}
 	if err := sendWire(p, c.dev, c.m.homeNodeID(lock), ncosedAgentSvc, reg); err != nil {
@@ -233,7 +374,7 @@ func (c *ncosedClientImpl) lockExclusive(p *sim.Proc, lock int) {
 	prevTail, cnt := ncTail(old), ncCnt(old)
 	switch {
 	case prevTail == 0 && cnt == 0:
-		return // free lock: acquired with a single CAS
+		// Free lock: acquired with a single CAS.
 	case prevTail == 0:
 		// Shared holders present: ask the home agent to grant us once the
 		// count drains to zero.
@@ -244,14 +385,23 @@ func (c *ncosedClientImpl) lockExclusive(p *sim.Proc, lock int) {
 		}
 		fut.Wait(p)
 	default:
-		// Queue behind the previous tail, peer-to-peer.
+		// Queue behind the previous tail, peer-to-peer. With leases on,
+		// copy the announcement to the home agent so it can reconstruct
+		// the queue if our predecessor dies holding the lock.
 		fut := c.grants.arm(lock)
+		if c.m.leaseTTL > 0 {
+			cc := wire{op: opEnqueueCC, lock: lock, from: c.dev.Node.ID, arg: int(prevTail - 1)}
+			if err := sendWire(p, c.dev, c.m.homeNodeID(lock), ncosedAgentSvc, cc); err != nil {
+				panic(err)
+			}
+		}
 		enq := wire{op: opEnqueue, lock: lock, from: c.dev.Node.ID}
 		if err := sendWire(p, c.dev, int(prevTail-1), ncosedClientSvc, enq); err != nil {
 			panic(err)
 		}
 		fut.Wait(p)
 	}
+	c.notifyHolder(p, lock)
 }
 
 // TryLock implements Client. Exclusive: one CAS on the free word.
@@ -268,9 +418,7 @@ func (c *ncosedClientImpl) TryLock(p *sim.Proc, lock int, mode Mode) bool {
 		if ncTail(old) == 0 {
 			return true
 		}
-		if _, err := c.dev.FetchAdd(p, addr, off, ^uint64(0)); err != nil {
-			panic(err)
-		}
+		c.sharedDec(p, lock)
 		return false
 	}
 	me := uint64(c.dev.Node.ID + 1)
@@ -278,7 +426,11 @@ func (c *ncosedClientImpl) TryLock(p *sim.Proc, lock int, mode Mode) bool {
 	if err != nil {
 		panic(err)
 	}
-	return old == 0
+	if old == 0 {
+		c.notifyHolder(p, lock)
+		return true
+	}
+	return false
 }
 
 // Unlock implements Client.
@@ -286,9 +438,7 @@ func (c *ncosedClientImpl) Unlock(p *sim.Proc, lock int, mode Mode) {
 	c.m.checkLock(lock)
 	addr, off := c.wordAddr(lock)
 	if mode == Shared {
-		if _, err := c.dev.FetchAdd(p, addr, off, ^uint64(0)); err != nil {
-			panic(err)
-		}
+		c.sharedDec(p, lock)
 		return
 	}
 	me := uint64(c.dev.Node.ID + 1)
@@ -297,7 +447,7 @@ func (c *ncosedClientImpl) Unlock(p *sim.Proc, lock int, mode Mode) {
 		if s, ok := c.succ[lock]; ok {
 			delete(c.succ, lock)
 			g := wire{op: opGrant, lock: lock, from: c.dev.Node.ID}
-			if err := sendWire(p, c.dev, s-1, ncosedClientSvc, g); err != nil {
+			if err := sendWire(p, c.dev, s, ncosedClientSvc, g); err != nil {
 				panic(err)
 			}
 			return
@@ -307,6 +457,7 @@ func (c *ncosedClientImpl) Unlock(p *sim.Proc, lock int, mode Mode) {
 			panic(err)
 		}
 		if old == ncWord(me, 0) {
+			c.releaseHolder(p, lock)
 			return // freed with a single CAS
 		}
 		if ncTail(old) == me {
@@ -328,6 +479,26 @@ func (c *ncosedClientImpl) Unlock(p *sim.Proc, lock int, mode Mode) {
 			panic(err)
 		}
 		return
+	}
+}
+
+// sharedDec removes one shared count from the lock word: the release and
+// undo paths' fetch-and-add(-1). The hazard of packing two halves into
+// one atomic word is that a decrement when the count half is already
+// zero borrows into the exclusive-tail half and silently corrupts the
+// queue. Guard it: repair the word with a compensating increment, then
+// fail loudly — an unbalanced shared unlock is a protocol bug.
+func (c *ncosedClientImpl) sharedDec(p *sim.Proc, lock int) {
+	addr, off := c.wordAddr(lock)
+	old, err := c.dev.FetchAdd(p, addr, off, ^uint64(0))
+	if err != nil {
+		panic(err)
+	}
+	if ncCnt(old) == 0 {
+		if _, err := c.dev.FetchAdd(p, addr, off, 1); err != nil {
+			panic(err)
+		}
+		panic(fmt.Sprintf("dlm: ncosed: shared-count underflow on lock %d (unbalanced shared unlock would corrupt the exclusive tail)", lock))
 	}
 }
 

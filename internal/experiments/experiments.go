@@ -14,6 +14,7 @@ import (
 	"ngdc/internal/ddss"
 	"ngdc/internal/dlm"
 	"ngdc/internal/dyncache"
+	"ngdc/internal/faults"
 	"ngdc/internal/integrated"
 	"ngdc/internal/metrics"
 	"ngdc/internal/monitor"
@@ -47,6 +48,11 @@ type Options struct {
 	// Trace, when non-nil, accumulates every run's observability
 	// counters into one registry (snapshot it after the experiment).
 	Trace *trace.Registry
+	// Faults, when non-nil, is a deterministic fault plan injected into
+	// the experiments that support one (currently reconfig). See
+	// faults.Parse for the plan grammar. Replaying the same plan with
+	// the same seed reproduces the run byte-for-byte.
+	Faults *faults.Plan
 }
 
 func (o Options) seed() int64 {
@@ -72,6 +78,10 @@ type Experiment struct {
 	Pin func(Options) Options
 	// Run produces the rendered table.
 	Run func(Options) (*metrics.Table, error)
+	// GoldenExcluded keeps the experiment out of the pinned Quick
+	// catalogue golden: set it on entries added after the golden was
+	// captured (the golden stays a byte-exact pre-existing baseline).
+	GoldenExcluded bool
 }
 
 // Render runs the experiment with its variant pinned.
@@ -115,6 +125,7 @@ func All() []Experiment {
 		{ID: "E13", Figure: "§3 QoS", Name: "qos", Run: QoS},
 		{ID: "E14", Figure: "multicast", Name: "multicast", Run: Multicast},
 		{ID: "E16", Figure: "§6 integrated", Name: "integrated", Run: Integrated},
+		{ID: "E17", Figure: "fault recovery", Name: "recovery", Run: Recovery, GoldenExcluded: true},
 	}
 }
 
@@ -441,6 +452,7 @@ func Reconfig(o Options) (*metrics.Table, error) {
 		cfg := reconfig.DefaultConfig(policies[i])
 		cfg.Seed = o.seed()
 		cfg.Trace = o.Trace
+		cfg.Faults = o.Faults
 		if o.Quick {
 			cfg.Measure = time.Second
 		}
@@ -450,6 +462,17 @@ func Reconfig(o Options) (*metrics.Table, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if o.Faults != nil {
+		// Under a fault plan the failure detector is live; report its
+		// failovers too (the extra column never appears in the pinned
+		// fault-free golden).
+		tb := metrics.NewTable("§6 — dynamic reconfiguration ablation (fault plan active)",
+			"policy", "TPS", "node moves", "CAS conflicts", "failovers")
+		for i, p := range policies {
+			tb.AddRow(p.String(), res[i].TPS, res[i].Reconfigs, res[i].CASConflicts, res[i].Failovers)
+		}
+		return tb, nil
 	}
 	tb := metrics.NewTable("§6 — dynamic reconfiguration ablation",
 		"policy", "TPS", "node moves", "CAS conflicts")

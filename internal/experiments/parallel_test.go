@@ -17,6 +17,11 @@ func renderAll(t *testing.T, parallel int) (tables, traceOut string) {
 	o := Options{Seed: 7, Quick: true, Parallel: parallel, Trace: reg}
 	var tb strings.Builder
 	for _, e := range All() {
+		if e.GoldenExcluded {
+			// Entries added after the golden was captured stay out of the
+			// pinned catalogue; they get their own determinism tests.
+			continue
+		}
 		table, err := e.Render(o)
 		if err != nil {
 			t.Fatalf("%s (parallel=%d): %v", e.ID, parallel, err)

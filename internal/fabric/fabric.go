@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"ngdc/internal/cluster"
+	"ngdc/internal/faults"
 	"ngdc/internal/sim"
 	"ngdc/internal/trace"
 )
@@ -186,12 +187,24 @@ type Fabric struct {
 	Env *sim.Env
 	P   Params
 
+	flt  *faults.Injector
 	nics map[int]*NIC
 }
 
 // New creates a fabric over env with the given parameters.
 func New(env *sim.Env, p Params) *Fabric {
-	return &Fabric{Env: env, P: p, nics: map[int]*NIC{}}
+	return &Fabric{Env: env, P: p, flt: faults.Of(env), nics: map[int]*NIC{}}
+}
+
+// Faults returns the fault injector active on the fabric's environment,
+// or nil for a healthy run. The pointer is cached at New and refreshed
+// on Attach, so installing a plan any time before the first node
+// attaches is safe.
+func (f *Fabric) Faults() *faults.Injector {
+	if f.flt == nil {
+		f.flt = faults.Of(f.Env)
+	}
+	return f.flt
 }
 
 // Attach gives node a NIC on this fabric. Attaching a node twice returns

@@ -107,6 +107,9 @@ type target struct {
 	// last is the front-end's current belief about this target.
 	last   cluster.KernelStats
 	lastAt sim.Time
+	// down marks a target whose one-sided reads fail (node crashed or
+	// partitioned away); a succeeding read clears it.
+	down bool
 }
 
 // NewStation wires a station on front observing targets. Call Start from
@@ -210,8 +213,13 @@ func (s *Station) Start() {
 				buf := make([]byte, cluster.StatsSize)
 				for {
 					if err := s.front.Read(p, buf, t.mr.Addr(), 0); err != nil {
-						return
+						// The target is unreachable: suspect it down and keep
+						// polling — readings resume when the node comes back.
+						t.down = true
+						p.Sleep(s.Interval)
+						continue
 					}
+					t.down = false
 					t.last = cluster.DecodeStats(buf)
 					t.lastAt = p.Now()
 					p.Sleep(s.Interval)
@@ -233,8 +241,10 @@ func (s *Station) Sample(p *sim.Proc, i int) cluster.KernelStats {
 	case RDMASync, ERDMASync:
 		buf := make([]byte, cluster.StatsSize)
 		if err := s.front.Read(p, buf, t.mr.Addr(), 0); err != nil {
+			t.down = true
 			return t.last
 		}
+		t.down = false
 		t.last = cluster.DecodeStats(buf)
 		t.lastAt = p.Now()
 		return t.last
@@ -246,4 +256,23 @@ func (s *Station) Sample(p *sim.Proc, i int) cluster.KernelStats {
 // Staleness returns the age of the station's belief about target i.
 func (s *Station) Staleness(i int) time.Duration {
 	return time.Duration(s.env.Now() - s.tgts[i].lastAt)
+}
+
+// Down reports whether the station currently suspects target i's node of
+// having failed. Only the RDMA schemes detect failures: their one-sided
+// reads error when the target is crashed or partitioned away (for the
+// async poller, within one interval), and a later succeeding read clears
+// the suspicion. The socket schemes simply stop hearing from the node.
+func (s *Station) Down(i int) bool { return s.tgts[i].down }
+
+// DownNodes returns the node IDs of every target the station currently
+// suspects down, in target order.
+func (s *Station) DownNodes() []int {
+	var ids []int
+	for _, t := range s.tgts {
+		if t.down {
+			ids = append(ids, t.dev.Node.ID)
+		}
+	}
+	return ids
 }

@@ -1,0 +1,70 @@
+package reconfig
+
+import (
+	"testing"
+	"time"
+
+	"ngdc/internal/faults"
+)
+
+// TestFailoverOnCrash crashes one back-end mid-run under a fault plan:
+// the monitor-driven detector must fail the node out of its service, and
+// the run must keep serving traffic on the survivors.
+func TestFailoverOnCrash(t *testing.T) {
+	cfg := DefaultConfig(HistoryAware)
+	cfg.Measure = 1500 * time.Millisecond
+	cfg.Faults = &faults.Plan{Events: []faults.Event{
+		{At: 600 * time.Millisecond, Kind: faults.Crash, Node: 2},
+	}}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failovers == 0 {
+		t.Fatalf("crashed back-end was never failed out: %+v", res)
+	}
+	if res.Requests == 0 || res.TPS <= 0 {
+		t.Fatalf("no traffic after failover: %+v", res)
+	}
+}
+
+// TestFailbackOnRestart restarts the crashed node and expects the
+// detector to re-admit it: a later crash of the same node must trigger a
+// second failover, which can only happen if the node rejoined.
+func TestFailbackOnRestart(t *testing.T) {
+	cfg := DefaultConfig(HistoryAware)
+	cfg.Measure = 2500 * time.Millisecond
+	cfg.Faults = &faults.Plan{Events: []faults.Event{
+		{At: 500 * time.Millisecond, Kind: faults.Crash, Node: 2},
+		{At: 1200 * time.Millisecond, Kind: faults.Restart, Node: 2},
+		{At: 2000 * time.Millisecond, Kind: faults.Crash, Node: 2},
+	}}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failovers < 2 {
+		t.Fatalf("want a failover both before and after the restart, got %d", res.Failovers)
+	}
+}
+
+// TestHealthyRunsUnaffectedByFaultSupport checks the nil-plan guarantee
+// at the service level: results with and without the faults wiring in
+// the binary are the same code path, so a healthy run must be identical
+// to the pre-fault baseline run.
+func TestHealthyRunsUnaffectedByFaultSupport(t *testing.T) {
+	a, err := Run(quickCfg(Naive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(quickCfg(Naive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("healthy runs diverge: %+v vs %+v", a, b)
+	}
+	if a.Failovers != 0 {
+		t.Fatalf("failovers counted without a fault plan: %+v", a)
+	}
+}

@@ -23,6 +23,8 @@ import (
 
 	"ngdc/internal/cluster"
 	"ngdc/internal/fabric"
+	"ngdc/internal/faults"
+	"ngdc/internal/monitor"
 	"ngdc/internal/sim"
 	"ngdc/internal/trace"
 	"ngdc/internal/verbs"
@@ -61,6 +63,12 @@ type Config struct {
 	Seed            int64
 	// Trace, when non-nil, collects the run's observability counters.
 	Trace *trace.Registry
+	// Faults, when non-nil, is a deterministic fault plan installed into
+	// the run. It also enables the monitor-driven failure detector: an
+	// RDMA-Async station watches the back-end pool, and nodes it suspects
+	// down are failed out of their service (and re-admitted when the
+	// station sees them again after a restart).
+	Faults *faults.Plan
 }
 
 // Run executes the configured experiment — the uniform experiment entry
@@ -91,6 +99,9 @@ type Result struct {
 	// CASConflicts counts reconfiguration rounds skipped because another
 	// agent held the lock (the concurrency-control path).
 	CASConflicts int
+	// Failovers counts nodes the failure detector removed from their
+	// service after suspecting them down (fault plans only).
+	Failovers int
 }
 
 // Decision/behaviour constants.
@@ -111,6 +122,7 @@ const (
 func Run(cfg Config) (Result, error) {
 	env := sim.NewEnv(cfg.Seed)
 	trace.AttachRegistry(env, cfg.Trace)
+	faults.Install(env, cfg.Faults)
 	defer env.Shutdown()
 	nw := verbs.NewNetwork(env, fabric.DefaultParams())
 	front := cluster.NewNode(env, 0, 2, 1<<30)
@@ -128,6 +140,31 @@ func Run(cfg Config) (Result, error) {
 
 	res := Result{Policy: cfg.Policy}
 	measuring := false
+
+	// Monitor-driven failure detection, only under a fault plan: the
+	// default (healthy) runs keep their exact pre-fault event stream.
+	if cfg.Faults != nil {
+		st := monitor.NewStation(monitor.RDMAAsync, nw, front, nodes, monitor.FineInterval)
+		st.Start()
+		env.GoDaemon("failure-detector", func(p *sim.Proc) {
+			for {
+				p.Sleep(monitor.FineInterval)
+				for i := range nodes {
+					switch {
+					case st.Down(i) && assign[i] >= 0:
+						// Fail the suspect out of its service so clients stop
+						// routing work to it.
+						assign[i] = -1
+						res.Failovers++
+					case !st.Down(i) && assign[i] < 0:
+						// The node answered reads again (restart): re-admit it
+						// to its original service.
+						assign[i] = i % 2
+					}
+				}
+			}
+		})
+	}
 
 	// phaseBias returns how strongly service s is loaded right now: the
 	// offered load alternates between the services each cfg.Phase.
@@ -202,6 +239,9 @@ func Run(cfg Config) (Result, error) {
 				load := [2]float64{}
 				count := [2]int{}
 				for i, n := range nodes {
+					if assign[i] < 0 {
+						continue // failed out of the pool
+					}
 					load[assign[i]] += float64(n.RunQueueLen())
 					count[assign[i]]++
 				}

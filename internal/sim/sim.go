@@ -78,7 +78,7 @@ type Env struct {
 	now     Time
 	seq     uint64
 	heap    eventHeap
-	limit   Time    // active run limit; only meaningful while running
+	limit   Time // active run limit; only meaningful while running
 	yield   chan struct{}
 	procs   []*Proc // live processes, position mirrored in Proc.liveIdx
 	rng     *rand.Rand
@@ -91,6 +91,7 @@ type Env struct {
 	maxEventQueue   int
 	tracer          func(TraceEvent)
 	meter           any
+	faults          any
 }
 
 // SetMeter binds an opaque observability registry to the environment.
@@ -100,6 +101,14 @@ func (e *Env) SetMeter(m any) { e.meter = m }
 
 // Meter returns the registry bound with SetMeter, or nil.
 func (e *Env) Meter() any { return e.meter }
+
+// SetFaults binds an opaque fault-injection plan to the environment.
+// Like the meter slot, the engine never inspects it; internal/faults
+// installs its Injector here and the transport layers look it up.
+func (e *Env) SetFaults(f any) { e.faults = f }
+
+// Faults returns the injector bound with SetFaults, or nil.
+func (e *Env) Faults() any { return e.faults }
 
 // NewEnv returns a fresh environment whose PRNG is seeded with seed.
 func NewEnv(seed int64) *Env {

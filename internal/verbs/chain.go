@@ -82,6 +82,8 @@ type syncOp struct {
 	half2           time.Duration
 	cmp, swp, delta uint64
 	old             uint64
+	opName          string
+	err             error
 
 	midFn    func()
 	txDoneFn func()
@@ -102,7 +104,7 @@ func (d *Device) getSyncOp() *syncOp {
 }
 
 func (d *Device) putSyncOp(o *syncOp) {
-	o.p, o.mr, o.dst, o.nic = nil, nil, nil, nil
+	o.p, o.mr, o.dst, o.nic, o.err = nil, nil, nil, nil, nil
 	d.syncFree = append(d.syncFree, o)
 }
 
@@ -112,13 +114,33 @@ func (d *Device) putSyncOp(o *syncOp) {
 func (o *syncOp) midStep() {
 	switch o.op {
 	case wrRead:
+		if o.targetLost("read") {
+			return
+		}
 		o.nic.Tx().AcquireAsync(1, o.grantFn)
 	default:
+		if o.targetLost(o.opName) {
+			return
+		}
 		buf := o.mr.buf[o.off:]
 		o.old = binary.LittleEndian.Uint64(buf)
 		binary.LittleEndian.PutUint64(buf, applyAtomic(o.op, o.old, o.cmp, o.swp, o.delta))
 		o.d.nw.Env.WakeAfter(o.p, o.half2)
 	}
+}
+
+// targetLost checks the issuer→target path at the target-side instant.
+// If the target crashed or was partitioned away while the request was in
+// flight, the op is failed and the issuer woken at the nominal
+// completion instant with an error instead of hanging.
+func (o *syncOp) targetLost(op string) bool {
+	f := o.d.nw.flt
+	if f == nil || f.Reachable(o.d.Node.ID, o.mr.dev.Node.ID) {
+		return false
+	}
+	o.err = &OpError{Op: op, Target: o.mr.Addr(), Reason: "peer unreachable"}
+	o.d.nw.Env.WakeAfter(o.p, o.half2)
+	return true
 }
 
 // grantStep runs the instant the Tx engine is granted: sample target
@@ -220,12 +242,17 @@ func (w *workReq) startStep() {
 			w.fail(&OpError{Op: "read", Target: w.r, Reason: "out of bounds"})
 			return
 		}
+		if err := w.d.pathError("read", w.r); err != nil {
+			w.fail(err)
+			return
+		}
 		w.mr = mr
 		w.nic = w.d.nw.devs[w.r.Node].nic
 		w.d.Reads++
 		w.start = env.Now()
 		w.ser = pp.IBTxTime(len(w.dst))
 		w.half1, w.half2 = pp.IBReadLatency/2, pp.IBReadLatency/2
+		w.addLinkDelay()
 		env.After(w.half1, w.midFn)
 	case wrWrite:
 		mr, err := w.d.nw.lookup("write", w.r)
@@ -237,12 +264,17 @@ func (w *workReq) startStep() {
 			w.fail(&OpError{Op: "write", Target: w.r, Reason: "out of bounds"})
 			return
 		}
+		if err := w.d.pathError("write", w.r); err != nil {
+			w.fail(err)
+			return
+		}
 		w.mr = mr
 		w.nic = w.d.nic
 		w.d.Writes++
 		w.start = env.Now()
 		w.ser = pp.IBTxTime(len(w.src))
 		w.half2 = pp.IBWriteLatency
+		w.addLinkDelay()
 		w.nic.Tx().AcquireAsync(1, w.grantFn)
 	case wrCAS, wrFAA:
 		mr, err := w.d.nw.lookup(w.opName, w.r)
@@ -254,20 +286,60 @@ func (w *workReq) startStep() {
 			w.fail(&OpError{Op: w.opName, Target: w.r, Reason: "bad atomic offset"})
 			return
 		}
+		if err := w.d.pathError(w.opName, w.r); err != nil {
+			w.fail(err)
+			return
+		}
 		w.mr = mr
 		w.d.Atomics++
 		w.start = env.Now()
 		lat := pp.IBAtomicLatency
 		w.half1, w.half2 = lat/2, lat-lat/2
+		w.addLinkDelay()
 		env.After(w.half1, w.midFn)
 	}
+}
+
+// addLinkDelay folds any injected per-link delay into the chain's two
+// propagation halves (no-op on healthy runs and healthy links).
+func (w *workReq) addLinkDelay() {
+	f := w.d.nw.flt
+	if f == nil {
+		return
+	}
+	if xtra := f.LinkDelay(w.d.Node.ID, w.r.Node); xtra > 0 {
+		if w.op != wrWrite {
+			w.half1 += xtra
+		}
+		w.half2 += xtra
+		f.NoteDelay()
+	}
+}
+
+// targetLost is workReq's counterpart of syncOp.targetLost: a target
+// crashed or partitioned away mid-flight completes the WR with an error
+// status at the nominal completion instant.
+func (w *workReq) targetLost() bool {
+	f := w.d.nw.flt
+	if f == nil || f.Reachable(w.d.Node.ID, w.r.Node) {
+		return false
+	}
+	w.err = &OpError{Op: w.opName, Target: w.r, Reason: "peer unreachable"}
+	w.d.nw.Env.After(w.half2, w.finishFn)
+	return true
 }
 
 func (w *workReq) midStep() {
 	switch w.op {
 	case wrRead:
+		if w.targetLost() {
+			return
+		}
 		w.nic.Tx().AcquireAsync(1, w.grantFn)
 	default:
+		if w.targetLost() {
+			return
+		}
 		buf := w.mr.buf[w.off:]
 		w.old = binary.LittleEndian.Uint64(buf)
 		binary.LittleEndian.PutUint64(buf, applyAtomic(w.op, w.old, w.cmp, w.swp, w.delta))
@@ -300,6 +372,14 @@ func (w *workReq) finishStep() {
 	d := w.d
 	env := d.nw.Env
 	pp := d.nw.Fab.P
+	// A write places its data at the completion instant; a target lost
+	// after serialization fails the WR here instead of placing into dead
+	// memory.
+	if w.err == nil && w.op == wrWrite {
+		if f := d.nw.flt; f != nil && !f.Reachable(d.Node.ID, w.r.Node) {
+			w.err = &OpError{Op: w.opName, Target: w.r, Reason: "peer unreachable"}
+		}
+	}
 	if w.err == nil {
 		switch w.op {
 		case wrRead:
@@ -415,28 +495,64 @@ func (b *postBatch) flush() {
 // sendDelivery / qpDelivery are pooled pending deliveries for the
 // two-sided paths: every in-flight send costs one FIFO slot instead of
 // one captured closure. All deliveries on a device use the same constant
-// base latency, so pop order equals scheduling order.
+// base latency, so pop order equals scheduling order (faulted links take
+// a captured-closure path instead, since per-link delay breaks the
+// constant-latency argument). The endpoints are recorded so a crash or
+// partition that happens while the message is in flight drops it at the
+// delivery instant.
 type sendDelivery struct {
-	q   *sim.Chan[Message]
-	msg Message
+	q        *sim.Chan[Message]
+	msg      Message
+	from, to int
 }
 
 type qpDelivery struct {
-	rq  *sim.Chan[[]byte]
-	buf []byte
+	rq       *sim.Chan[[]byte]
+	buf      []byte
+	from, to int
+}
+
+// lostInFlight reports whether a message from→to that was healthy at
+// send time must be dropped at the delivery instant (endpoint crashed or
+// link partitioned meanwhile). Loss rolls happen at send time, not here,
+// so in-flight messages see exactly one PRNG draw each.
+func (d *Device) lostInFlight(from, to int) bool {
+	f := d.nw.flt
+	if f == nil || f.Reachable(from, to) {
+		return false
+	}
+	f.NoteDrop()
+	return true
 }
 
 func (d *Device) deliverSend() {
 	dl := d.sendDelq.pop()
+	if d.lostInFlight(dl.from, dl.to) {
+		dl.msg.Release()
+		return
+	}
 	dl.q.PostSend(dl.msg)
 }
 
 func (d *Device) deliverTCP() {
 	dl := d.tcpDelq.pop()
+	if d.lostInFlight(dl.from, dl.to) {
+		dl.msg.Release()
+		return
+	}
 	dl.q.PostSend(dl.msg)
 }
 
 func (d *Device) deliverQP() {
 	dl := d.qpDelq.pop()
+	if dl.rq.Closed() {
+		d.nw.flt.NoteDrop() // only a fault flush closes a QP receive queue
+		d.pool.putBuf(dl.buf)
+		return
+	}
+	if d.lostInFlight(dl.from, dl.to) {
+		d.pool.putBuf(dl.buf)
+		return
+	}
 	dl.rq.PostSend(dl.buf)
 }

@@ -64,14 +64,14 @@ const (
 // chosen Op are consulted: Dst for OpRead; Src for OpWrite; Compare/Swap
 // for OpCAS; Delta for OpFAA.
 type WR struct {
-	ID     uint64
-	Op     string
-	Target RemoteAddr
-	Off    int
-	Dst    []byte
-	Src    []byte
+	ID            uint64
+	Op            string
+	Target        RemoteAddr
+	Off           int
+	Dst           []byte
+	Src           []byte
 	Compare, Swap uint64
-	Delta  uint64
+	Delta         uint64
 }
 
 // post starts one work request as an event chain: no goroutine is

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"ngdc/internal/faults"
 	"ngdc/internal/sim"
 	"ngdc/internal/trace"
 )
@@ -18,6 +19,10 @@ type QP struct {
 	peer   *Device
 	remote *QP
 	rq     *sim.Chan[[]byte]
+	// err marks the QP in the error state: its peer crashed or was
+	// partitioned away. Further Sends fail with it and the receive
+	// queues of both endpoints are flushed (parked Recvs return nil).
+	err error
 	// Sent and Received count messages, for instrumentation.
 	Sent, Received int64
 }
@@ -38,14 +43,50 @@ func ConnectQP(a, b *Device, depth int) (*QP, *QP) {
 	qb := &QP{dev: b, peer: a,
 		rq: sim.NewChan[[]byte](b.nw.Env, fmt.Sprintf("%s/qp%d-rq", b.Node.Name, qpSeq), depth)}
 	qa.remote, qb.remote = qb, qa
+	a.nw.qps = append(a.nw.qps, qa, qb)
 	return qa, qb
 }
+
+// enterError moves both endpoints of the connection to the error state
+// (like a real RC QP after a retry-exceeded or peer death): pending and
+// future operations fail, and both receive queues are flushed so parked
+// receivers wake with a nil message.
+func (q *QP) enterError(reason string) {
+	q.err = &OpError{Op: "qp", Target: RemoteAddr{Node: q.peer.Node.ID}, Reason: reason}
+	if q.remote.err == nil {
+		q.remote.err = &OpError{Op: "qp", Target: RemoteAddr{Node: q.dev.Node.ID}, Reason: reason}
+	}
+	if !q.rq.Closed() {
+		q.rq.Close()
+	}
+	if !q.remote.rq.Closed() {
+		q.remote.rq.Close()
+	}
+}
+
+// Err returns the error that moved the QP to the error state, or nil
+// while the connection is healthy.
+func (q *QP) Err() error { return q.err }
 
 // Send transmits data to the peer's receive queue. It blocks until the
 // data is on the wire; delivery completes one base latency later. Data
 // is copied into a pooled buffer; the receiver may return it with
 // QP.Release after decoding.
-func (q *QP) Send(p *sim.Proc, data []byte) {
+//
+// A QP rides a reliable connection: injected link loss is absorbed by
+// (unmodelled) retransmission, but a crashed or partitioned peer moves
+// the QP to the error state — Send then fails immediately, like a real
+// RC QP flushing work after retry-exceeded.
+func (q *QP) Send(p *sim.Proc, data []byte) error {
+	if q.err != nil {
+		return q.err
+	}
+	a, b := q.dev.Node.ID, q.peer.Node.ID
+	f := q.dev.nw.flt
+	if f != nil && !f.Reachable(a, b) {
+		q.enterError("peer unreachable")
+		return q.err
+	}
 	pp := q.dev.Params()
 	buf := q.dev.pool.getBuf(len(data))
 	copy(buf, data)
@@ -59,8 +100,30 @@ func (q *QP) Send(p *sim.Proc, data []byte) {
 		q.dev.tr.RecordOp(trace.OpSend, pp.IBSendLatency+pp.IBMsgTxTime(len(data)), 0)
 		q.dev.tr.Emit("verbs", "qp-send", q.dev.Node.ID, len(data), lat)
 	}
-	q.dev.qpDelq.push(qpDelivery{rq: q.remote.rq, buf: buf})
+	if f != nil && f.LinkDelay(a, b) > 0 {
+		// Per-link delay bypasses the constant-latency delivery FIFO;
+		// kept out of line so the healthy path avoids the closure escape.
+		q.sendDelayed(f, buf, pp.IBSendLatency)
+		return nil
+	}
+	q.dev.qpDelq.push(qpDelivery{rq: q.remote.rq, buf: buf, from: a, to: b})
 	q.dev.nw.Env.After(pp.IBSendLatency, q.dev.deliverQPFn)
+	return nil
+}
+
+// sendDelayed schedules a QP delivery on a link with injected delay.
+func (q *QP) sendDelayed(f *faults.Injector, buf []byte, base time.Duration) {
+	f.NoteDelay()
+	rq := q.remote.rq
+	dev := q.dev
+	dev.nw.Env.After(base+f.LinkDelay(q.dev.Node.ID, q.peer.Node.ID), func() {
+		if rq.Closed() {
+			dev.nw.flt.NoteDrop()
+			dev.pool.putBuf(buf)
+			return
+		}
+		rq.PostSend(buf)
+	})
 }
 
 // Release returns a buffer obtained from Recv/TryRecv to the endpoint's
@@ -69,9 +132,14 @@ func (q *QP) Send(p *sim.Proc, data []byte) {
 // garbage-collected as before.
 func (q *QP) Release(buf []byte) { q.dev.pool.putBuf(buf) }
 
-// Recv blocks until the next message from the peer arrives.
+// Recv blocks until the next message from the peer arrives. It returns
+// nil when the QP has been flushed to the error state (peer crash or
+// partition) — the flush wakes parked receivers.
 func (q *QP) Recv(p *sim.Proc) []byte {
-	msg, _ := q.rq.Recv(p)
+	msg, ok := q.rq.Recv(p)
+	if !ok {
+		return nil
+	}
 	q.Received++
 	return msg
 }

@@ -18,18 +18,30 @@ func (d *Device) SendTCP(p *sim.Proc, dstNode int, service string, data []byte) 
 	if !ok {
 		return &OpError{Op: "tcp-send", Target: RemoteAddr{Node: dstNode}, Reason: "no such node"}
 	}
+	if f := d.nw.flt; f != nil && f.Down(d.Node.ID) {
+		return &OpError{Op: "tcp-send", Target: RemoteAddr{Node: dstNode}, Reason: "local device down"}
+	}
 	pp := d.nw.Fab.P
 	// Sender-side protocol processing on this node's CPU.
 	d.Node.Exec(p, pp.TCPCPUTime(len(data)))
 	buf := d.pool.getBuf(len(data))
 	copy(buf, data)
 	d.nic.AcquireTx(p, pp.TCPTxTime(len(data)))
+	if f := d.nw.flt; f != nil && f.Faulted(d.Node.ID, dstNode) {
+		// Faulted-link slow path shared with SendBuf: unreachable peers
+		// and loss rolls eat the segment, added delay takes the
+		// captured-closure route around the constant-latency FIFO.
+		d.deliverFaulted(f, dst.queue("tcp:"+service), service, buf, dstNode, pp.TCPLatency)
+		return nil
+	}
 	// TCP deliveries get their own FIFO: the constant-delay pop-in-push-
 	// order argument only holds per latency constant, and TCPLatency
 	// differs from IBSendLatency.
 	d.tcpDelq.push(sendDelivery{
-		q:   dst.queue("tcp:" + service),
-		msg: Message{From: d.Node.ID, Service: service, Data: buf, pool: &d.pool},
+		q:    dst.queue("tcp:" + service),
+		msg:  Message{From: d.Node.ID, Service: service, Data: buf, pool: &d.pool},
+		from: d.Node.ID,
+		to:   dstNode,
 	})
 	d.nw.Env.After(pp.TCPLatency, d.deliverTCPFn)
 	return nil

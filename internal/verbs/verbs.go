@@ -19,6 +19,7 @@ import (
 
 	"ngdc/internal/cluster"
 	"ngdc/internal/fabric"
+	"ngdc/internal/faults"
 	"ngdc/internal/sim"
 	"ngdc/internal/trace"
 )
@@ -60,12 +61,56 @@ type Network struct {
 	Fab *fabric.Fabric
 
 	devs  map[int]*Device
+	qps   []*QP
 	qpSeq int
+
+	// flt is the fault injector active on the environment, nil for a
+	// healthy run. It is cached here (and refreshed on Attach) so every
+	// datapath check is a single pointer load.
+	flt    *faults.Injector
+	hooked bool
 }
 
 // NewNetwork creates a verbs network over a fresh fabric with params p.
+// If a fault plan was installed on env (faults.Install) before any node
+// attaches, the network propagates crashes and link faults with verbs
+// semantics; see the Fault model section of DESIGN.md.
 func NewNetwork(env *sim.Env, p fabric.Params) *Network {
-	return &Network{Env: env, Fab: fabric.New(env, p), devs: map[int]*Device{}}
+	nw := &Network{Env: env, Fab: fabric.New(env, p), devs: map[int]*Device{}}
+	nw.hookFaults()
+	return nw
+}
+
+// hookFaults caches the environment's injector and subscribes the
+// network's crash handler, once.
+func (nw *Network) hookFaults() {
+	if nw.hooked {
+		return
+	}
+	if nw.flt = nw.Fab.Faults(); nw.flt == nil {
+		return
+	}
+	nw.hooked = true
+	nw.flt.OnCrash(nw.nodeCrashed)
+}
+
+// nodeCrashed runs in scheduler context the instant a node's crash event
+// fires: the node's registered memory is zeroed (a restart comes back
+// with cold memory) and every queue pair touching the node transitions
+// to the error state, flushing parked receivers on both endpoints.
+func (nw *Network) nodeCrashed(node int) {
+	if d := nw.devs[node]; d != nil {
+		for _, mr := range d.mrs {
+			for i := range mr.buf {
+				mr.buf[i] = 0
+			}
+		}
+	}
+	for _, q := range nw.qps {
+		if q.err == nil && (q.dev.Node.ID == node || q.peer.Node.ID == node) {
+			q.enterError("flushed: peer down")
+		}
+	}
 }
 
 // Params returns the fabric cost model.
@@ -76,6 +121,7 @@ func (nw *Network) Attach(node *cluster.Node) *Device {
 	if d, ok := nw.devs[node.ID]; ok {
 		return d
 	}
+	nw.hookFaults()
 	d := &Device{
 		nw:    nw,
 		Node:  node,
@@ -182,6 +228,23 @@ func (mr *MR) Len() int { return len(mr.buf) }
 // Addr returns the remote address other nodes use to reach this region.
 func (mr *MR) Addr() RemoteAddr { return RemoteAddr{Node: mr.dev.Node.ID, Key: mr.key} }
 
+// pathError reports why a one-sided operation from this device to the
+// target cannot proceed right now: the local HCA is dead, or the target
+// is crashed/partitioned away. Nil on a healthy run or healthy path.
+func (d *Device) pathError(op string, r RemoteAddr) error {
+	f := d.nw.flt
+	if f == nil {
+		return nil
+	}
+	if f.Down(d.Node.ID) {
+		return &OpError{Op: op, Target: r, Reason: "local device down"}
+	}
+	if !f.Reachable(d.Node.ID, r.Node) {
+		return &OpError{Op: op, Target: r, Reason: "peer unreachable"}
+	}
+	return nil
+}
+
 // lookup resolves a remote address to the target region.
 func (nw *Network) lookup(op string, r RemoteAddr) (*MR, *OpError) {
 	d, ok := nw.devs[r.Node]
@@ -208,6 +271,9 @@ func (d *Device) Read(p *sim.Proc, dst []byte, r RemoteAddr, off int) error {
 	if off < 0 || off+len(dst) > len(mr.buf) {
 		return &OpError{Op: "read", Target: r, Reason: "out of bounds"}
 	}
+	if err := d.pathError("read", r); err != nil {
+		return err
+	}
 	d.Reads++
 	pp := d.nw.Fab.P
 	start := d.nw.Env.Now()
@@ -218,12 +284,23 @@ func (d *Device) Read(p *sim.Proc, dst []byte, r RemoteAddr, off int) error {
 	// the segmented timeline did.
 	target := d.nw.devs[r.Node]
 	ser := pp.IBTxTime(len(dst))
+	half1, half2 := pp.IBReadLatency/2, pp.IBReadLatency/2
+	if f := d.nw.flt; f != nil {
+		if xtra := f.LinkDelay(d.Node.ID, r.Node); xtra > 0 {
+			half1, half2 = half1+xtra, half2+xtra
+			f.NoteDelay()
+		}
+	}
 	o := d.getSyncOp()
 	o.p, o.op, o.mr, o.dst, o.nic = p, wrRead, mr, dst, target.nic
-	o.off, o.ser, o.half2 = off, ser, pp.IBReadLatency/2
-	d.nw.Env.After(pp.IBReadLatency/2, o.midFn)
+	o.off, o.ser, o.half2 = off, ser, half2
+	d.nw.Env.After(half1, o.midFn)
 	p.Park(parkRead)
+	opErr := o.err
 	d.putSyncOp(o)
+	if opErr != nil {
+		return opErr
+	}
 	if d.ts != nil {
 		lat := time.Duration(d.nw.Env.Now() - start)
 		d.ts.Read.Record(len(dst), lat)
@@ -244,9 +321,19 @@ func (d *Device) Write(p *sim.Proc, r RemoteAddr, off int, src []byte) error {
 	if off < 0 || off+len(src) > len(mr.buf) {
 		return &OpError{Op: "write", Target: r, Reason: "out of bounds"}
 	}
+	if err := d.pathError("write", r); err != nil {
+		return err
+	}
 	d.Writes++
 	pp := d.nw.Fab.P
 	ser := pp.IBTxTime(len(src))
+	half2 := pp.IBWriteLatency
+	if f := d.nw.flt; f != nil {
+		if xtra := f.LinkDelay(d.Node.ID, r.Node); xtra > 0 {
+			half2 += xtra
+			f.NoteDelay()
+		}
+	}
 	start := d.nw.Env.Now()
 	if d.nic.Tx().TryAcquire(1) {
 		// Uncontended fast path: one park instead of two. The chain
@@ -255,15 +342,23 @@ func (d *Device) Write(p *sim.Proc, r RemoteAddr, off int, src []byte) error {
 		// segmented timeline used.
 		d.nic.GrantTx(ser, 0)
 		o := d.getSyncOp()
-		o.p, o.op, o.nic, o.half2 = p, wrWrite, d.nic, pp.IBWriteLatency
+		o.p, o.op, o.mr, o.nic, o.half2 = p, wrWrite, mr, d.nic, half2
 		d.nw.Env.After(ser, o.txDoneFn)
 		p.Park(parkWrite)
 		d.putSyncOp(o)
+		// The placement instant is now: a target that crashed while the
+		// write was in flight fails the op instead of placing the data.
+		if err := d.pathError("write", r); err != nil {
+			return err
+		}
 	} else {
 		// Segmented fallback under contention: queue on the Tx engine as
 		// a process waiter, exactly the pre-chain timeline.
 		d.nic.AcquireTx(p, ser)
-		p.Sleep(pp.IBWriteLatency)
+		p.Sleep(half2)
+		if err := d.pathError("write", r); err != nil {
+			return err
+		}
 	}
 	copy(mr.buf[off:off+len(src)], src)
 	if d.ts != nil {
@@ -289,8 +384,18 @@ func (d *Device) atomic(p *sim.Proc, name string, op wrOp, r RemoteAddr, off int
 	if off < 0 || off+8 > len(mr.buf) || off%8 != 0 {
 		return 0, &OpError{Op: name, Target: r, Reason: "bad atomic offset"}
 	}
+	if err := d.pathError(name, r); err != nil {
+		return 0, err
+	}
 	d.Atomics++
 	lat := d.nw.Fab.P.IBAtomicLatency
+	half1, half2 := lat/2, lat-lat/2
+	if f := d.nw.flt; f != nil {
+		if xtra := f.LinkDelay(d.Node.ID, r.Node); xtra > 0 {
+			half1, half2 = half1+xtra, half2+xtra
+			f.NoteDelay()
+		}
+	}
 	// Event chain: the mid-chain callback loads, applies and stores the
 	// word atomically (the engine runs one callback at a time and no
 	// virtual time passes between load and store), then schedules the
@@ -298,11 +403,15 @@ func (d *Device) atomic(p *sim.Proc, name string, op wrOp, r RemoteAddr, off int
 	o := d.getSyncOp()
 	o.p, o.op, o.mr, o.off = p, op, mr, off
 	o.cmp, o.swp, o.delta = cmp, swp, delta
-	o.half2 = lat - lat/2
-	d.nw.Env.After(lat/2, o.midFn)
+	o.half2 = half2
+	o.opName = name
+	d.nw.Env.After(half1, o.midFn)
 	p.Park(parkAtomic)
-	old := o.old
+	old, opErr := o.old, o.err
 	d.putSyncOp(o)
+	if opErr != nil {
+		return 0, opErr
+	}
 	if d.ts != nil {
 		d.ts.Atomic.Record(8, lat)
 		d.tr.RecordOp(trace.OpRDMAAtomic, lat, 0)
@@ -356,6 +465,10 @@ func (d *Device) SendBuf(p *sim.Proc, dstNode int, service string, buf []byte) e
 	if !ok {
 		return &OpError{Op: "send", Target: RemoteAddr{Node: dstNode}, Reason: "no such node"}
 	}
+	if f := d.nw.flt; f != nil && f.Down(d.Node.ID) {
+		d.pool.putBuf(buf)
+		return &OpError{Op: "send", Target: RemoteAddr{Node: dstNode}, Reason: "local device down"}
+	}
 	d.Sends++
 	pp := d.nw.Fab.P
 	start := d.nw.Env.Now()
@@ -366,12 +479,51 @@ func (d *Device) SendBuf(p *sim.Proc, dstNode int, service string, buf []byte) e
 		d.tr.RecordOp(trace.OpSend, pp.IBSendLatency+pp.IBMsgTxTime(len(buf)), 0)
 		d.tr.Emit("verbs", "send", d.Node.ID, len(buf), lat)
 	}
+	if f := d.nw.flt; f != nil && f.Faulted(d.Node.ID, dstNode) {
+		// Kept out of line so the healthy fast path stays free of the
+		// captured-closure escape this branch needs.
+		d.deliverFaulted(f, dst.queue(service), service, buf, dstNode, pp.IBSendLatency)
+		return nil
+	}
 	d.sendDelq.push(sendDelivery{
-		q:   dst.queue(service),
-		msg: Message{From: d.Node.ID, Service: service, Data: buf, pool: &d.pool},
+		q:    dst.queue(service),
+		msg:  Message{From: d.Node.ID, Service: service, Data: buf, pool: &d.pool},
+		from: d.Node.ID,
+		to:   dstNode,
 	})
 	d.nw.Env.After(pp.IBSendLatency, d.deliverSendFn)
 	return nil
+}
+
+// deliverFaulted is the messaging slow path for links with an active
+// fault: sends are fire-and-forget datagrams — local completion already
+// happened — so an unreachable peer or a loss roll silently eats the
+// message, and added per-link delay takes a captured closure around the
+// constant-latency delivery FIFO (whose pop-order argument only holds
+// when every delivery shares one latency).
+func (d *Device) deliverFaulted(f *faults.Injector, q *sim.Chan[Message], service string, buf []byte, dstNode int, base time.Duration) {
+	if !f.Reachable(d.Node.ID, dstNode) {
+		f.NoteDrop()
+		d.pool.putBuf(buf)
+		return
+	}
+	if f.DropMsg(d.Node.ID, dstNode) {
+		d.pool.putBuf(buf)
+		return
+	}
+	xtra := f.LinkDelay(d.Node.ID, dstNode)
+	if xtra > 0 {
+		f.NoteDelay()
+	}
+	msg := Message{From: d.Node.ID, Service: service, Data: buf, pool: &d.pool}
+	from, to := d.Node.ID, dstNode
+	d.nw.Env.After(base+xtra, func() {
+		if d.lostInFlight(from, to) {
+			msg.Release()
+			return
+		}
+		q.PostSend(msg)
+	})
 }
 
 // PostSendAt is a scheduler-context variant of Send for protocol agents
@@ -384,6 +536,24 @@ func (d *Device) PostSendAt(dstNode int, service string, data []byte) error {
 	if !ok {
 		return &OpError{Op: "send", Target: RemoteAddr{Node: dstNode}, Reason: "no such node"}
 	}
+	var xtra time.Duration
+	if f := d.nw.flt; f != nil {
+		if f.Down(d.Node.ID) {
+			return &OpError{Op: "send", Target: RemoteAddr{Node: dstNode}, Reason: "local device down"}
+		}
+		// Fire-and-forget: an unreachable peer or a loss roll eats the
+		// message without an error, like SendBuf.
+		if !f.Reachable(d.Node.ID, dstNode) {
+			f.NoteDrop()
+			return nil
+		}
+		if f.DropMsg(d.Node.ID, dstNode) {
+			return nil
+		}
+		if xtra = f.LinkDelay(d.Node.ID, dstNode); xtra > 0 {
+			f.NoteDelay()
+		}
+	}
 	d.Sends++
 	pp := d.nw.Fab.P
 	buf := d.pool.getBuf(len(data))
@@ -395,9 +565,16 @@ func (d *Device) PostSendAt(dstNode int, service string, data []byte) error {
 	}
 	msg := Message{From: d.Node.ID, Service: service, Data: buf, pool: &d.pool}
 	q := dst.queue(service)
+	from, to := d.Node.ID, dstNode
 	// Per-message delay (size-dependent), so this path keeps a captured
 	// closure instead of the constant-latency delivery FIFO.
-	d.nw.Env.After(pp.IBSendLatency+pp.IBMsgTxTime(len(data)), func() { q.PostSend(msg) })
+	d.nw.Env.After(pp.IBSendLatency+pp.IBMsgTxTime(len(data))+xtra, func() {
+		if d.lostInFlight(from, to) {
+			msg.Release()
+			return
+		}
+		q.PostSend(msg)
+	})
 	return nil
 }
 
