@@ -362,3 +362,118 @@ func BenchmarkSec6Integrated(b *testing.B) {
 		})
 	}
 }
+
+// --- Service-layer throughput benchmarks -------------------------------
+//
+// Unlike the figure benchmarks above (whose metric is virtual time), the
+// four benchmarks below measure WALL-CLOCK service-op throughput: how
+// many sockets messages / DDSS ops / coopcache requests / DLM lock ops
+// the simulator executes per real second. They are the service-level
+// counterparts of BenchmarkEngineThroughput and feed BENCH_ngdc.json via
+// `ngdc-bench bench`.
+
+// BenchmarkSocketsThroughput streams BSDP messages through the pooled
+// wire-message path (bounce-buffer chunks, credit returns, reassembly).
+func BenchmarkSocketsThroughput(b *testing.B) {
+	const msgs = 2000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sockets.Bandwidth(sockets.BSDP, 8<<10, msgs, sockets.DefaultOptions(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(msgs*b.N)/b.Elapsed().Seconds(), "msgs/s")
+}
+
+// BenchmarkDDSSOps drives remote put/get on a Version-coherent segment
+// (header-word scratch, verbs op pools).
+func BenchmarkDDSSOps(b *testing.B) {
+	b.ReportAllocs()
+	ops := 0
+	for i := 0; i < b.N; i++ {
+		env := ngdc.NewEnv(1)
+		nw := verbs.NewNetwork(env, fabric.DefaultParams())
+		nodes := []*cluster.Node{
+			cluster.NewNode(env, 0, 2, 64<<20),
+			cluster.NewNode(env, 1, 2, 64<<20),
+		}
+		ss := ddss.New(nw, nodes)
+		env.Go("worker", func(p *ngdc.Proc) {
+			c := ss.Client(1)
+			h, err := c.Allocate(p, "seg", 4096, ddss.Version, 0)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			data := make([]byte, 1024)
+			buf := make([]byte, 1024)
+			for k := 0; k < 2000; k++ {
+				if _, err := h.Put(p, data); err != nil {
+					b.Error(err)
+					return
+				}
+				if _, err := h.Get(p, buf); err != nil {
+					b.Error(err)
+					return
+				}
+				ops += 2
+			}
+		})
+		if err := env.Run(); err != nil {
+			b.Fatal(err)
+		}
+		env.Shutdown()
+	}
+	b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// BenchmarkCoopCacheServe runs a short CCWR deployment and reports
+// request throughput per wall second.
+func BenchmarkCoopCacheServe(b *testing.B) {
+	b.ReportAllocs()
+	var reqs int64
+	for i := 0; i < b.N; i++ {
+		cfg := coopcache.DefaultConfig(coopcache.CCWR, 2, 32<<10)
+		cfg.Warmup = 100 * time.Millisecond
+		cfg.Measure = time.Second
+		st, err := coopcache.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reqs += st.Requests
+	}
+	b.ReportMetric(float64(reqs)/b.Elapsed().Seconds(), "reqs/s")
+}
+
+// BenchmarkDLMLockThroughput mixes uncontended N-CoSED fast paths with a
+// contended exclusive ping-pong (enqueue/grant hand-offs).
+func BenchmarkDLMLockThroughput(b *testing.B) {
+	b.ReportAllocs()
+	ops := 0
+	for i := 0; i < b.N; i++ {
+		env := ngdc.NewEnv(1)
+		nw := verbs.NewNetwork(env, fabric.DefaultParams())
+		nodes := []*cluster.Node{
+			cluster.NewNode(env, 0, 2, 1<<30),
+			cluster.NewNode(env, 1, 2, 1<<30),
+		}
+		m := dlm.New(nw, nodes, dlm.Options{Kind: dlm.NCoSED, NumLocks: 4})
+		for n := 0; n < 2; n++ {
+			cl := m.Client(n)
+			env.Go(fmt.Sprintf("w%d", n), func(p *ngdc.Proc) {
+				for k := 0; k < 1000; k++ {
+					cl.Lock(p, 1, dlm.Exclusive)
+					cl.Unlock(p, 1, dlm.Exclusive)
+					cl.Lock(p, 0, dlm.Shared)
+					cl.Unlock(p, 0, dlm.Shared)
+					ops += 4
+				}
+			})
+		}
+		if err := env.Run(); err != nil {
+			b.Fatal(err)
+		}
+		env.Shutdown()
+	}
+	b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "lock-ops/s")
+}

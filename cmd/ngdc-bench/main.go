@@ -58,10 +58,14 @@ import (
 	"time"
 
 	"ngdc/internal/cluster"
+	"ngdc/internal/coopcache"
+	"ngdc/internal/ddss"
+	"ngdc/internal/dlm"
 	"ngdc/internal/experiments"
 	"ngdc/internal/fabric"
 	"ngdc/internal/faults"
 	"ngdc/internal/sim"
+	"ngdc/internal/sockets"
 	"ngdc/internal/trace"
 	"ngdc/internal/verbs"
 )
@@ -198,24 +202,38 @@ func writeTrace(f *os.File, r *trace.Registry) {
 }
 
 // benchSnapshot is the machine-readable perf record -bench-json emits.
+// The first two entries cover the substrate (engine, verbs); the rest are
+// service-level request loops riding the same pools.
 type benchSnapshot struct {
-	Date               string  `json:"date"`
-	GoVersion          string  `json:"go_version"`
-	EngineEventsPerSec float64 `json:"engine_events_per_sec"`
-	VerbsPostedOpsSec  float64 `json:"verbs_posted_ops_per_sec"`
+	Date                string  `json:"date"`
+	GoVersion           string  `json:"go_version"`
+	EngineEventsPerSec  float64 `json:"engine_events_per_sec"`
+	VerbsPostedOpsSec   float64 `json:"verbs_posted_ops_per_sec"`
+	SocketsMsgsPerSec   float64 `json:"sockets_msgs_per_sec"`
+	DDSSOpsPerSec       float64 `json:"ddss_ops_per_sec"`
+	CoopCacheReqsPerSec float64 `json:"coopcache_reqs_per_sec"`
+	DLMLockOpsPerSec    float64 `json:"dlm_lock_ops_per_sec"`
 }
 
-// runBench measures the two hot substrate paths against the wall clock
-// and writes the snapshot to jsonPath (skipped when empty).
+// runBench measures the hot substrate and service paths against the wall
+// clock and writes the snapshot to jsonPath (skipped when empty).
 func runBench(jsonPath string) {
 	snap := benchSnapshot{
-		Date:               time.Now().UTC().Format(time.RFC3339),
-		GoVersion:          runtime.Version(),
-		EngineEventsPerSec: benchEngine(),
-		VerbsPostedOpsSec:  benchPostedOps(),
+		Date:                time.Now().UTC().Format(time.RFC3339),
+		GoVersion:           runtime.Version(),
+		EngineEventsPerSec:  benchEngine(),
+		VerbsPostedOpsSec:   benchPostedOps(),
+		SocketsMsgsPerSec:   benchSockets(),
+		DDSSOpsPerSec:       benchDDSS(),
+		CoopCacheReqsPerSec: benchCoopCache(),
+		DLMLockOpsPerSec:    benchDLM(),
 	}
 	fmt.Printf("engine            %14.0f events/s\n", snap.EngineEventsPerSec)
 	fmt.Printf("verbs posted ops  %14.0f ops/s\n", snap.VerbsPostedOpsSec)
+	fmt.Printf("sockets           %14.0f msgs/s\n", snap.SocketsMsgsPerSec)
+	fmt.Printf("ddss              %14.0f ops/s\n", snap.DDSSOpsPerSec)
+	fmt.Printf("coopcache         %14.0f reqs/s\n", snap.CoopCacheReqsPerSec)
+	fmt.Printf("dlm locks         %14.0f ops/s\n", snap.DLMLockOpsPerSec)
 	if jsonPath == "" {
 		return
 	}
@@ -295,6 +313,123 @@ func benchPostedOps() float64 {
 		ops += batch * rounds
 	}
 	return float64(ops) / elapsed.Seconds()
+}
+
+// benchSockets streams BSDP messages through the pooled wire path and
+// reports delivered messages per wall second.
+func benchSockets() float64 {
+	const msgs = 2000
+	var total uint64
+	var elapsed time.Duration
+	for elapsed < 500*time.Millisecond {
+		start := time.Now()
+		if _, err := sockets.Bandwidth(sockets.BSDP, 8<<10, msgs, sockets.DefaultOptions(), 1); err != nil {
+			fail(err)
+		}
+		elapsed += time.Since(start)
+		total += msgs
+	}
+	return float64(total) / elapsed.Seconds()
+}
+
+// benchDDSS drives remote put/get on a Version-coherent segment and
+// reports substrate ops per wall second.
+func benchDDSS() float64 {
+	var total uint64
+	var elapsed time.Duration
+	for elapsed < 500*time.Millisecond {
+		env := sim.NewEnv(1)
+		nw := verbs.NewNetwork(env, fabric.DefaultParams())
+		nodes := []*cluster.Node{
+			cluster.NewNode(env, 0, 2, 64<<20),
+			cluster.NewNode(env, 1, 2, 64<<20),
+		}
+		ss := ddss.New(nw, nodes)
+		var ops uint64
+		env.Go("worker", func(p *sim.Proc) {
+			c := ss.Client(1)
+			h, err := c.Allocate(p, "seg", 4096, ddss.Version, 0)
+			if err != nil {
+				fail(err)
+			}
+			data := make([]byte, 1024)
+			buf := make([]byte, 1024)
+			for k := 0; k < 2000; k++ {
+				if _, err := h.Put(p, data); err != nil {
+					fail(err)
+				}
+				if _, err := h.Get(p, buf); err != nil {
+					fail(err)
+				}
+				ops += 2
+			}
+		})
+		start := time.Now()
+		if err := env.Run(); err != nil {
+			fail(err)
+		}
+		elapsed += time.Since(start)
+		env.Shutdown()
+		total += ops
+	}
+	return float64(total) / elapsed.Seconds()
+}
+
+// benchCoopCache runs a short CCWR deployment and reports served requests
+// per wall second.
+func benchCoopCache() float64 {
+	var total uint64
+	var elapsed time.Duration
+	for elapsed < 500*time.Millisecond {
+		cfg := coopcache.DefaultConfig(coopcache.CCWR, 2, 32<<10)
+		cfg.Warmup = 100 * time.Millisecond
+		cfg.Measure = 250 * time.Millisecond
+		start := time.Now()
+		st, err := coopcache.Run(cfg)
+		if err != nil {
+			fail(err)
+		}
+		elapsed += time.Since(start)
+		total += uint64(st.Requests)
+	}
+	return float64(total) / elapsed.Seconds()
+}
+
+// benchDLM mixes uncontended N-CoSED fast paths with a contended
+// exclusive ping-pong and reports lock ops per wall second.
+func benchDLM() float64 {
+	var total uint64
+	var elapsed time.Duration
+	for elapsed < 500*time.Millisecond {
+		env := sim.NewEnv(1)
+		nw := verbs.NewNetwork(env, fabric.DefaultParams())
+		nodes := []*cluster.Node{
+			cluster.NewNode(env, 0, 2, 1<<30),
+			cluster.NewNode(env, 1, 2, 1<<30),
+		}
+		m := dlm.New(nw, nodes, dlm.Options{Kind: dlm.NCoSED, NumLocks: 4})
+		var ops uint64
+		for n := 0; n < 2; n++ {
+			cl := m.Client(n)
+			env.Go(fmt.Sprintf("w%d", n), func(p *sim.Proc) {
+				for k := 0; k < 1000; k++ {
+					cl.Lock(p, 1, dlm.Exclusive)
+					cl.Unlock(p, 1, dlm.Exclusive)
+					cl.Lock(p, 0, dlm.Shared)
+					cl.Unlock(p, 0, dlm.Shared)
+					ops += 4
+				}
+			})
+		}
+		start := time.Now()
+		if err := env.Run(); err != nil {
+			fail(err)
+		}
+		elapsed += time.Since(start)
+		env.Shutdown()
+		total += ops
+	}
+	return float64(total) / elapsed.Seconds()
 }
 
 func fail(err error) {

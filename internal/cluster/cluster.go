@@ -150,11 +150,23 @@ func LoadPermil(buf []byte) int64 {
 // busy. The node run-queue statistic covers both waiting and running
 // tasks.
 func (n *Node) Exec(p *sim.Proc, cpuTime time.Duration) {
+	n.ExecBegin()
+	n.cpu.Use(p, 1, cpuTime)
+	n.ExecDone()
+}
+
+// ExecBegin and ExecDone are the run-queue bookkeeping halves of Exec,
+// exported so event-chain callers (request pipelines that acquire the
+// core from callback context) can run them at the exact instants Exec
+// would have. ExecBegin enqueues the task before the core is acquired;
+// ExecDone retires it at the instant the core is released.
+func (n *Node) ExecBegin() {
 	n.stats.RunQueue++
 	n.publish()
-	n.cpu.Acquire(p, 1)
-	p.Sleep(cpuTime)
-	n.cpu.Release(1)
+}
+
+// ExecDone retires a task begun with ExecBegin; see ExecBegin.
+func (n *Node) ExecDone() {
 	n.stats.RunQueue--
 	n.stats.Completed++
 	n.publish()

@@ -1,0 +1,401 @@
+package coopcache
+
+import (
+	"time"
+
+	"ngdc/internal/sim"
+	"ngdc/internal/trace"
+)
+
+// reqChain runs one client request through the proxy pipeline — HTTP
+// admission CPU, scheme lookup (local hit, directory-guided remote
+// fetch, or deduplicated origin fetch), cache maintenance and response
+// egress — as an event chain: every stage boundary is a scheduler
+// callback at the exact instant the process-per-stage pipeline parked
+// and resumed, and the client process itself parks exactly once, from
+// request issue to the last response byte on the wire. Virtual-time
+// outcomes are identical (the Quick catalogue golden pins them); only
+// the number of goroutine switches per request changes.
+//
+// Records recycle through the DataCenter's free list with their step
+// callbacks bound once, so the steady-state request loop allocates
+// nothing.
+type reqChain struct {
+	dc    *DataCenter
+	p     *sim.Proc
+	px    *cacheNode
+	doc   int
+	size  int64
+	depth int
+	out   outcome
+
+	holder  *cacheNode
+	target  *cacheNode
+	fut     *sim.Future[int]
+	evicted []int // held across the directory batch wire stall
+
+	// Step callbacks, bound once per record.
+	cpuGrantFn     func(time.Duration)
+	cpuDoneFn      func()
+	dirDoneFn      func()
+	fetchMidFn     func()
+	fetchGrantFn   func(time.Duration)
+	fetchTxDoneFn  func()
+	fetchEndFn     func()
+	replicaFn      func()
+	retryFn        func(int)
+	backendGrantFn func(time.Duration)
+	backendDoneFn  func()
+	insTxGrantFn   func(time.Duration)
+	insTxDoneFn    func()
+	insPlacedFn    func()
+	dirWireFn      func()
+	copyDoneFn     func()
+	egCPUGrantFn   func(time.Duration)
+	egCPUDoneFn    func()
+	egTxGrantFn    func(time.Duration)
+}
+
+// reasonServe is the client's single park reason per request.
+const reasonServe = "coopcache request"
+
+// getReq returns a request chain record with its callbacks bound.
+func (dc *DataCenter) getReq() *reqChain {
+	if n := len(dc.reqFree); n > 0 {
+		rc := dc.reqFree[n-1]
+		dc.reqFree = dc.reqFree[:n-1]
+		return rc
+	}
+	dc.reqMade++
+	rc := &reqChain{dc: dc}
+	rc.cpuGrantFn = func(time.Duration) { rc.dc.env.After(RequestCPU, rc.cpuDoneFn) }
+	rc.cpuDoneFn = rc.cpuDone
+	rc.dirDoneFn = func() { rc.dirArrived(true) }
+	rc.fetchMidFn = rc.fetchMid
+	rc.fetchGrantFn = func(time.Duration) {
+		rc.dc.env.After(rc.dc.nw.Params().IBTxTime(int(rc.size)), rc.fetchTxDoneFn)
+	}
+	rc.fetchTxDoneFn = rc.fetchTxDone
+	rc.fetchEndFn = rc.fetchEnd
+	rc.replicaFn = func() {
+		rc.px.replica.Put(rc.doc, rc.size)
+		rc.egress()
+	}
+	rc.retryFn = func(int) {
+		rc.depth = 1
+		rc.lookupStep()
+	}
+	rc.backendGrantFn = func(time.Duration) {
+		rc.dc.env.After(rc.dc.nw.Params().BackendTime(int(rc.size)), rc.backendDoneFn)
+	}
+	rc.backendDoneFn = rc.backendDone
+	rc.insTxGrantFn = func(waited time.Duration) {
+		ser := rc.dc.nw.Params().IBTxTime(int(rc.size))
+		rc.px.dev.NIC().GrantTx(ser, waited)
+		rc.dc.env.After(ser, rc.insTxDoneFn)
+	}
+	rc.insTxDoneFn = rc.insTxDone
+	rc.insPlacedFn = rc.placed
+	rc.dirWireFn = func() {
+		rc.dirEntries(rc.evicted)
+		rc.evicted = nil
+		rc.insertDone()
+	}
+	rc.copyDoneFn = rc.copyDone
+	rc.egCPUGrantFn = func(time.Duration) {
+		rc.dc.env.After(rc.dc.nw.Params().TCPCPUTime(int(rc.size)), rc.egCPUDoneFn)
+	}
+	rc.egCPUDoneFn = rc.egCPUDone
+	rc.egTxGrantFn = func(waited time.Duration) {
+		ser := rc.dc.nw.Params().TCPTxTime(int(rc.size))
+		rc.px.dev.NIC().GrantTx(ser, waited)
+		rc.dc.env.WakeAfter(rc.p, ser)
+	}
+	return rc
+}
+
+// putReq recycles a finished request chain record.
+func (dc *DataCenter) putReq(rc *reqChain) {
+	rc.p, rc.px, rc.holder, rc.target, rc.fut, rc.evicted = nil, nil, nil, nil, nil, nil
+	dc.reqFree = append(dc.reqFree, rc)
+}
+
+// start begins the admission CPU burst (HTTP processing) at the current
+// instant; the caller parks afterwards and is resumed by the chain at
+// the egress-complete instant.
+func (rc *reqChain) start() {
+	rc.px.node.ExecBegin()
+	cpu := rc.px.node.CPU()
+	if cpu.TryAcquire(1) {
+		rc.dc.env.After(RequestCPU, rc.cpuDoneFn)
+		return
+	}
+	cpu.AcquireAsync(1, rc.cpuGrantFn)
+}
+
+// cpuDone runs at the admission-burst release instant.
+func (rc *reqChain) cpuDone() {
+	rc.px.node.CPU().Release(1)
+	rc.px.node.ExecDone()
+	rc.lookupStep()
+}
+
+// lookupStep resolves the document under the scheme at the current
+// instant, mirroring the lookup decision ladder stage for stage.
+func (rc *reqChain) lookupStep() {
+	dc, px := rc.dc, rc.px
+	if dc.cfg.Scheme == HYBCC {
+		px.freq[rc.doc]++
+	}
+	if px.cache.Get(rc.doc) || (px.replica != nil && px.replica.Get(rc.doc)) {
+		// Local hit: charge the memory copy, then egress.
+		rc.out = outLocal
+		dc.env.After(dc.nw.Params().CopyTime(int(rc.size)), rc.copyDoneFn)
+		return
+	}
+	if dc.cfg.Scheme != AC {
+		// Directory read against the document's home shard: free when the
+		// shard is local, a one-sided read otherwise.
+		if dc.dirHome(rc.doc) != px {
+			dc.env.After(dc.nw.Params().IBReadLatency, rc.dirDoneFn)
+			return
+		}
+		rc.dirArrived(false)
+		return
+	}
+	rc.missStep()
+}
+
+// dirArrived runs when the directory entry is available: at the issue
+// instant for a local shard, one read RTT later for a remote one.
+func (rc *reqChain) dirArrived(remote bool) {
+	dc := rc.dc
+	if remote && dc.tr != nil {
+		dc.tr.RecordOp(trace.OpRDMARead, dc.nw.Params().IBReadLatency, 0)
+	}
+	// Lowest-ID holder other than the requester; the deterministic choice
+	// keeps runs reproducible (map iteration order would not be).
+	holders := dc.dirHome(rc.doc).dir[rc.doc]
+	best := -1
+	for id := range holders {
+		if cn := dc.nodeByID(id); cn == nil || cn == rc.px {
+			continue
+		}
+		if best == -1 || id < best {
+			best = id
+		}
+	}
+	if best != -1 {
+		if holder := dc.nodeByID(best); holder != nil && holder.cache.Get(rc.doc) {
+			// Remote hit: one-sided RDMA read from the holder — request
+			// half-RTT, response serialization on the holder's NIC,
+			// response half-RTT.
+			rc.holder = holder
+			dc.env.After(dc.nw.Params().IBReadLatency/2, rc.fetchMidFn)
+			return
+		}
+	}
+	rc.missStep()
+}
+
+// fetchMid runs when the read request reaches the holder: occupy the
+// holder's transmit engine for the response serialization.
+func (rc *reqChain) fetchMid() {
+	tx := rc.holder.dev.NIC().Tx()
+	if tx.TryAcquire(1) {
+		rc.dc.env.After(rc.dc.nw.Params().IBTxTime(int(rc.size)), rc.fetchTxDoneFn)
+		return
+	}
+	tx.AcquireAsync(1, rc.fetchGrantFn)
+}
+
+// fetchTxDone runs when the response's last byte leaves the holder NIC.
+func (rc *reqChain) fetchTxDone() {
+	rc.holder.dev.NIC().Tx().Release(1)
+	rc.dc.env.After(rc.dc.nw.Params().IBReadLatency/2, rc.fetchEndFn)
+}
+
+// fetchEnd runs when the response arrives back at the requester.
+func (rc *reqChain) fetchEnd() {
+	dc := rc.dc
+	pp := dc.nw.Params()
+	if dc.tr != nil {
+		dc.tr.RecordOp(trace.OpRDMARead, pp.IBTxTime(int(rc.size))+pp.IBReadLatency, 0)
+	}
+	rc.out = outRemote
+	switch {
+	case dc.cfg.Scheme == BCC:
+		// Duplicate locally for future requests.
+		rc.insertStep(rc.px)
+	case dc.cfg.Scheme == HYBCC && rc.size <= dc.cfg.HybridThreshold && rc.px.freq[rc.doc] >= hybridHotCount:
+		// Hybrid: this small document keeps getting requested here —
+		// replicate it into the bounded replica area (a private copy; the
+		// directory keeps pointing at the single authoritative copy).
+		dc.env.After(pp.CopyTime(int(rc.size)), rc.replicaFn)
+	default:
+		rc.egress()
+	}
+}
+
+// missStep handles a cluster-wide miss: wait behind a concurrent fetch
+// of the same document, or fetch from the origin.
+func (rc *reqChain) missStep() {
+	dc := rc.dc
+	if fut, ok := dc.inflight[rc.doc]; ok && rc.depth == 0 {
+		fut.WaitAsync(rc.retryFn)
+		return
+	}
+	rc.fut = dc.getFetchFuture(rc.doc)
+	dc.inflight[rc.doc] = rc.fut
+	if dc.backend.TryAcquire(1) {
+		dc.env.After(dc.nw.Params().BackendTime(int(rc.size)), rc.backendDoneFn)
+		return
+	}
+	dc.backend.AcquireAsync(1, rc.backendGrantFn)
+}
+
+// backendDone runs when the origin fetch completes: place the document.
+func (rc *reqChain) backendDone() {
+	dc := rc.dc
+	dc.backend.Release(1)
+	target := rc.px
+	if dc.cfg.Scheme == MTACC || dc.cfg.Scheme == HYBCC {
+		target = dc.placeMostFree(rc.px)
+	}
+	rc.insertStep(target)
+}
+
+// insertStep places the fetched document into target's cache, charging
+// the one-sided RDMA push when the target is remote.
+func (rc *reqChain) insertStep(target *cacheNode) {
+	rc.target = target
+	if target != rc.px {
+		dc := rc.dc
+		ser := dc.nw.Params().IBTxTime(int(rc.size))
+		tx := rc.px.dev.NIC().Tx()
+		if tx.TryAcquire(1) {
+			rc.px.dev.NIC().GrantTx(ser, 0)
+			dc.env.After(ser, rc.insTxDoneFn)
+			return
+		}
+		tx.AcquireAsync(1, rc.insTxGrantFn)
+		return
+	}
+	rc.placed()
+}
+
+// insTxDone runs when the push's last byte leaves the requester NIC.
+func (rc *reqChain) insTxDone() {
+	rc.px.dev.NIC().Tx().Release(1)
+	rc.dc.env.After(rc.dc.nw.Params().IBWriteLatency, rc.insPlacedFn)
+}
+
+// placed runs at the instant the document lands in the target's cache:
+// record the push, update the cache, and post the doorbell-batched
+// directory update (the add and the eviction removes charge a single
+// combined wire stall for the remote-shard atomics — Sleep(a)+Sleep(b)
+// == Sleep(a+b): nothing else observes the intermediate instant — while
+// each op is still recorded individually).
+func (rc *reqChain) placed() {
+	dc := rc.dc
+	pp := dc.nw.Params()
+	if rc.target != rc.px && dc.tr != nil {
+		dc.tr.RecordOp(trace.OpRDMAWrite, pp.IBTxTime(int(rc.size))+pp.IBWriteLatency, 0)
+	}
+	evicted := rc.target.cache.Put(rc.doc, rc.size)
+	if dc.cfg.Scheme != AC {
+		var wire time.Duration
+		if dc.dirHome(rc.doc) != rc.px {
+			wire += pp.IBAtomicLatency
+			if dc.tr != nil {
+				dc.tr.RecordOp(trace.OpRDMAAtomic, pp.IBAtomicLatency, 0)
+			}
+		}
+		for _, v := range evicted {
+			if dc.dirHome(v) != rc.px {
+				wire += pp.IBAtomicLatency
+				if dc.tr != nil {
+					dc.tr.RecordOp(trace.OpRDMAAtomic, pp.IBAtomicLatency, 0)
+				}
+			}
+		}
+		if wire > 0 {
+			rc.evicted = evicted
+			dc.env.After(wire, rc.dirWireFn)
+			return
+		}
+		rc.dirEntries(evicted)
+	}
+	rc.insertDone()
+}
+
+// dirEntries applies the directory mutations of an insert (pure state;
+// the wire charge was issued by placed's batch).
+func (rc *reqChain) dirEntries(evicted []int) {
+	rc.dc.dirAddEntry(rc.doc, rc.target.node.ID)
+	for _, v := range evicted {
+		rc.dc.dirRemoveEntry(v, rc.target.node.ID)
+	}
+}
+
+// insertDone finishes an insert: a miss-path insert resolves the dedup
+// future (waking concurrent requesters of the same document), a BCC
+// duplicate goes straight to egress.
+func (rc *reqChain) insertDone() {
+	dc := rc.dc
+	if rc.fut != nil {
+		delete(dc.inflight, rc.doc)
+		f := rc.fut
+		rc.fut = nil
+		f.Resolve(0)
+		dc.putFetchFuture(f)
+		rc.out = outMiss
+	}
+	rc.egress()
+}
+
+// copyDone runs when a local hit's memory copy completes; it records
+// the copy and starts egress.
+func (rc *reqChain) copyDone() {
+	dc := rc.dc
+	if dc.tr != nil {
+		dc.tr.RecordOp(trace.OpCopy, 0, dc.nw.Params().CopyTime(int(rc.size)))
+	}
+	rc.px.node.ExecBegin()
+	rc.egressCPU()
+}
+
+// egress starts the response path to the client over the front-side
+// network: TCP CPU work, then the wire.
+func (rc *reqChain) egress() {
+	rc.px.node.ExecBegin()
+	rc.egressCPU()
+}
+
+// egressCPU occupies a proxy core for the TCP send processing.
+func (rc *reqChain) egressCPU() {
+	cpu := rc.px.node.CPU()
+	if cpu.TryAcquire(1) {
+		rc.dc.env.After(rc.dc.nw.Params().TCPCPUTime(int(rc.size)), rc.egCPUDoneFn)
+		return
+	}
+	cpu.AcquireAsync(1, rc.egCPUGrantFn)
+}
+
+// egCPUDone runs at the TCP CPU release instant: occupy the proxy NIC
+// for the response serialization and resume the client when the last
+// byte is on the wire. The client releases the transmit engine itself on
+// resume (serveRequest), matching the process-per-stage pipeline's
+// mutation order at the final instant.
+func (rc *reqChain) egCPUDone() {
+	rc.px.node.CPU().Release(1)
+	rc.px.node.ExecDone()
+	nic := rc.px.dev.NIC()
+	ser := rc.dc.nw.Params().TCPTxTime(int(rc.size))
+	if nic.Tx().TryAcquire(1) {
+		nic.GrantTx(ser, 0)
+		rc.dc.env.WakeAfter(rc.p, ser)
+		return
+	}
+	nic.Tx().AcquireAsync(1, rc.egTxGrantFn)
+}

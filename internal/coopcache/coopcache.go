@@ -157,6 +157,9 @@ type DataCenter struct {
 	appTier  []*cacheNode
 	backend  *sim.Resource
 	inflight map[int]*sim.Future[int] // doc -> fetch in progress (dedup)
+	futFree  []*sim.Future[int]       // recycled dedup futures (untraced runs)
+	reqFree  []*reqChain              // recycled request chain records
+	reqMade  int                      // chain records ever allocated (pool size)
 
 	measuring bool
 	stats     Stats
@@ -228,11 +231,12 @@ func Build(cfg Config) *DataCenter {
 	for i := 0; i < cfg.AppServers; i++ {
 		n := cluster.NewNode(env, id, 2, cfg.AppServerMem*4)
 		id++
-		dc.appTier = append(dc.appTier, &cacheNode{
+		cn := &cacheNode{
 			node:  n,
 			dev:   nw.Attach(n),
 			cache: lru.New[int](cfg.AppServerMem),
-		})
+		}
+		dc.appTier = append(dc.appTier, cn)
 	}
 	return dc
 }
@@ -269,67 +273,50 @@ func (dc *DataCenter) dirHome(doc int) *cacheNode {
 	return dc.proxies[doc%len(dc.proxies)]
 }
 
-// dirCost charges the wire cost of one directory operation issued by
-// proxy against a document's home shard: free when the shard is local, a
-// one-sided read or atomic otherwise.
-func (dc *DataCenter) dirCost(p *sim.Proc, from *cacheNode, doc int, update bool) {
-	home := dc.dirHome(doc)
-	if home == from {
-		return
-	}
-	pp := dc.nw.Params()
-	if update {
-		p.Sleep(pp.IBAtomicLatency)
-		if dc.tr != nil {
-			dc.tr.RecordOp(trace.OpRDMAAtomic, pp.IBAtomicLatency, 0)
-		}
-	} else {
-		p.Sleep(pp.IBReadLatency)
-		if dc.tr != nil {
-			dc.tr.RecordOp(trace.OpRDMARead, pp.IBReadLatency, 0)
-		}
-	}
-}
-
-// dirLookup returns the lowest-ID holder of doc other than the requester,
-// or nil. The deterministic choice keeps runs reproducible (map iteration
-// order would not be).
-func (dc *DataCenter) dirLookup(p *sim.Proc, from *cacheNode, doc int) *cacheNode {
-	dc.dirCost(p, from, doc, false)
-	holders := dc.dirHome(doc).dir[doc]
-	best := -1
-	for id := range holders {
-		if cn := dc.nodeByID(id); cn == nil || cn == from {
-			continue
-		}
-		if best == -1 || id < best {
-			best = id
-		}
-	}
-	if best == -1 {
-		return nil
-	}
-	return dc.nodeByID(best)
-}
-
-// dirAdd registers holder in doc's directory entry.
-func (dc *DataCenter) dirAdd(p *sim.Proc, from *cacheNode, doc int, holder *cacheNode) {
-	dc.dirCost(p, from, doc, true)
+// dirAddEntry registers holder in doc's directory entry (pure state; the
+// wire charge is issued by the caller's batch).
+func (dc *DataCenter) dirAddEntry(doc int, holderID int) {
 	home := dc.dirHome(doc)
 	if home.dir[doc] == nil {
 		home.dir[doc] = map[int]bool{}
 	}
-	home.dir[doc][holder.node.ID] = true
+	home.dir[doc][holderID] = true
 }
 
-// dirRemove unregisters holder from doc's directory entry.
-func (dc *DataCenter) dirRemove(p *sim.Proc, from *cacheNode, doc int, holderID int) {
-	dc.dirCost(p, from, doc, true)
+// dirRemoveEntry unregisters holder from doc's directory entry (pure
+// state; the wire charge is issued by the caller's batch).
+func (dc *DataCenter) dirRemoveEntry(doc int, holderID int) {
 	home := dc.dirHome(doc)
 	if home.dir[doc] != nil {
 		delete(home.dir[doc], holderID)
 		if len(home.dir[doc]) == 0 {
 			delete(home.dir, doc)
 		}
+	}
+}
+
+// getFetchFuture returns the dedup future for a backend fetch of doc. The
+// per-document name is formatted only when a tracer is attached (the name
+// surfaces in traced block reasons); untraced runs recycle pooled futures
+// under a static name and skip the Sprintf entirely.
+func (dc *DataCenter) getFetchFuture(doc int) *sim.Future[int] {
+	if dc.tr != nil {
+		return sim.NewFuture[int](dc.env, fmt.Sprintf("fetch-doc%d", doc))
+	}
+	if n := len(dc.futFree); n > 0 {
+		f := dc.futFree[n-1]
+		dc.futFree = dc.futFree[:n-1]
+		f.Reset()
+		return f
+	}
+	return sim.NewFuture[int](dc.env, "fetch")
+}
+
+// putFetchFuture recycles a resolved dedup future (all waiters have been
+// woken by Resolve and read their values from their own waiter records,
+// so the future is free for the next fetch).
+func (dc *DataCenter) putFetchFuture(f *sim.Future[int]) {
+	if dc.tr == nil {
+		dc.futFree = append(dc.futFree, f)
 	}
 }

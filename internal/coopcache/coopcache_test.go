@@ -155,6 +155,27 @@ func TestDeterministicRuns(t *testing.T) {
 	}
 }
 
+// TestRequestChainRecordsRecycle pins the request pipeline's pooling:
+// every served request reuses a recycled chain record, so the number of
+// records ever created is bounded by the peak client concurrency — not
+// by the request count.
+func TestRequestChainRecordsRecycle(t *testing.T) {
+	cfg := quickCfg(HYBCC, 2, 32<<10)
+	dc := Build(cfg)
+	st, err := dc.RunLoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := cfg.Proxies * cfg.ClientsPerProxy
+	if st.Requests < int64(10*clients) {
+		t.Fatalf("run too short to exercise reuse: %d requests", st.Requests)
+	}
+	if dc.reqMade == 0 || dc.reqMade > clients {
+		t.Fatalf("%d chain records allocated for %d requests, want 1..%d (one per concurrent client at most)",
+			dc.reqMade, st.Requests, clients)
+	}
+}
+
 func TestSchemeString(t *testing.T) {
 	want := []string{"AC", "BCC", "CCWR", "MTACC", "HYBCC"}
 	for i, s := range Schemes {

@@ -21,101 +21,24 @@ const (
 
 // serveRequest is the proxy request pipeline: HTTP processing, cache
 // lookup under the configured scheme, and response egress to the client.
+// The whole pipeline runs as a pooled event chain (see chain.go): the
+// client parks exactly once per request, and resumes at the instant the
+// response's last byte is on the wire. It releases the transmit engine
+// and records the egress op itself, matching the final-instant mutation
+// order of the process-per-stage pipeline the chain replaced.
 func (dc *DataCenter) serveRequest(p *sim.Proc, px *cacheNode, doc int) outcome {
-	size := dc.cfg.sizeOf(doc)
-	px.node.Exec(p, RequestCPU)
-
-	out := dc.lookup(p, px, doc, 0)
-
-	// Response egress to the client over the front-side network.
-	pp := dc.nw.Params()
-	px.node.Exec(p, pp.TCPCPUTime(int(size)))
-	px.dev.NIC().AcquireTx(p, pp.TCPTxTime(int(size)))
+	rc := dc.getReq()
+	rc.p, rc.px, rc.doc, rc.size, rc.depth = p, px, doc, dc.cfg.sizeOf(doc), 0
+	rc.start()
+	p.Park(reasonServe)
+	out, size := rc.out, rc.size
+	px.dev.NIC().Tx().Release(1)
 	if dc.tr != nil {
+		pp := dc.nw.Params()
 		dc.tr.RecordOp(trace.OpTCP, pp.TCPTxTime(int(size)), pp.TCPCPUTime(int(size)))
 	}
+	dc.putReq(rc)
 	return out
-}
-
-// lookup resolves the document under the scheme, filling caches as a side
-// effect. depth guards the single retry after waiting out a concurrent
-// fetch.
-func (dc *DataCenter) lookup(p *sim.Proc, px *cacheNode, doc int, depth int) outcome {
-	size := dc.cfg.sizeOf(doc)
-	pp := dc.nw.Params()
-
-	scheme := dc.cfg.Scheme
-	if scheme == HYBCC {
-		px.freq[doc]++
-	}
-
-	if px.cache.Get(doc) || (px.replica != nil && px.replica.Get(doc)) {
-		p.Sleep(pp.CopyTime(int(size)))
-		if dc.tr != nil {
-			dc.tr.RecordOp(trace.OpCopy, 0, pp.CopyTime(int(size)))
-		}
-		return outLocal
-	}
-
-	if scheme != AC {
-		if holder := dc.dirLookup(p, px, doc); holder != nil && holder.cache.Get(doc) {
-			dc.remoteFetch(p, holder, size)
-			switch {
-			case scheme == BCC:
-				// Duplicate locally for future requests.
-				dc.insert(p, px, px, doc)
-			case scheme == HYBCC && size <= dc.cfg.HybridThreshold && px.freq[doc] >= hybridHotCount:
-				// Hybrid: this small document keeps getting requested
-				// here — replicate it into the bounded replica area
-				// (a private copy; the directory keeps pointing at the
-				// single authoritative copy).
-				p.Sleep(pp.CopyTime(int(size)))
-				px.replica.Put(doc, size)
-			}
-			return outRemote
-		}
-	}
-
-	// Nobody has it: fetch from the origin, deduplicating concurrent
-	// fetches of the same document.
-	if fut, ok := dc.inflight[doc]; ok && depth == 0 {
-		fut.Wait(p)
-		return dc.lookup(p, px, doc, 1)
-	}
-	fut := sim.NewFuture[int](dc.env, fmt.Sprintf("fetch-doc%d", doc))
-	dc.inflight[doc] = fut
-	dc.backend.Use(p, 1, pp.BackendTime(int(size)))
-	target := px
-	if scheme == MTACC || scheme == HYBCC {
-		target = dc.placeMostFree(px)
-	}
-	dc.insert(p, px, target, doc)
-	delete(dc.inflight, doc)
-	fut.Resolve(0)
-	return outMiss
-}
-
-// insert places doc into target's cache, charging the push cost when the
-// target is remote and maintaining the directory for cooperative schemes.
-func (dc *DataCenter) insert(p *sim.Proc, px, target *cacheNode, doc int) {
-	size := dc.cfg.sizeOf(doc)
-	pp := dc.nw.Params()
-	if target != px {
-		// One-sided RDMA write of the document into the target's cache
-		// memory.
-		px.dev.NIC().AcquireTx(p, pp.IBTxTime(int(size)))
-		p.Sleep(pp.IBWriteLatency)
-		if dc.tr != nil {
-			dc.tr.RecordOp(trace.OpRDMAWrite, pp.IBTxTime(int(size))+pp.IBWriteLatency, 0)
-		}
-	}
-	evicted := target.cache.Put(doc, size)
-	if dc.cfg.Scheme != AC {
-		dc.dirAdd(p, px, doc, target)
-		for _, v := range evicted {
-			dc.dirRemove(p, px, v, target.node.ID)
-		}
-	}
 }
 
 // placeMostFree picks the pool node with the most free cache space,
@@ -128,19 +51,6 @@ func (dc *DataCenter) placeMostFree(px *cacheNode) *cacheNode {
 		}
 	}
 	return best
-}
-
-// remoteFetch charges a one-sided RDMA read of size bytes from holder.
-func (dc *DataCenter) remoteFetch(p *sim.Proc, holder *cacheNode, size int64) {
-	pp := dc.nw.Params()
-	p.Sleep(pp.IBReadLatency / 2)
-	holder.dev.NIC().Tx().Acquire(p, 1)
-	p.Sleep(pp.IBTxTime(int(size)))
-	holder.dev.NIC().Tx().Release(1)
-	p.Sleep(pp.IBReadLatency / 2)
-	if dc.tr != nil {
-		dc.tr.RecordOp(trace.OpRDMARead, pp.IBTxTime(int(size))+pp.IBReadLatency, 0)
-	}
 }
 
 // hybridHotCount is how many requests a document must accumulate at one

@@ -218,7 +218,25 @@ type Client struct {
 	ss    *Substrate
 	dev   *verbs.Device
 	cache map[string]*cachedCopy // Temporal-coherence local copies
+	// hdrFree recycles the 8-byte scratch words the one-sided header
+	// ops read into / write from. A stack array would escape through the
+	// verbs op records, so the words are checked out here instead,
+	// keeping steady-state put/get allocation-free.
+	hdrFree [][]byte
 }
+
+// getHdr checks an 8-byte header scratch word out of the free list.
+func (c *Client) getHdr() []byte {
+	if n := len(c.hdrFree); n > 0 {
+		b := c.hdrFree[n-1]
+		c.hdrFree = c.hdrFree[:n-1]
+		return b
+	}
+	return make([]byte, 8)
+}
+
+// putHdr returns a scratch word once the verbs op has consumed it.
+func (c *Client) putHdr(b []byte) { c.hdrFree = append(c.hdrFree, b) }
 
 type cachedCopy struct {
 	data    []byte

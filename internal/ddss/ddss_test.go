@@ -572,3 +572,61 @@ func TestWaitVersionOnFreedSegmentFails(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDDSSSteadyStateAllocationFree asserts that remote put/get loops —
+// including the one-sided header-word reads/writes (pooled scratch) and
+// Temporal TTL refreshes (cached copy reused in place) — allocate
+// nothing per operation once warm.
+func TestDDSSSteadyStateAllocationFree(t *testing.T) {
+	env, ss, _ := testSubstrate(1, 2)
+	var hv, ht *Handle
+	env.Go("setup", func(p *sim.Proc) {
+		c := ss.Client(1)
+		var err error
+		if hv, err = c.Allocate(p, "ver", 1024, Version, 0); err != nil {
+			t.Error(err)
+		}
+		if ht, err = c.Allocate(p, "ttl", 1024, Temporal, 0); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 512)
+	buf := make([]byte, 512)
+	env.GoDaemon("worker", func(p *sim.Proc) {
+		for {
+			if _, err := hv.Put(p, data); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := hv.Get(p, buf); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := ht.Put(p, data); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := ht.Get(p, buf); err != nil {
+				t.Error(err)
+				return
+			}
+			p.Sleep(DefaultTTL) // expire the Temporal copy: next Get refreshes
+		}
+	})
+	limit := sim.Time(0)
+	step := func() {
+		limit = limit.Add(100 * time.Millisecond)
+		if err := env.RunUntil(limit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step() // warm scratch words, verbs op pools, the cached copy
+	allocs := testing.AllocsPerRun(20, step)
+	if allocs > 2 {
+		t.Errorf("steady-state ddss put/get allocates %.1f allocs per step, want ~0", allocs)
+	}
+	env.Shutdown()
+}

@@ -82,24 +82,29 @@ func (h *Handle) acquireLock(p *sim.Proc) error {
 
 // releaseLock clears the lock word with a one-sided write.
 func (h *Handle) releaseLock(p *sim.Proc) error {
-	var zero [8]byte
-	return h.write(p, hdrLock, zero[:])
+	return h.writeU64(p, hdrLock, 0)
 }
 
-// writeU64 writes a header word one-sidedly.
+// writeU64 writes a header word one-sidedly, staging the value in a
+// pooled scratch word (the verbs layer consumes it before returning).
 func (h *Handle) writeU64(p *sim.Proc, off int, v uint64) error {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], v)
-	return h.write(p, off, b[:])
+	b := h.c.getHdr()
+	binary.LittleEndian.PutUint64(b, v)
+	err := h.write(p, off, b)
+	h.c.putHdr(b)
+	return err
 }
 
-// readU64 reads a header word one-sidedly.
+// readU64 reads a header word one-sidedly into a pooled scratch word.
 func (h *Handle) readU64(p *sim.Proc, off int) (uint64, error) {
-	var b [8]byte
-	if err := h.read(p, b[:], off); err != nil {
+	b := h.c.getHdr()
+	if err := h.read(p, b, off); err != nil {
+		h.c.putHdr(b)
 		return 0, err
 	}
-	return binary.LittleEndian.Uint64(b[:]), nil
+	v := binary.LittleEndian.Uint64(b)
+	h.c.putHdr(b)
+	return v, nil
 }
 
 // Put writes data into the segment under its coherence model and returns
@@ -240,9 +245,14 @@ func (h *Handle) Get(p *sim.Proc, buf []byte) (uint64, error) {
 		if err := h.read(p, buf, hdrSize); err != nil {
 			return 0, err
 		}
-		cp := make([]byte, len(buf))
-		copy(cp, buf)
-		h.c.cache[h.seg.key] = &cachedCopy{data: cp, fetched: p.Now()}
+		// Refresh in place: the cached copy's backing array is reused
+		// across TTL expiries, so steady-state refreshes do not allocate.
+		if cc == nil {
+			cc = &cachedCopy{}
+			h.c.cache[h.seg.key] = cc
+		}
+		cc.data = append(cc.data[:0], buf...)
+		cc.fetched = p.Now()
 		return 0, nil
 
 	default:

@@ -27,6 +27,7 @@ package dlm
 import (
 	"encoding/binary"
 	"fmt"
+	"strconv"
 	"time"
 
 	"ngdc/internal/cluster"
@@ -246,34 +247,44 @@ func decodeWire(b []byte) wire {
 }
 
 // grantTable tracks per-lock grant futures for a client; one outstanding
-// request per lock.
+// request per lock. Each lock's future is created (and its name
+// formatted) once on first use, then reused for every later request via
+// Reset — the protocol's one-outstanding-request rule guarantees the
+// previous waiter has consumed the grant before the lock is re-armed.
 type grantTable struct {
 	env     *sim.Env
 	name    string
-	pending map[int]*sim.Future[int]
+	futures map[int]*sim.Future[int]
+	armed   map[int]bool
 }
 
 func newGrantTable(env *sim.Env, name string) *grantTable {
-	return &grantTable{env: env, name: name, pending: map[int]*sim.Future[int]{}}
+	return &grantTable{env: env, name: name,
+		futures: map[int]*sim.Future[int]{}, armed: map[int]bool{}}
 }
 
 // arm registers a future for a lock; granting twice or double-arming
 // panics (protocol bug).
 func (g *grantTable) arm(lock int) *sim.Future[int] {
-	if _, ok := g.pending[lock]; ok {
+	if g.armed[lock] {
 		panic(fmt.Sprintf("dlm: %s: double outstanding request on lock %d", g.name, lock))
 	}
-	f := sim.NewFuture[int](g.env, fmt.Sprintf("%s/grant%d", g.name, lock))
-	g.pending[lock] = f
+	f, ok := g.futures[lock]
+	if !ok {
+		f = sim.NewFuture[int](g.env, g.name+"/grant"+strconv.Itoa(lock))
+		g.futures[lock] = f
+	} else if f.Done() {
+		f.Reset()
+	}
+	g.armed[lock] = true
 	return f
 }
 
 // grant resolves the future for a lock.
 func (g *grantTable) grant(lock, arg int) {
-	f, ok := g.pending[lock]
-	if !ok {
+	if !g.armed[lock] {
 		panic(fmt.Sprintf("dlm: %s: grant for lock %d with no waiter", g.name, lock))
 	}
-	delete(g.pending, lock)
-	f.Resolve(arg)
+	g.armed[lock] = false
+	g.futures[lock].Resolve(arg)
 }

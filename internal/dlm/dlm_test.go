@@ -605,3 +605,48 @@ func TestTryLockSharedCoexists(t *testing.T) {
 		}
 	}
 }
+
+// TestNCoSEDSteadyStateAllocationFree asserts the N-CoSED hot loops —
+// uncontended shared/exclusive fast paths (pure FAA/CAS) and contended
+// exclusive hand-offs (pooled wire messages, reused grant and successor
+// futures) — allocate nothing per lock/unlock once warm.
+func TestNCoSEDSteadyStateAllocationFree(t *testing.T) {
+	env, m, _ := testManager(1, NCoSED, 2, 4)
+	c1 := m.Client(1)
+	// Uncontended fast paths on lock 0 (homed on node 0, remote to c1).
+	env.GoDaemon("fast", func(p *sim.Proc) {
+		for {
+			c1.Lock(p, 0, Exclusive)
+			c1.Unlock(p, 0, Exclusive)
+			c1.Lock(p, 0, Shared)
+			c1.Unlock(p, 0, Shared)
+			p.Sleep(5 * time.Microsecond)
+		}
+	})
+	// Contended exclusive ping-pong on lock 1: exercises the enqueue /
+	// grant / successor-wait paths through the pooled tables.
+	for n := 0; n < 2; n++ {
+		cl := m.Client(n)
+		env.GoDaemon(fmt.Sprintf("pingpong%d", n), func(p *sim.Proc) {
+			for {
+				cl.Lock(p, 1, Exclusive)
+				p.Sleep(2 * time.Microsecond)
+				cl.Unlock(p, 1, Exclusive)
+				p.Sleep(2 * time.Microsecond)
+			}
+		})
+	}
+	limit := sim.Time(0)
+	step := func() {
+		limit = limit.Add(time.Millisecond)
+		if err := env.RunUntil(limit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step() // warm pools, grant/successor tables, waiter free lists
+	allocs := testing.AllocsPerRun(20, step)
+	if allocs > 2 {
+		t.Errorf("steady-state N-CoSED lock/unlock allocates %.1f allocs per 1ms step, want ~0", allocs)
+	}
+	env.Shutdown()
+}

@@ -2,6 +2,7 @@ package dlm
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"ngdc/internal/faults"
@@ -43,6 +44,7 @@ type ncosedLockState struct {
 	pendingShared []int // node IDs awaiting the end of the exclusive chain
 	pendingDrain  int   // node ID + 1 awaiting shared-holder drain, 0 if none
 	polling       bool
+	pollName      string // poller proc name, formatted once per lock
 }
 
 // ncosedLease is the home agent's lease record for one lock (LeaseTTL >
@@ -65,8 +67,11 @@ type ncosedClientImpl struct {
 
 	// Exclusive-chain state: our direct successor per lock, and an armed
 	// future when Unlock is waiting for the successor announcement.
+	// succFuts holds one reusable future per lock (created and named on
+	// first use, Reset on reuse) so steady-state hand-offs don't allocate.
 	succ     map[int]int
 	succWait map[int]*sim.Future[int]
+	succFuts map[int]*sim.Future[int]
 
 	// Home-agent state for locks homed here.
 	agentState map[int]*ncosedLockState
@@ -87,6 +92,7 @@ func newNCoSED(m *Manager) {
 			grants:     newGrantTable(node.Env(), fmt.Sprintf("%s/ncosed", node.Name)),
 			succ:       map[int]int{},
 			succWait:   map[int]*sim.Future[int]{},
+			succFuts:   map[int]*sim.Future[int]{},
 			agentState: map[int]*ncosedLockState{},
 		}
 		if m.leaseTTL > 0 {
@@ -286,8 +292,10 @@ func (c *ncosedClientImpl) ensurePoller(lock int, st *ncosedLockState) {
 		return
 	}
 	st.polling = true
-	name := fmt.Sprintf("%s/ncosed-poll%d", c.dev.Node.Name, lock)
-	c.dev.Env().Go(name, func(p *sim.Proc) {
+	if st.pollName == "" {
+		st.pollName = fmt.Sprintf("%s/ncosed-poll%d", c.dev.Node.Name, lock)
+	}
+	c.dev.Env().Go(st.pollName, func(p *sim.Proc) {
 		defer func() { st.polling = false }()
 		off := 8 * lock
 		for {
@@ -471,7 +479,13 @@ func (c *ncosedClientImpl) Unlock(p *sim.Proc, lock int, mode Mode) {
 		if _, ok := c.succ[lock]; ok {
 			continue // announcement landed while we were CASing
 		}
-		fut := sim.NewFuture[int](c.dev.Env(), fmt.Sprintf("succ%d", lock))
+		fut, ok := c.succFuts[lock]
+		if !ok {
+			fut = sim.NewFuture[int](c.dev.Env(), "succ"+strconv.Itoa(lock))
+			c.succFuts[lock] = fut
+		} else if fut.Done() {
+			fut.Reset()
+		}
 		c.succWait[lock] = fut
 		s := fut.Wait(p)
 		g := wire{op: opGrant, lock: lock, from: c.dev.Node.ID}

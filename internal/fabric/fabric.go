@@ -136,6 +136,10 @@ type NIC struct {
 	Node *cluster.Node
 	tx   *sim.Resource
 	ts   *trace.NICStats // nil unless a trace registry is attached
+	// txHook is the preformatted grant hook AcquireTx passes to the fused
+	// resource path (one closure per NIC, not per transmit); nil when
+	// untraced.
+	txHook func(ser, waited time.Duration)
 }
 
 // AcquireTx occupies the transmit engine for the serialization time of a
@@ -151,15 +155,20 @@ func (n *NIC) AcquireTx(p *sim.Proc, ser time.Duration) {
 // leaves the remote NIC, while sharing the occupancy/stall accounting of
 // every other transmit.
 func (n *NIC) AcquireTxWith(p *sim.Proc, ser time.Duration, atGrant func()) {
+	if atGrant == nil {
+		// Common case: fused acquire-hold-release, parking the process
+		// once; the NIC's preformatted hook keeps occupancy accounting
+		// identical.
+		n.tx.UseWith(p, 1, ser, n.txHook)
+		return
+	}
 	env := n.Node.Env()
 	start := env.Now()
 	n.tx.Acquire(p, 1)
 	if n.ts != nil {
 		n.ts.RecordTx(ser, time.Duration(env.Now()-start))
 	}
-	if atGrant != nil {
-		atGrant()
-	}
+	atGrant()
 	p.Sleep(ser)
 	n.tx.Release(1)
 }
@@ -219,6 +228,7 @@ func (f *Fabric) Attach(node *cluster.Node) *NIC {
 	}
 	if r := trace.Of(f.Env); r != nil {
 		nic.ts = r.NIC(node.ID)
+		nic.txHook = nic.ts.RecordTx
 	}
 	f.nics[node.ID] = nic
 	return nic

@@ -41,11 +41,21 @@ type resWaiter struct {
 	// the request spent queued.
 	fn  func(waited time.Duration)
 	enq Time
+	// fused marks a UseWith waiter: at the grant instant the dispatch
+	// runs hook and schedules the process's resume useD later, so the
+	// process parks once for the whole acquire-hold-release.
+	fused bool
+	useD  time.Duration
+	hook  func(ser, waited time.Duration)
 }
 
 type asyncGrant struct {
 	fn     func(waited time.Duration)
 	waited time.Duration
+	// Fused-use grant (p non-nil): resume p after d, running hook first.
+	p    *Proc
+	d    time.Duration
+	hook func(ser, waited time.Duration)
 }
 
 // NewResource creates a resource with the given capacity (units).
@@ -58,6 +68,16 @@ func NewResource(e *Env, name string, capacity int) *Resource {
 	// the event queue allocates nothing per operation.
 	r.dispatch = func() {
 		g := r.granted.pop()
+		if g.p != nil {
+			// Fused-use grant: run the hook and schedule the resume at
+			// grant+d — the same single event a woken process's Sleep(d)
+			// would have scheduled here, so seq order is unchanged.
+			if g.hook != nil {
+				g.hook(g.d, g.waited)
+			}
+			r.env.WakeAfter(g.p, g.d)
+			return
+		}
 		g.fn(g.waited)
 	}
 	return r
@@ -154,23 +174,64 @@ func (r *Resource) Release(n int) {
 	for r.q.len() > 0 && r.inUse+r.q.peek().n <= r.cap {
 		w := r.q.pop()
 		r.inUse += w.n
-		if w.fn != nil {
+		switch {
+		case w.fused:
+			// Fused-use waiter: hand the grant through the event queue
+			// (like a callback waiter); the dispatch schedules the
+			// process's resume at grant+d. The waiter record is free as
+			// soon as the grant is queued.
+			r.granted.push(asyncGrant{p: w.p, d: w.useD, hook: w.hook,
+				waited: time.Duration(r.env.now - w.enq)})
+			r.env.schedule(r.env.now, nil, r.dispatch)
+			w.p, w.hook, w.fused = nil, nil, false
+			r.free = append(r.free, w)
+		case w.fn != nil:
 			// Callback waiter: hand the grant through the event queue so
 			// it interleaves with same-instant process wakes in FIFO order.
 			r.granted.push(asyncGrant{fn: w.fn, waited: time.Duration(r.env.now - w.enq)})
 			r.env.schedule(r.env.now, nil, r.dispatch)
 			w.fn = nil
 			r.free = append(r.free, w)
-			continue
+		default:
+			r.env.wake(w.p)
 		}
-		r.env.wake(w.p)
 	}
 }
 
 // Use acquires n units, holds them for d of virtual time, then releases
 // them: the common "occupy capacity for a while" idiom.
 func (r *Resource) Use(p *Proc, n int, d time.Duration) {
-	r.Acquire(p, n)
-	p.Sleep(d)
+	r.UseWith(p, n, d, nil)
+}
+
+// UseWith is Use with an optional hook run at the grant instant (after
+// the queueing delay, before the hold) with the hold duration and the
+// time spent queued — NIC transmit accounting uses it. The virtual
+// timeline is identical to Acquire+Sleep+Release: uncontended callers
+// run literally that sequence, and contended callers join the same FIFO,
+// with the grant dispatched through the event queue scheduling the
+// resume at grant+d — the same instants and event order as waking the
+// process twice, but parking it only once. Pass a preformatted hook (not
+// a per-call closure) to keep the contended path allocation-free.
+func (r *Resource) UseWith(p *Proc, n int, d time.Duration, hook func(ser, waited time.Duration)) {
+	if n <= 0 || n > r.cap {
+		panic("sim: bad acquire count on " + r.name)
+	}
+	if r.q.len() == 0 && r.inUse+n <= r.cap {
+		r.inUse += n
+		if hook != nil {
+			hook(d, 0)
+		}
+		p.Sleep(d)
+		r.Release(n)
+		return
+	}
+	w := r.waiter()
+	w.p, w.n, w.fused, w.useD, w.hook, w.enq = p, n, true, d, hook, r.env.now
+	r.q.push(w)
+	if r.q.len() > r.maxQueued {
+		r.maxQueued = r.q.len()
+	}
+	p.block(r.why)
 	r.Release(n)
 }

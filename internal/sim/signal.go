@@ -42,12 +42,42 @@ type Future[T any] struct {
 	set     bool
 	val     T
 	waiters waitq[*futWaiter[T]]
+	free    []*futWaiter[T]
 	why     string
+	// granted holds async waiter callbacks awaiting dispatch through the
+	// event queue; dispatch pops them FIFO so callback waiters interleave
+	// with process wakes at the resolve instant in registration order.
+	granted  waitq[futGrant[T]]
+	dispatch func()
 }
 
 type futWaiter[T any] struct {
 	p *Proc
 	v T
+	// fn is non-nil for callback-context waiters (WaitAsync): the waiter
+	// has no process; the resolve dispatches fn with the value.
+	fn func(v T)
+}
+
+type futGrant[T any] struct {
+	fn func(v T)
+	v  T
+}
+
+func (f *Future[T]) getWaiter(p *Proc) *futWaiter[T] {
+	if n := len(f.free); n > 0 {
+		w := f.free[n-1]
+		f.free = f.free[:n-1]
+		w.p = p
+		return w
+	}
+	return &futWaiter[T]{p: p}
+}
+
+func (f *Future[T]) putWaiter(w *futWaiter[T]) {
+	var zero T
+	w.p, w.v, w.fn = nil, zero, nil
+	f.free = append(f.free, w)
 }
 
 // NewFuture creates an unresolved future.
@@ -68,9 +98,40 @@ func (f *Future[T]) Resolve(v T) {
 	f.val = v
 	for f.waiters.len() > 0 {
 		w := f.waiters.pop()
+		if w.fn != nil {
+			// Callback waiter: hand the value through the event queue so it
+			// interleaves with same-instant process wakes in FIFO order.
+			f.granted.push(futGrant[T]{fn: w.fn, v: v})
+			f.env.schedule(f.env.now, nil, f.dispatch)
+			f.putWaiter(w)
+			continue
+		}
 		w.v = v
 		f.env.wake(w.p)
 	}
+}
+
+// WaitAsync registers fn to run with the value when the future resolves:
+// synchronously if it is already resolved, otherwise dispatched through
+// the event queue at the resolve instant — the same position a process
+// wake registered at this point would have had. Event-chain state
+// machines use it to wait without a process. Steady-state use allocates
+// nothing: waiter records, the grant queue and the dispatch closure are
+// all recycled.
+func (f *Future[T]) WaitAsync(fn func(v T)) {
+	if f.set {
+		fn(f.val)
+		return
+	}
+	if f.dispatch == nil {
+		f.dispatch = func() {
+			g := f.granted.pop()
+			g.fn(g.v)
+		}
+	}
+	w := f.getWaiter(nil)
+	w.fn = fn
+	f.waiters.push(w)
 }
 
 // Wait blocks until the future resolves and returns its value.
@@ -78,10 +139,27 @@ func (f *Future[T]) Wait(p *Proc) T {
 	if f.set {
 		return f.val
 	}
-	w := &futWaiter[T]{p: p}
+	w := f.getWaiter(p)
 	f.waiters.push(w)
 	p.block(f.why)
-	return w.v
+	v := w.v
+	f.putWaiter(w)
+	return v
+}
+
+// Reset returns a resolved (or never-resolved, waiter-free) future to the
+// unresolved state so the allocation can be reused for the next
+// request/response cycle. Services with per-key request tables pool their
+// futures this way and keep steady-state request loops allocation-free.
+// Resetting while a process is still parked in Wait panics: the waiter
+// would otherwise be stranded waiting on a recycled completion.
+func (f *Future[T]) Reset() {
+	if f.waiters.len() > 0 {
+		panic("sim: future reset with parked waiters: " + f.name)
+	}
+	f.set = false
+	var zero T
+	f.val = zero
 }
 
 // WaitGroup counts outstanding work items across processes; Wait blocks

@@ -328,6 +328,121 @@ func TestFutureResolveBeforeAndAfterWait(t *testing.T) {
 	}
 }
 
+func TestFutureReset(t *testing.T) {
+	e := NewEnv(1)
+	f := NewFuture[int](e, "cycle")
+	var got [3]int
+	e.Go("p", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got[i] = f.Wait(p) // resolved later by callback, then recycled
+			f.Reset()
+		}
+	})
+	for i := 0; i < 3; i++ {
+		v := i + 1
+		e.After(time.Duration(v)*time.Microsecond, func() { f.Resolve(v * 10) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != [3]int{10, 20, 30} {
+		t.Fatalf("got %v, want [10 20 30]", got)
+	}
+	if f.Done() {
+		t.Fatal("future still resolved after Reset")
+	}
+}
+
+func TestFutureWaitAsync(t *testing.T) {
+	e := NewEnv(1)
+	f := NewFuture[int](e, "async")
+
+	// Already resolved: the callback runs synchronously.
+	done := NewFuture[int](e, "done")
+	done.Resolve(7)
+	ran := false
+	done.WaitAsync(func(v int) {
+		if v != 7 {
+			t.Errorf("sync WaitAsync got %d, want 7", v)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("WaitAsync on a resolved future did not run synchronously")
+	}
+
+	// Unresolved: process and callback waiters wake in registration
+	// order at the resolve instant, interleaved.
+	var order []string
+	e.Go("w1", func(p *Proc) {
+		f.Wait(p)
+		order = append(order, "proc1")
+	})
+	e.Go("register", func(p *Proc) {
+		f.WaitAsync(func(v int) {
+			if v != 42 {
+				t.Errorf("WaitAsync got %d, want 42", v)
+			}
+			order = append(order, "async")
+		})
+	})
+	e.Go("w2", func(p *Proc) {
+		p.Sleep(time.Nanosecond) // register after the async waiter
+		f.Wait(p)
+		order = append(order, "proc2")
+	})
+	e.After(time.Microsecond, func() { f.Resolve(42) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"proc1", "async", "proc2"}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Fatalf("wake order %v, want %v", order, want)
+	}
+}
+
+func TestFutureWaitAsyncAllocationFree(t *testing.T) {
+	e := NewEnv(1)
+	f := NewFuture[int](e, "cycle")
+	got := 0
+	fn := func(v int) { got = v }
+	cycle := func() {
+		f.WaitAsync(fn)
+		f.Resolve(2)
+		if err := e.Run(); err != nil { // dispatches the callback
+			t.Fatal(err)
+		}
+		f.Reset()
+	}
+	cycle() // prime the waiter pool and the dispatch closure
+	if got != 2 {
+		t.Fatalf("callback saw %d, want 2", got)
+	}
+	allocs := testing.AllocsPerRun(100, cycle)
+	if allocs != 0 {
+		t.Fatalf("WaitAsync cycle allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestFutureResetWithWaitersPanics(t *testing.T) {
+	e := NewEnv(1)
+	f := NewFuture[int](e, "stranded")
+	e.Go("waiter", func(p *Proc) { f.Wait(p) })
+	e.Go("resetter", func(p *Proc) {
+		p.Sleep(time.Microsecond)
+		defer func() {
+			if recover() == nil {
+				t.Error("Reset with a parked waiter did not panic")
+			}
+			f.Resolve(1) // release the waiter so the run terminates
+		}()
+		f.Reset()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestWaitGroup(t *testing.T) {
 	e := NewEnv(1)
 	wg := NewWaitGroup(e, "wg")

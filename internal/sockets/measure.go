@@ -41,9 +41,11 @@ func measureBandwidth(params fabric.Params, scheme Scheme, msgSize, msgs int, op
 	var done sim.Time
 	env.Go("rx", func(p *sim.Proc) {
 		for i := 0; i < msgs; i++ {
-			if _, err := cb.Recv(p); err != nil {
+			m, err := cb.RecvMsg(p)
+			if err != nil {
 				return
 			}
+			m.Release()
 		}
 		done = p.Now()
 	})

@@ -5,13 +5,11 @@ import (
 	"ngdc/internal/trace"
 )
 
-// cloneBytes copies payload so callers may reuse their buffers the moment
-// Send returns (synchronous sockets semantics).
-func cloneBytes(data []byte) []byte {
-	buf := make([]byte, len(data))
-	copy(buf, data)
-	return buf
-}
+// All payload copies here go through pooled buffers (getChunk) so callers
+// may reuse their buffers the moment Send returns (synchronous sockets
+// semantics) without a per-message allocation, and every in-flight
+// delivery rides one of the half's recycled FIFOs drained by a callback
+// bound once at Dial instead of a captured closure per chunk.
 
 // sendTCP models the host-based stack: protocol CPU on the sending node,
 // the TCP wire, and (in copyOut) protocol CPU on the receiving node.
@@ -23,8 +21,8 @@ func (h *half) sendTCP(p *sim.Proc, data []byte) error {
 		h.tr.RecordOp(trace.OpTCP, params.TCPTxTime(len(data))+params.TCPLatency,
 			params.TCPCPUTime(len(data)))
 	}
-	wm := wireMsg{data: cloneBytes(data), last: true}
-	h.src.Env().After(params.TCPLatency, func() { h.q.PostSend(wm) })
+	h.delq.push(wireMsg{data: h.getChunk(data), last: true})
+	h.src.Env().After(params.TCPLatency, h.delFn)
 	return nil
 }
 
@@ -40,7 +38,7 @@ func (h *half) sendBSDP(p *sim.Proc, data []byte) error {
 			end = len(data)
 			last = true
 		}
-		chunk := cloneBytes(data[off:end])
+		chunk := h.getChunk(data[off:end])
 		if h.ts != nil {
 			start := h.src.Env().Now()
 			h.credits.Acquire(p, 1)
@@ -54,8 +52,8 @@ func (h *half) sendBSDP(p *sim.Proc, data []byte) error {
 		if h.tr != nil {
 			h.tr.RecordOp(trace.OpSend, params.IBMsgTxTime(len(chunk))+params.IBSendLatency, 0)
 		}
-		wm := wireMsg{data: chunk, last: last, credit: 1}
-		env.After(params.IBSendLatency, func() { h.q.PostSend(wm) })
+		h.delq.push(wireMsg{data: chunk, last: last, credit: 1})
+		env.After(params.IBSendLatency, h.delFn)
 		if last {
 			return nil
 		}
@@ -76,7 +74,7 @@ func (h *half) sendPSDP(p *sim.Proc, data []byte) error {
 		if end > len(data) {
 			end = len(data)
 		}
-		chunk := cloneBytes(data[off:end])
+		chunk := h.getChunk(data[off:end])
 		if h.ts != nil {
 			start := h.src.Env().Now()
 			h.pool.Acquire(p, len(chunk))
@@ -92,7 +90,10 @@ func (h *half) sendPSDP(p *sim.Proc, data []byte) error {
 }
 
 // psdpPump drains staged chunks, packs them into frames of up to one
-// bounce buffer, and puts each frame on the wire under one credit.
+// bounce buffer, and puts each frame on the wire under one credit. The
+// frame is packed in a reused scratch slice and delivered through the
+// frame FIFO in a single event, exactly as the per-frame closure it
+// replaces did.
 func (h *half) psdpPump(p *sim.Proc) {
 	params := h.src.Params()
 	env := h.src.Env()
@@ -101,14 +102,14 @@ func (h *half) psdpPump(p *sim.Proc) {
 		if !ok {
 			return
 		}
-		frame := []wireMsg{first}
+		h.frame = append(h.frame[:0], first)
 		bytes := len(first.data)
 		for bytes < h.opt.BufSize {
 			next, ok := h.staged.TryRecv()
 			if !ok {
 				break
 			}
-			frame = append(frame, next)
+			h.frame = append(h.frame, next)
 			bytes += len(next.data)
 		}
 		if h.ts != nil {
@@ -124,13 +125,12 @@ func (h *half) psdpPump(p *sim.Proc) {
 		}
 		// The frame's credit rides on its final chunk; pool bytes return
 		// per chunk as the application copies each one out.
-		frame[len(frame)-1].credit = 1
-		f := frame
-		env.After(params.IBSendLatency, func() {
-			for _, wm := range f {
-				h.q.PostSend(wm)
-			}
-		})
+		h.frame[len(h.frame)-1].credit = 1
+		for _, wm := range h.frame {
+			h.delq.push(wm)
+		}
+		h.frameq.push(len(h.frame))
+		env.After(params.IBSendLatency, h.frameFn)
 	}
 }
 
@@ -140,15 +140,18 @@ func (h *half) psdpPump(p *sim.Proc) {
 func (h *half) sendZSDP(p *sim.Proc, data []byte) error {
 	rv := h.startRendezvous(false)
 	rv.cts.Wait(p)
+	h.putRendezvous(rv)
 	h.writePayload(p, data)
-	h.q.PostSend(wireMsg{data: cloneBytes(data), last: true})
+	h.q.PostSend(wireMsg{data: h.getChunk(data), last: true})
 	return nil
 }
 
 // sendAZSDP memory-protects the buffer and returns; the transfer
 // (rendezvous + RDMA write) continues asynchronously, with up to
 // opt.Window transfers in flight. Delivery order is preserved via
-// sequence numbers.
+// sequence numbers. The per-transfer goroutine is the one remaining
+// allocation of this scheme's send path — it models genuinely concurrent
+// hardware activity.
 func (h *half) sendAZSDP(p *sim.Proc, data []byte) error {
 	p.Sleep(h.opt.MProtect)
 	if h.ts != nil {
@@ -160,10 +163,11 @@ func (h *half) sendAZSDP(p *sim.Proc, data []byte) error {
 	}
 	seq := h.sendSeq
 	h.sendSeq++
-	buf := cloneBytes(data)
+	buf := h.getChunk(data)
 	h.src.Env().Go("azsdp-xfer", func(tp *sim.Proc) {
 		rv := h.startRendezvous(true)
 		rv.cts.Wait(tp)
+		h.putRendezvous(rv)
 		h.writePayload(tp, buf)
 		h.deliverOrdered(seq, wireMsg{data: buf, last: true})
 		h.window.Release(1)
@@ -177,33 +181,47 @@ func (h *half) sendAZSDP(p *sim.Proc, data []byte) error {
 // application has posted a matching receive; in asynchronous mode (AZ-SDP)
 // the receive side grants immediately — its buffers are managed
 // asynchronously under memory protection, with the sender's transfer
-// window bounding the number of grants outstanding.
+// window bounding the number of grants outstanding. Control messages ride
+// the rtsFly/ctsFly FIFOs (both directions cost the constant
+// IBSendLatency, so pop order matches schedule order) and the records are
+// recycled by the sender once the CTS has been consumed.
 func (h *half) startRendezvous(async bool) *rendezvous {
-	env := h.src.Env()
-	params := h.src.Params()
-	rv := &rendezvous{cts: sim.NewFuture[struct{}](env, "cts")}
-	env.After(params.IBSendLatency, func() {
-		if async || h.postedRecvs > 0 {
-			if !async {
-				h.postedRecvs--
-			}
-			env.After(params.IBSendLatency, func() { rv.cts.Resolve(struct{}{}) })
-			return
-		}
-		h.rtsq = append(h.rtsq, rv)
-	})
+	rv := h.getRendezvous()
+	rv.async = async
+	h.rtsFly.push(rv)
+	h.src.Env().After(h.src.Params().IBSendLatency, h.rtsFn)
 	return rv
 }
+
+// rtsArrive lands the oldest in-flight RTS at the receive side: grant the
+// CTS right away (asynchronous mode, or a receive is already posted) or
+// park the rendezvous until one is.
+func (h *half) rtsArrive() {
+	rv := h.rtsFly.pop()
+	if rv.async || h.postedRecvs > 0 {
+		if !rv.async {
+			h.postedRecvs--
+		}
+		h.grantCTS(rv)
+		return
+	}
+	h.rtsq.push(rv)
+}
+
+// grantCTS puts the CTS control message on the wire back to the sender.
+func (h *half) grantCTS(rv *rendezvous) {
+	h.ctsFly.push(rv)
+	h.src.Env().After(h.src.Params().IBSendLatency, h.ctsFn)
+}
+
+// ctsArrive lands the oldest in-flight CTS, releasing the sender.
+func (h *half) ctsArrive() { h.ctsFly.pop().cts.Resolve(struct{}{}) }
 
 // postRecv is called by Recv on rendezvous schemes: it grants the oldest
 // waiting RTS, or records a posted receive for the next RTS to consume.
 func (h *half) postRecv() {
-	env := h.src.Env()
-	params := h.src.Params()
-	if len(h.rtsq) > 0 {
-		rv := h.rtsq[0]
-		h.rtsq = h.rtsq[1:]
-		env.After(params.IBSendLatency, func() { rv.cts.Resolve(struct{}{}) })
+	if h.rtsq.len() > 0 {
+		h.grantCTS(h.rtsq.pop())
 		return
 	}
 	h.postedRecvs++
@@ -220,13 +238,31 @@ func (h *half) writePayload(p *sim.Proc, data []byte) {
 }
 
 // deliverOrdered releases messages to the receive queue in sequence
-// order, buffering any that complete early.
+// order. Early completions wait in the reorder ring — sized to cover the
+// transfer window, so it absorbs any in-flight gap — with the overflow
+// map kept only as a safety valve (it stays empty while the window bound
+// holds).
 func (h *half) deliverOrdered(seq int64, wm wireMsg) {
-	if h.reorder == nil {
-		h.reorder = map[int64]wireMsg{}
+	mask := int64(len(h.ring) - 1)
+	if d := seq - h.deliverSeq; d >= 0 && d <= mask {
+		i := seq & mask
+		h.ring[i] = wm
+		h.ringSet[i] = true
+	} else {
+		if h.reorder == nil {
+			h.reorder = map[int64]wireMsg{}
+		}
+		h.reorder[seq] = wm
 	}
-	h.reorder[seq] = wm
 	for {
+		if i := h.deliverSeq & mask; h.ringSet[i] {
+			next := h.ring[i]
+			h.ring[i] = wireMsg{}
+			h.ringSet[i] = false
+			h.deliverSeq++
+			h.q.PostSend(next)
+			continue
+		}
 		next, ok := h.reorder[h.deliverSeq]
 		if !ok {
 			return

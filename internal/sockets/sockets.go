@@ -124,21 +124,43 @@ type half struct {
 	// callback (the return delay is the constant IBWriteLatency, so pop
 	// order matches scheduling order); replaces a captured closure per
 	// received chunk.
-	crq    []creditReturn
-	crHead int
-	crFn   func()
+	crq  fifo[creditReturn]
+	crFn func()
+
+	// Wire deliveries in flight, drained FIFO by delFn (single chunks)
+	// or frameFn (a P-SDP frame of frameq.pop() chunks in one event).
+	// Every delivery on one half shares a single latency constant
+	// (TCPLatency or IBSendLatency), so pop order matches schedule order.
+	delq    fifo[wireMsg]
+	frameq  fifo[int]
+	delFn   func()
+	frameFn func()
 
 	// PSDP staging.
 	staged *sim.Chan[wireMsg]
+	frame  []wireMsg // pump's packing scratch, reused across frames
 
-	// ZSDP/AZSDP rendezvous state (shared by the two endpoints).
-	rtsq        []*rendezvous
+	// ZSDP/AZSDP rendezvous state (shared by the two endpoints): RTS and
+	// CTS control messages in flight (constant IBSendLatency each way),
+	// RTS messages parked waiting for a posted receive, and a free list
+	// of rendezvous records recycled once their cts has been consumed.
+	rtsq        fifo[*rendezvous]
+	rtsFly      fifo[*rendezvous]
+	ctsFly      fifo[*rendezvous]
+	rvFree      []*rendezvous
+	rtsFn       func()
+	ctsFn       func()
 	postedRecvs int
 
-	// AZSDP in-flight window and in-order delivery state.
+	// AZSDP in-flight window and in-order delivery state. The ring holds
+	// the reorder window (its size covers opt.Window, the maximum
+	// in-flight gap); reorder is the overflow map for sequence numbers
+	// beyond the ring, normally empty.
 	window     *sim.Resource
 	sendSeq    int64
 	deliverSeq int64
+	ring       []wireMsg
+	ringSet    []bool
 	reorder    map[int64]wireMsg
 
 	// Counters.
@@ -148,6 +170,9 @@ type half struct {
 	// tr/ts publish into the env's trace registry; nil when untraced.
 	tr *trace.Registry
 	ts *trace.SchemeStats
+	// stallNames holds the per-kind trace labels, preformatted at Dial so
+	// recordStall does not concatenate per stall. Nil when untraced.
+	stallNames []string
 }
 
 // recordStall accounts one flow-control wait (credit, pool or window)
@@ -160,11 +185,12 @@ func (h *half) recordStall(kind trace.StallKind, start sim.Time) {
 	st := &h.ts.Stalls[kind]
 	st.Count++
 	st.Wait += wait
-	h.tr.Emit("sockets", h.scheme.String()+"-stall-"+kind.String(), h.src.Node.ID, 0, wait)
+	h.tr.Emit("sockets", h.stallNames[kind], h.src.Node.ID, 0, wait)
 }
 
 type rendezvous struct {
-	cts *sim.Future[struct{}]
+	cts   *sim.Future[struct{}]
+	async bool
 }
 
 // Dial creates a connected pair of endpoints between two verbs devices
@@ -192,8 +218,16 @@ func newHalf(scheme Scheme, src, dst *verbs.Device, opt Options) *half {
 	if r := trace.Of(env); r != nil {
 		h.tr = r
 		h.ts = r.Scheme(scheme.String())
+		h.stallNames = make([]string, len(h.ts.Stalls))
+		for k := range h.stallNames {
+			h.stallNames[k] = scheme.String() + "-stall-" + trace.StallKind(k).String()
+		}
 	}
 	h.crFn = h.returnCredits
+	h.delFn = h.deliverNext
+	h.frameFn = h.deliverFrame
+	h.rtsFn = h.rtsArrive
+	h.ctsFn = h.ctsArrive
 	switch scheme {
 	case BSDP:
 		h.credits = sim.NewResource(env, name+"/credits", opt.Credits)
@@ -204,6 +238,12 @@ func newHalf(scheme Scheme, src, dst *verbs.Device, opt Options) *half {
 		env.GoDaemon(name+"/pump", h.psdpPump)
 	case AZSDP:
 		h.window = sim.NewResource(env, name+"/window", opt.Window)
+		rs := 1
+		for rs < opt.Window {
+			rs <<= 1
+		}
+		h.ring = make([]wireMsg, rs)
+		h.ringSet = make([]bool, rs)
 	}
 	return h
 }
@@ -247,28 +287,36 @@ func (c *Conn) Send(p *sim.Proc, data []byte) error {
 	return fmt.Errorf("sockets: unknown scheme %v", c.scheme)
 }
 
-// Recv blocks until one whole application message is available and
-// returns it.
-func (c *Conn) Recv(p *sim.Proc) ([]byte, error) {
+// RecvMsg blocks until one whole application message is available and
+// returns it as a pooled Msg: the payload buffer belongs to the caller
+// until Release returns it to the sending device's pool. Receivers that
+// decode and Release keep the steady-state receive path allocation-free.
+func (c *Conn) RecvMsg(p *sim.Proc) (Msg, error) {
 	h := c.recv
 	if c.scheme == ZSDP {
 		h.postRecv()
 	}
-	var msg []byte
+	var asm []byte
 	for {
 		wm, ok := h.q.Recv(p)
 		if !ok {
-			return nil, fmt.Errorf("sockets: recv on closed %s connection", c.scheme)
+			return Msg{}, fmt.Errorf("sockets: recv on closed %s connection", c.scheme)
 		}
 		h.copyOut(p, wm)
-		if msg == nil && wm.last {
-			return wm.data, nil // single-chunk fast path
-		}
-		msg = append(msg, wm.data...)
+		asm = h.appendChunk(asm, wm.data)
 		if wm.last {
-			return msg, nil
+			return Msg{Data: asm, dev: h.src}, nil
 		}
 	}
+}
+
+// Recv blocks until one whole application message is available and
+// returns it. The returned slice is owned by the caller and never
+// recycled; allocation-sensitive receive loops should prefer RecvMsg +
+// Release.
+func (c *Conn) Recv(p *sim.Proc) ([]byte, error) {
+	m, err := c.RecvMsg(p)
+	return m.Data, err
 }
 
 // copyOut charges the receive-side copy (where the scheme has one) and
@@ -290,7 +338,7 @@ func (h *half) copyOut(p *sim.Proc, wm wireMsg) {
 			h.tr.RecordOp(trace.OpCopy, 0, params.CopyTime(len(wm.data)))
 		}
 		if wm.credit > 0 || wm.pool > 0 {
-			h.crq = append(h.crq, creditReturn{credit: wm.credit, pool: wm.pool})
+			h.crq.push(creditReturn{credit: wm.credit, pool: wm.pool})
 			h.dst.Env().After(params.IBWriteLatency, h.crFn)
 		}
 	}
@@ -301,14 +349,9 @@ type creditReturn struct {
 }
 
 // returnCredits releases the oldest pending credit return; the backing
-// slice is recycled once drained.
+// FIFO is recycled once drained.
 func (h *half) returnCredits() {
-	cr := h.crq[h.crHead]
-	h.crHead++
-	if h.crHead == len(h.crq) {
-		h.crq = h.crq[:0]
-		h.crHead = 0
-	}
+	cr := h.crq.pop()
 	if cr.credit > 0 {
 		h.credits.Release(cr.credit)
 	}

@@ -527,3 +527,106 @@ func TestMultipleClientsOneListener(t *testing.T) {
 		t.Fatalf("served %d of 3", served)
 	}
 }
+
+// TestSocketsSteadyStateAllocationFree asserts the service-layer
+// acceptance criterion: once the buffer pool, delivery FIFOs, rendezvous
+// free list, and waiter free lists are warm, a streaming send/recv loop
+// using RecvMsg+Release allocates nothing per message.
+func TestSocketsSteadyStateAllocationFree(t *testing.T) {
+	for _, sc := range []Scheme{BSDP, ZSDP} {
+		t.Run(sc.String(), func(t *testing.T) {
+			env, a, b := pair(1)
+			_ = a
+			ca, cb := Dial(sc, a, b, DefaultOptions())
+			payload := make([]byte, 512)
+			env.GoDaemon("rx", func(p *sim.Proc) {
+				for {
+					m, err := cb.RecvMsg(p)
+					if err != nil {
+						return
+					}
+					m.Release()
+				}
+			})
+			env.GoDaemon("tx", func(p *sim.Proc) {
+				for {
+					if err := ca.Send(p, payload); err != nil {
+						return
+					}
+					p.Sleep(5 * time.Microsecond)
+				}
+			})
+			limit := sim.Time(0)
+			step := func() {
+				limit = limit.Add(time.Millisecond)
+				if err := env.RunUntil(limit); err != nil {
+					t.Fatal(err)
+				}
+			}
+			step() // warm pools and free lists
+			allocs := testing.AllocsPerRun(20, step)
+			// Each run covers dozens of messages; allow a little runtime
+			// noise but catch any per-message allocation.
+			if allocs > 2 {
+				t.Errorf("%v steady state allocates %.1f allocs per 1ms step, want ~0", sc, allocs)
+			}
+			env.Shutdown()
+		})
+	}
+}
+
+// TestDeliverOrderedRingAndOverflow drives the AZ-SDP in-order delivery
+// machinery directly with sequence numbers arriving far out of order:
+// in-window completions park in the reorder ring, completions beyond the
+// window-sized ring spill to the overflow map, and after the drain both
+// structures are empty and delivery order is preserved.
+func TestDeliverOrderedRingAndOverflow(t *testing.T) {
+	env, a, b := pair(1)
+	defer env.Shutdown()
+	opt := DefaultOptions()
+	opt.Window = 4 // ring of 4 slots
+	ca, cb := Dial(AZSDP, a, b, opt)
+	h := ca.send
+	if len(h.ring) != 4 {
+		t.Fatalf("ring sized %d for window 4", len(h.ring))
+	}
+	var got []byte
+	env.Go("rx", func(p *sim.Proc) {
+		for i := 0; i < 8; i++ {
+			m, err := cb.RecvMsg(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got = append(got, m.Data[0])
+			m.Release()
+		}
+	})
+	env.Go("inject", func(p *sim.Proc) {
+		for _, seq := range []int64{7, 6, 2, 1, 3, 0, 5, 4} {
+			buf := a.GetBuf(1)
+			buf[0] = byte(seq)
+			h.deliverOrdered(seq, wireMsg{data: buf, last: true})
+			if seq == 6 && len(h.reorder) != 2 {
+				t.Errorf("seqs 7,6 beyond the ring should overflow, map holds %d", len(h.reorder))
+			}
+		}
+		if len(h.reorder) != 0 {
+			t.Errorf("overflow map retains %d entries after drain", len(h.reorder))
+		}
+		if h.deliverSeq != 8 {
+			t.Errorf("deliverSeq = %d after draining 8 messages", h.deliverSeq)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if int(v) != i {
+			t.Fatalf("delivery order broken: got %v", got)
+		}
+	}
+	if len(got) != 8 {
+		t.Fatalf("delivered %d of 8", len(got))
+	}
+}
