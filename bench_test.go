@@ -397,7 +397,7 @@ func BenchmarkDDSSOps(b *testing.B) {
 			cluster.NewNode(env, 0, 2, 64<<20),
 			cluster.NewNode(env, 1, 2, 64<<20),
 		}
-		ss := ddss.New(nw, nodes)
+		ss := ddss.New(nw, nodes, ddss.Options{})
 		env.Go("worker", func(p *ngdc.Proc) {
 			c := ss.Client(1)
 			h, err := c.Allocate(p, "seg", 4096, ddss.Version, 0)

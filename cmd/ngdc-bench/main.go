@@ -64,6 +64,8 @@ import (
 	"ngdc/internal/experiments"
 	"ngdc/internal/fabric"
 	"ngdc/internal/faults"
+	ngdcrt "ngdc/internal/runtime"
+	"ngdc/internal/serve"
 	"ngdc/internal/sim"
 	"ngdc/internal/sockets"
 	"ngdc/internal/trace"
@@ -213,6 +215,7 @@ type benchSnapshot struct {
 	DDSSOpsPerSec       float64 `json:"ddss_ops_per_sec"`
 	CoopCacheReqsPerSec float64 `json:"coopcache_reqs_per_sec"`
 	DLMLockOpsPerSec    float64 `json:"dlm_lock_ops_per_sec"`
+	LiveReqsPerSec      float64 `json:"live_reqs_per_sec"`
 }
 
 // runBench measures the hot substrate and service paths against the wall
@@ -227,6 +230,7 @@ func runBench(jsonPath string) {
 		DDSSOpsPerSec:       benchDDSS(),
 		CoopCacheReqsPerSec: benchCoopCache(),
 		DLMLockOpsPerSec:    benchDLM(),
+		LiveReqsPerSec:      benchLive(),
 	}
 	fmt.Printf("engine            %14.0f events/s\n", snap.EngineEventsPerSec)
 	fmt.Printf("verbs posted ops  %14.0f ops/s\n", snap.VerbsPostedOpsSec)
@@ -234,6 +238,7 @@ func runBench(jsonPath string) {
 	fmt.Printf("ddss              %14.0f ops/s\n", snap.DDSSOpsPerSec)
 	fmt.Printf("coopcache         %14.0f reqs/s\n", snap.CoopCacheReqsPerSec)
 	fmt.Printf("dlm locks         %14.0f ops/s\n", snap.DLMLockOpsPerSec)
+	fmt.Printf("live serve        %14.0f reqs/s\n", snap.LiveReqsPerSec)
 	if jsonPath == "" {
 		return
 	}
@@ -344,7 +349,7 @@ func benchDDSS() float64 {
 			cluster.NewNode(env, 0, 2, 64<<20),
 			cluster.NewNode(env, 1, 2, 64<<20),
 		}
-		ss := ddss.New(nw, nodes)
+		ss := ddss.New(nw, nodes, ddss.Options{})
 		var ops uint64
 		env.Go("worker", func(p *sim.Proc) {
 			c := ss.Client(1)
@@ -446,4 +451,25 @@ experiments:`)
 	}
 	fmt.Fprintln(os.Stderr, "  all                                run every experiment")
 	fmt.Fprintln(os.Stderr, "  bench                              substrate microbenchmarks (-bench-json file)")
+}
+
+// benchLive measures the dual-mode serve path end to end on the wall
+// clock: a live ngdc-serve host on loopback TCP with concurrent clients
+// driving the mixed echo/put/get/lock workload. Unlike the simulated
+// benchmarks above this includes real kernel socket costs — it is the
+// throughput a live deployment of the request surface sees.
+func benchLive() float64 {
+	rt := ngdcrt.NewReal()
+	defer rt.Shutdown()
+	srv := serve.New(rt, serve.Options{})
+	ln, err := rt.Listen("127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	srv.Serve(ln)
+	stats, err := serve.RunLoad(rt, ln.Addr(), 32, 500*time.Millisecond)
+	if err != nil {
+		fail(err)
+	}
+	return stats.OpsPerSec()
 }

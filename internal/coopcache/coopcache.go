@@ -32,6 +32,7 @@ import (
 	"ngdc/internal/cluster"
 	"ngdc/internal/fabric"
 	"ngdc/internal/lru"
+	"ngdc/internal/runtime"
 	"ngdc/internal/sim"
 	"ngdc/internal/trace"
 	"ngdc/internal/verbs"
@@ -94,8 +95,10 @@ type Config struct {
 	// Warmup and Measure are the virtual warm-up and measurement windows.
 	Warmup, Measure time.Duration
 	Seed            int64
-	// Trace, when non-nil, collects the run's observability counters.
-	Trace *trace.Registry
+	// ServiceOptions is the framework's unified options head: runtime
+	// selection, trace registry and fault plan in one place. Trace, when
+	// non-nil, collects the run's observability counters.
+	runtime.ServiceOptions
 }
 
 // DefaultConfig returns a Fig 6-shaped experiment: a working set about
@@ -201,10 +204,16 @@ func (cfg *Config) docCount() int {
 	return cfg.WorkingSet
 }
 
-// Build constructs the deployment on a fresh environment.
+// Build constructs the deployment on the configured runtime (a fresh
+// simulated environment unless cfg.Runtime selects an existing one).
 func Build(cfg Config) *DataCenter {
-	env := sim.NewEnv(cfg.Seed)
-	trace.AttachRegistry(env, cfg.Trace)
+	var env *sim.Env
+	if cfg.Runtime != nil {
+		env = runtime.MustSim(cfg.Runtime, "coopcache")
+	} else {
+		env = sim.NewEnv(cfg.Seed)
+	}
+	cfg.ServiceOptions.Bind(env, "coopcache")
 	nw := verbs.NewNetwork(env, fabric.DefaultParams())
 	dc := &DataCenter{cfg: cfg, env: env, nw: nw, inflight: map[int]*sim.Future[int]{},
 		tr: trace.Of(env)}

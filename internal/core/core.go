@@ -19,7 +19,9 @@ import (
 	"ngdc/internal/ddss"
 	"ngdc/internal/dlm"
 	"ngdc/internal/fabric"
+	"ngdc/internal/faults"
 	"ngdc/internal/monitor"
+	"ngdc/internal/runtime"
 	"ngdc/internal/sim"
 	"ngdc/internal/sockets"
 	"ngdc/internal/trace"
@@ -41,6 +43,11 @@ type Config struct {
 	NumLocks int
 	// Seed drives all randomness; equal seeds give identical runs.
 	Seed int64
+	// Service selects the execution substrate and the cross-cutting
+	// hooks for every layer the framework wires, in one place: the
+	// runtime (nil means a fresh simulator seeded with Seed), the trace
+	// registry (nil means a fresh one) and an optional fault plan.
+	Service runtime.ServiceOptions
 }
 
 // DefaultConfig returns a small data-center: 8 dual-core nodes with the
@@ -68,6 +75,7 @@ type Framework struct {
 	// Locks is the distributed lock manager (layer 2).
 	Locks *dlm.Manager
 
+	rt runtime.Runtime
 	tr *trace.Registry
 }
 
@@ -88,11 +96,27 @@ func New(cfg Config) *Framework {
 	if cfg.NumLocks <= 0 {
 		cfg.NumLocks = 64
 	}
-	env := sim.NewEnv(cfg.Seed)
-	// Attach the observability registry before any layer is built:
-	// devices, NICs and connections cache their counter pointers at
-	// construction time.
-	tr := trace.Attach(env)
+	rt := cfg.Service.Runtime
+	var env *sim.Env
+	if rt == nil {
+		env = sim.NewEnv(cfg.Seed)
+		rt = runtime.NewSim(env)
+	} else {
+		env = runtime.MustSim(rt, "core")
+	}
+	// Attach the observability registry and install any fault plan
+	// before any layer is built: devices, NICs and connections cache
+	// their counter and injector pointers at construction time.
+	var tr *trace.Registry
+	if cfg.Service.Trace != nil {
+		tr = cfg.Service.Trace
+		trace.AttachRegistry(env, tr)
+	} else {
+		tr = trace.Attach(env)
+	}
+	if cfg.Service.Faults != nil {
+		faults.Install(env, cfg.Service.Faults)
+	}
 	cl := cluster.New(env, cfg.Nodes, cfg.CoresPerNode, cfg.MemPerNode)
 	nw := verbs.NewNetwork(env, cfg.Params)
 	for _, n := range cl.Nodes {
@@ -102,11 +126,17 @@ func New(cfg Config) *Framework {
 		Env:     env,
 		Network: nw,
 		Cluster: cl,
-		Sharing: ddss.New(nw, cl.Nodes),
+		Sharing: ddss.New(nw, cl.Nodes, ddss.Options{}),
 		Locks:   dlm.New(nw, cl.Nodes, dlm.Options{Kind: cfg.LockKind, NumLocks: cfg.NumLocks}),
+		rt:      rt,
 		tr:      tr,
 	}
 }
+
+// Runtime returns the execution substrate the framework runs on —
+// always a SimRuntime today; the live runtime hosts services through
+// internal/serve instead of a Framework.
+func (f *Framework) Runtime() runtime.Runtime { return f.rt }
 
 // Trace snapshots the framework's observability counters: per-device
 // verbs ops, per-NIC occupancy, fabric wire-vs-CPU time per op class,

@@ -38,6 +38,7 @@ import (
 
 	"ngdc/internal/cluster"
 	"ngdc/internal/faults"
+	"ngdc/internal/runtime"
 	"ngdc/internal/sim"
 	"ngdc/internal/verbs"
 )
@@ -130,8 +131,20 @@ type Substrate struct {
 	Ops int64
 }
 
-// New builds a substrate over the given nodes.
-func New(nw *verbs.Network, nodes []*cluster.Node) *Substrate {
+// Options configures a substrate, in the framework's unified options
+// form: the shared ServiceOptions head selects the execution substrate
+// and cross-cutting hooks. The zero value builds on the network's own
+// simulated environment.
+type Options struct {
+	runtime.ServiceOptions
+}
+
+// New builds a substrate over the given nodes, in the framework's
+// canonical (nw, nodes, opts) constructor form. The substrate is
+// constructed against the runtime abstraction and devirtualizes to the
+// network's simulation environment.
+func New(nw *verbs.Network, nodes []*cluster.Node, opts Options) *Substrate {
+	opts.Bind(nw.Env, "ddss")
 	s := &Substrate{nw: nw, nodes: nodes, segs: map[string]*segment{}}
 	for _, n := range nodes {
 		nw.Attach(n)

@@ -20,7 +20,7 @@ func testSubstrate(seed int64, n int) (*sim.Env, *Substrate, []*cluster.Node) {
 	for i := range nodes {
 		nodes[i] = cluster.NewNode(env, i, 2, 64<<20)
 	}
-	return env, New(nw, nodes), nodes
+	return env, New(nw, nodes, Options{}), nodes
 }
 
 func TestPutGetRoundTripAllModels(t *testing.T) {

@@ -50,7 +50,7 @@ func faultSubstrate(t *testing.T, n int, plan *faults.Plan) (*sim.Env, *Substrat
 	for i := range nodes {
 		nodes[i] = cluster.NewNode(env, i, 2, 64<<20)
 	}
-	return env, New(nw, nodes)
+	return env, New(nw, nodes, Options{})
 }
 
 // TestHandleErrorPaths exercises the freed-segment error paths end to

@@ -36,7 +36,7 @@ func measureOp(coh Coherence, msgSize int, seed int64, put bool, r *trace.Regist
 	nw := verbs.NewNetwork(env, fabric.DefaultParams())
 	home := cluster.NewNode(env, 0, 2, 1<<30)
 	client := cluster.NewNode(env, 1, 2, 1<<30)
-	ss := New(nw, []*cluster.Node{home, client})
+	ss := New(nw, []*cluster.Node{home, client}, Options{})
 	var lat time.Duration
 	var opErr error
 	env.Go("probe", func(p *sim.Proc) {

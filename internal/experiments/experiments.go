@@ -14,16 +14,15 @@ import (
 	"ngdc/internal/ddss"
 	"ngdc/internal/dlm"
 	"ngdc/internal/dyncache"
-	"ngdc/internal/faults"
 	"ngdc/internal/integrated"
 	"ngdc/internal/metrics"
 	"ngdc/internal/monitor"
 	"ngdc/internal/multicast"
 	"ngdc/internal/qos"
 	"ngdc/internal/reconfig"
+	"ngdc/internal/runtime"
 	"ngdc/internal/sockets"
 	"ngdc/internal/storm"
-	"ngdc/internal/trace"
 )
 
 // Options tunes a run.
@@ -45,14 +44,14 @@ type Options struct {
 	// cells are independent simulations and the runner merges their
 	// outputs in cell-index order (see runCells).
 	Parallel int
+	// ServiceOptions is the framework's unified options head: runtime
+	// selection, trace registry and fault plan chosen in one place.
 	// Trace, when non-nil, accumulates every run's observability
-	// counters into one registry (snapshot it after the experiment).
-	Trace *trace.Registry
+	// counters into one registry (snapshot it after the experiment);
 	// Faults, when non-nil, is a deterministic fault plan injected into
-	// the experiments that support one (currently reconfig). See
-	// faults.Parse for the plan grammar. Replaying the same plan with
-	// the same seed reproduces the run byte-for-byte.
-	Faults *faults.Plan
+	// the experiments that support one (currently reconfig) — replaying
+	// the same plan with the same seed reproduces the run byte-for-byte.
+	runtime.ServiceOptions
 }
 
 func (o Options) seed() int64 {

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"ngdc/internal/runtime"
 	"ngdc/internal/trace"
 )
 
@@ -14,7 +15,7 @@ import (
 func renderAll(t *testing.T, parallel int) (tables, traceOut string) {
 	t.Helper()
 	reg := trace.NewRegistry()
-	o := Options{Seed: 7, Quick: true, Parallel: parallel, Trace: reg}
+	o := Options{Seed: 7, Quick: true, Parallel: parallel, ServiceOptions: runtime.ServiceOptions{Trace: reg}}
 	var tb strings.Builder
 	for _, e := range All() {
 		if e.GoldenExcluded {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ngdc/internal/faults"
+	"ngdc/internal/runtime"
 )
 
 // TestRecoveryExperimentDeterministic renders E17 twice with the same
@@ -36,7 +37,7 @@ func TestFaultPlanReplayDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	o := Options{Seed: 7, Quick: true, Faults: plan}
+	o := Options{Seed: 7, Quick: true, ServiceOptions: runtime.ServiceOptions{Faults: plan}}
 	a, err := Reconfig(o)
 	if err != nil {
 		t.Fatal(err)

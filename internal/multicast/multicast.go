@@ -23,6 +23,7 @@ import (
 
 	"ngdc/internal/cluster"
 	"ngdc/internal/fabric"
+	"ngdc/internal/runtime"
 	"ngdc/internal/sim"
 	"ngdc/internal/trace"
 	"ngdc/internal/verbs"
@@ -61,8 +62,11 @@ type Group struct {
 // header: rank(4) | seq(4); payload follows.
 const hdrSize = 8
 
-// Options configures a multicast group.
+// Options configures a multicast group, in the framework's unified
+// options form: the shared ServiceOptions head selects the execution
+// substrate and cross-cutting hooks.
 type Options struct {
+	runtime.ServiceOptions
 	// Name labels the group's verbs service (default "group").
 	Name string
 	// Strategy selects the distribution tree (Serial or Binomial).
@@ -73,6 +77,7 @@ type Options struct {
 // and starts the relay agents, in the framework's canonical
 // (nw, nodes, opts) constructor form.
 func NewGroup(nw *verbs.Network, members []*cluster.Node, opts Options) *Group {
+	opts.Bind(nw.Env, "multicast")
 	if len(members) == 0 {
 		panic("multicast: empty group")
 	}

@@ -1,0 +1,90 @@
+package runtime
+
+import (
+	"testing"
+
+	"ngdc/internal/sim"
+)
+
+// The overhead benchmarks quantify what the dual-mode wrappers cost over
+// the raw simulator: each ping-pongs a value between two processes
+// through either a bare sim.Chan or the Chan[T] wrapper. The wrapper
+// adds one nil-check branch per operation and no allocation, so the two
+// should be within noise of each other — the number DESIGN.md quotes.
+
+func benchPingPong(b *testing.B, wrapped bool) {
+	env := sim.NewEnv(1)
+	defer env.Shutdown()
+	rt := NewSim(env)
+	iters := b.N
+	if wrapped {
+		ping := NewChan[int](rt, "ping", 0)
+		pong := NewChan[int](rt, "pong", 0)
+		rt.Go("a", func(t Task) {
+			for i := 0; i < iters; i++ {
+				ping.Send(t, i)
+				pong.Recv(t)
+			}
+		})
+		rt.Go("b", func(t Task) {
+			for i := 0; i < iters; i++ {
+				v, _ := ping.Recv(t)
+				pong.Send(t, v)
+			}
+		})
+	} else {
+		ping := sim.NewChan[int](env, "ping", 0)
+		pong := sim.NewChan[int](env, "pong", 0)
+		env.Go("a", func(p *sim.Proc) {
+			for i := 0; i < iters; i++ {
+				ping.Send(p, i)
+				pong.Recv(p)
+			}
+		})
+		env.Go("b", func(p *sim.Proc) {
+			for i := 0; i < iters; i++ {
+				v, _ := ping.Recv(p)
+				pong.Send(p, v)
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSimChanDirect is the baseline: raw sim.Chan ping-pong.
+func BenchmarkSimChanDirect(b *testing.B) { benchPingPong(b, false) }
+
+// BenchmarkSimChanWrapped is the same workload through the dual-mode
+// Chan[T] wrapper.
+func BenchmarkSimChanWrapped(b *testing.B) { benchPingPong(b, true) }
+
+// BenchmarkRealChan is the live-substrate counterpart, for scale: a
+// goroutine ping-pong through the same wrapper.
+func BenchmarkRealChan(b *testing.B) {
+	rt := NewReal()
+	defer rt.Shutdown()
+	ping := NewChan[int](rt, "ping", 0)
+	pong := NewChan[int](rt, "pong", 0)
+	iters := b.N
+	b.ReportAllocs()
+	b.ResetTimer()
+	rt.Go("a", func(t Task) {
+		for i := 0; i < iters; i++ {
+			ping.Send(t, i)
+			pong.Recv(t)
+		}
+	})
+	rt.Go("b", func(t Task) {
+		for i := 0; i < iters; i++ {
+			v, _ := ping.Recv(t)
+			pong.Send(t, v)
+		}
+	})
+	if err := rt.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

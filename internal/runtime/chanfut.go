@@ -1,0 +1,127 @@
+package runtime
+
+import (
+	"sync"
+	"time"
+
+	"ngdc/internal/sim"
+)
+
+// Chan is a dual-mode message channel: a sim.Chan on the simulator, a
+// buffered Go channel under the live runtime. Semantics follow the sim
+// variant where the two differ (Close wakes blocked receivers with
+// ok == false; sending on a closed channel panics in both modes).
+type Chan[T any] struct {
+	simc  *sim.Chan[T]
+	realc chan T
+}
+
+// NewChan creates a channel with the given buffer capacity on rt's
+// substrate.
+func NewChan[T any](rt Runtime, name string, capacity int) *Chan[T] {
+	if env := rt.SimEnv(); env != nil {
+		return &Chan[T]{simc: sim.NewChan[T](env, name, capacity)}
+	}
+	return &Chan[T]{realc: make(chan T, capacity)}
+}
+
+// Send delivers v, blocking while the buffer is full and no receiver
+// waits.
+func (c *Chan[T]) Send(t Task, v T) {
+	if c.simc != nil {
+		c.simc.Send(t.SimProc(), v)
+		return
+	}
+	c.realc <- v
+}
+
+// Recv blocks until a value arrives; ok is false once the channel is
+// closed and drained.
+func (c *Chan[T]) Recv(t Task) (v T, ok bool) {
+	if c.simc != nil {
+		return c.simc.Recv(t.SimProc())
+	}
+	v, ok = <-c.realc
+	return v, ok
+}
+
+// RecvTimeout is Recv with a deadline: timedOut reports that no value
+// arrived within d.
+func (c *Chan[T]) RecvTimeout(t Task, d time.Duration) (v T, ok, timedOut bool) {
+	if c.simc != nil {
+		return c.simc.RecvTimeout(t.SimProc(), d)
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case v, ok = <-c.realc:
+		return v, ok, false
+	case <-timer.C:
+		return v, false, true
+	}
+}
+
+// Close closes the channel; blocked and future receivers see ok ==
+// false. Closing while a live-mode sender is blocked is a caller bug,
+// exactly as with a plain Go channel.
+func (c *Chan[T]) Close() {
+	if c.simc != nil {
+		c.simc.Close()
+		return
+	}
+	close(c.realc)
+}
+
+// Future is a dual-mode single-assignment completion: a sim.Future on
+// the simulator, a closed-channel broadcast under the live runtime. It
+// resolves at most once; later Resolves are ignored in RealMode and
+// panic in SimMode (matching sim.Future's contract).
+type Future[T any] struct {
+	simf *sim.Future[T]
+
+	once sync.Once
+	done chan struct{}
+	val  T
+}
+
+// NewFuture creates an unresolved future on rt's substrate.
+func NewFuture[T any](rt Runtime, name string) *Future[T] {
+	if env := rt.SimEnv(); env != nil {
+		return &Future[T]{simf: sim.NewFuture[T](env, name)}
+	}
+	return &Future[T]{done: make(chan struct{})}
+}
+
+// Resolve sets the value and wakes all waiters.
+func (f *Future[T]) Resolve(v T) {
+	if f.simf != nil {
+		f.simf.Resolve(v)
+		return
+	}
+	f.once.Do(func() {
+		f.val = v
+		close(f.done)
+	})
+}
+
+// Wait blocks until the future resolves and returns the value.
+func (f *Future[T]) Wait(t Task) T {
+	if f.simf != nil {
+		return f.simf.Wait(t.SimProc())
+	}
+	<-f.done
+	return f.val
+}
+
+// Done reports whether the future has resolved.
+func (f *Future[T]) Done() bool {
+	if f.simf != nil {
+		return f.simf.Done()
+	}
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,55 @@
+package runtime
+
+import (
+	"ngdc/internal/faults"
+	"ngdc/internal/sim"
+	"ngdc/internal/trace"
+)
+
+// ServiceOptions is the shared head of every service's Options struct:
+// it selects the execution substrate and carries the cross-cutting
+// observability and fault-injection hooks, so runtime mode is chosen in
+// one place instead of threaded per call site. Embed it (by value) in a
+// service's Options and resolve it once at construction with Bind.
+type ServiceOptions struct {
+	// Runtime selects the execution substrate. nil means the simulated
+	// runtime of the environment the service's network runs on — the
+	// common case. Simulated services (sockets, ddss, dlm, coopcache
+	// and the rest of the catalogue) require a SimRuntime; the live
+	// RealRuntime hosts services through internal/serve instead.
+	Runtime Runtime
+	// Trace, when non-nil, is attached to the environment before the
+	// service is built, so the layers it constructs publish their
+	// counters there. nil keeps whatever registry is already attached.
+	Trace *trace.Registry
+	// Faults, when non-nil, is installed on the environment before the
+	// service is built. Like faults.Install, it must reach the
+	// environment before verbs devices attach (i.e. set it on the first
+	// layer built over the environment, typically the framework or the
+	// experiment runner). nil keeps any plan already installed.
+	Faults *faults.Plan
+}
+
+// Bind resolves the options against env, the environment the service's
+// network runs on: it defaults Runtime to NewSim(env), verifies the
+// selected runtime is the simulator over that same environment, then
+// attaches Trace and installs Faults. service attributes panic messages.
+// It returns the concrete environment — the services' devirtualized
+// fast path — so the abstraction costs nothing after construction.
+func (o ServiceOptions) Bind(env *sim.Env, service string) *sim.Env {
+	rt := o.Runtime
+	if rt == nil {
+		rt = NewSim(env)
+	}
+	se := MustSim(rt, service)
+	if se != env {
+		panic(service + ": Options.Runtime wraps a different environment than the service's network")
+	}
+	if o.Trace != nil {
+		trace.AttachRegistry(se, o.Trace)
+	}
+	if o.Faults != nil {
+		faults.Install(se, o.Faults)
+	}
+	return se
+}

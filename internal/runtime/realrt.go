@@ -1,0 +1,222 @@
+package runtime
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"ngdc/internal/sim"
+)
+
+// maxFrame bounds one framed message on the real transport; a length
+// prefix beyond it is treated as a corrupt stream.
+const maxFrame = 16 << 20
+
+// RealRuntime runs tasks as plain goroutines over the wall clock, with
+// the transport mapped to loopback TCP ("host:port") or Unix-domain
+// sockets ("unix:/path") carrying length-prefixed frames. Nothing about
+// it is deterministic: goroutine interleaving and the kernel's socket
+// scheduling are real. The simulator remains the repeatable harness for
+// logic built over the abstraction.
+type RealRuntime struct {
+	start time.Time
+
+	tasks sync.WaitGroup // non-daemon tasks; Run waits on these
+
+	mu        sync.Mutex
+	timers    []*time.Timer
+	listeners []net.Listener
+	closed    bool
+}
+
+// NewReal creates a wall-clock runtime. Its clock starts now.
+func NewReal() *RealRuntime { return &RealRuntime{start: time.Now()} }
+
+// Mode reports RealMode.
+func (r *RealRuntime) Mode() Mode { return RealMode }
+
+// SimEnv returns nil: there is no simulation behind the live runtime.
+func (r *RealRuntime) SimEnv() *sim.Env { return nil }
+
+// Now returns the wall time elapsed since NewReal.
+func (r *RealRuntime) Now() time.Duration { return time.Since(r.start) }
+
+// After runs fn once, d of wall time from now, on its own goroutine.
+func (r *RealRuntime) After(d time.Duration, fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.timers = append(r.timers, time.AfterFunc(d, fn))
+}
+
+// Go starts a goroutine task; Run waits for it.
+func (r *RealRuntime) Go(name string, fn func(t Task)) {
+	r.tasks.Add(1)
+	go func() {
+		defer r.tasks.Done()
+		fn(realTask{rt: r, name: name})
+	}()
+}
+
+// GoDaemon starts a background goroutine Run does not wait for. Daemons
+// blocked in Accept/Recv exit when Shutdown closes their listener or
+// their peer closes the connection.
+func (r *RealRuntime) GoDaemon(name string, fn func(t Task)) {
+	go fn(realTask{rt: r, name: name})
+}
+
+// Run blocks until every task started with Go has returned.
+func (r *RealRuntime) Run() error {
+	r.tasks.Wait()
+	return nil
+}
+
+// Shutdown stops pending timers and closes all listeners, unblocking
+// daemon accept loops. Established connections are owned by their
+// tasks and close with them.
+func (r *RealRuntime) Shutdown() {
+	r.mu.Lock()
+	timers, listeners := r.timers, r.listeners
+	r.timers, r.listeners = nil, nil
+	r.closed = true
+	r.mu.Unlock()
+	for _, t := range timers {
+		t.Stop()
+	}
+	for _, l := range listeners {
+		l.Close()
+	}
+}
+
+// splitAddr maps the runtime address form onto a net network/address
+// pair: "unix:/path" is a Unix-domain socket, anything else TCP.
+func splitAddr(addr string) (network, address string) {
+	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
+		return "unix", path
+	}
+	return "tcp", addr
+}
+
+// Dial connects to a live listener.
+func (r *RealRuntime) Dial(addr string) (Conn, error) {
+	network, address := splitAddr(addr)
+	c, err := net.Dial(network, address)
+	if err != nil {
+		return nil, err
+	}
+	return newRealConn(c), nil
+}
+
+// Listen binds a loopback TCP or Unix-domain address. The listener is
+// closed by Shutdown if still open.
+func (r *RealRuntime) Listen(addr string) (Listener, error) {
+	network, address := splitAddr(addr)
+	l, err := net.Listen(network, address)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		l.Close()
+		return nil, fmt.Errorf("runtime: listen %q: runtime is shut down", addr)
+	}
+	r.listeners = append(r.listeners, l)
+	r.mu.Unlock()
+	return &realListener{network: network, l: l}, nil
+}
+
+// realTask adapts a goroutine to the Task interface.
+type realTask struct {
+	rt   *RealRuntime
+	name string
+}
+
+func (t realTask) Name() string          { return t.name }
+func (t realTask) Now() time.Duration    { return t.rt.Now() }
+func (t realTask) Sleep(d time.Duration) { time.Sleep(d) }
+func (t realTask) SimProc() *sim.Proc    { return nil }
+
+type realListener struct {
+	network string
+	l       net.Listener
+}
+
+func (l *realListener) Accept(Task) (Conn, error) {
+	c, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newRealConn(c), nil
+}
+
+func (l *realListener) Addr() string {
+	if l.network == "unix" {
+		return "unix:" + l.l.Addr().String()
+	}
+	return l.l.Addr().String()
+}
+
+func (l *realListener) Close() error { return l.l.Close() }
+
+// realConn frames messages over a stream socket: a 4-byte big-endian
+// length prefix per frame. Send and Recv each take their own lock, so
+// one sender and one receiver may run concurrently.
+type realConn struct {
+	c      net.Conn
+	sendMu sync.Mutex
+	w      *bufio.Writer
+	recvMu sync.Mutex
+	rd     *bufio.Reader
+}
+
+func newRealConn(c net.Conn) *realConn {
+	return &realConn{c: c, w: bufio.NewWriter(c), rd: bufio.NewReader(c)}
+}
+
+func (c *realConn) Send(_ Task, frame []byte) error {
+	if len(frame) > maxFrame {
+		return fmt.Errorf("runtime: frame of %d bytes exceeds limit", len(frame))
+	}
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(frame); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+func (c *realConn) Recv(Task) ([]byte, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.rd, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = io.EOF
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("runtime: frame length %d exceeds limit", n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(c.rd, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+func (c *realConn) Close() error { return c.c.Close() }

@@ -1,0 +1,142 @@
+// Package runtime abstracts the execution substrate the framework's
+// services are built against: a clock, timers, concurrent tasks,
+// blocking primitives (Chan, Future) and a message-framed transport
+// (Dial/Listen). It has exactly two implementations:
+//
+//   - SimRuntime — the deterministic discrete-event simulator
+//     (internal/sim). Tasks are sim processes, the clock is virtual,
+//     and the transport is an in-simulation loopback. Every run with
+//     the same seed is byte-identical.
+//
+//   - RealRuntime — real goroutines over the wall clock, with the
+//     transport mapped to loopback TCP or Unix-domain sockets with
+//     length-prefixed framing. This is the substrate of the live
+//     ngdc-serve process.
+//
+// The abstraction is intentionally construction-time only on the hot
+// paths: simulated services bind their options once (ServiceOptions.Bind)
+// and then run on the concrete *sim.Env via SimEnv() — no interface
+// dispatch is added to the per-event engine or per-request service loops,
+// so the sim's allocation-free fast paths and golden outputs are
+// unchanged. The sim remains the repeatable test harness for the live
+// mode: internal/serve hosts the same request surface on either runtime.
+package runtime
+
+import (
+	"time"
+
+	"ngdc/internal/sim"
+)
+
+// Mode tells the two runtimes apart.
+type Mode int
+
+// The runtime modes.
+const (
+	// SimMode is the deterministic discrete-event simulator.
+	SimMode Mode = iota
+	// RealMode is real goroutines over the wall clock and loopback
+	// sockets.
+	RealMode
+)
+
+func (m Mode) String() string {
+	if m == SimMode {
+		return "sim"
+	}
+	return "real"
+}
+
+// Task is one unit of concurrency: a sim process in SimMode, a plain
+// goroutine in RealMode. Blocking primitives take the Task so the sim
+// backend can park the right process.
+type Task interface {
+	// Name returns the task name given to Go/GoDaemon.
+	Name() string
+	// Now returns the elapsed time since the runtime started (virtual
+	// in SimMode, wall in RealMode).
+	Now() time.Duration
+	// Sleep suspends the task for d.
+	Sleep(d time.Duration)
+	// SimProc returns the underlying simulated process in SimMode and
+	// nil in RealMode. It is the devirtualization seam for code that
+	// needs the concrete sim API.
+	SimProc() *sim.Proc
+}
+
+// Conn is one endpoint of a bidirectional, message-framed connection:
+// each Send delivers one whole frame to the peer's Recv. In RealMode
+// frames travel length-prefixed over loopback TCP or a Unix socket; in
+// SimMode they travel over simulated channels at the current virtual
+// instant. Send and Recv are each safe for one concurrent caller.
+type Conn interface {
+	// Send delivers one frame to the peer.
+	Send(t Task, frame []byte) error
+	// Recv blocks until a frame arrives. It returns io.EOF once the
+	// peer has closed and all frames are drained.
+	Recv(t Task) ([]byte, error)
+	// Close tears the connection down; the peer's pending and future
+	// Recvs return io.EOF.
+	Close() error
+}
+
+// Listener accepts inbound connections on an address.
+type Listener interface {
+	// Accept blocks until a connection arrives. It returns an error
+	// after Close.
+	Accept(t Task) (Conn, error)
+	// Addr returns the bound address (useful with ":0" TCP listens).
+	Addr() string
+	// Close stops accepting.
+	Close() error
+}
+
+// Runtime is the execution substrate: clock + timers + tasks +
+// transport. Exactly two implementations exist, SimRuntime and
+// RealRuntime; services select one through ServiceOptions.
+type Runtime interface {
+	// Mode reports which substrate this is.
+	Mode() Mode
+	// SimEnv returns the underlying simulation environment in SimMode
+	// and nil in RealMode. Simulated services call it once at
+	// construction and run on the concrete environment afterwards.
+	SimEnv() *sim.Env
+	// Now returns the elapsed time since the runtime started.
+	Now() time.Duration
+	// After schedules fn to run once, d from now. The callback must not
+	// block in SimMode (it runs inline in the scheduler); in RealMode it
+	// runs on its own goroutine.
+	After(d time.Duration, fn func())
+	// Go starts a task. Run waits for tasks started with Go.
+	Go(name string, fn func(t Task))
+	// GoDaemon starts a background task that Run does not wait for
+	// (accept loops, protocol pumps).
+	GoDaemon(name string, fn func(t Task))
+	// Run drives the runtime until all non-daemon tasks finish (in
+	// SimMode: until the event queue drains; a deadlock is an error).
+	Run() error
+	// Shutdown releases the runtime: listeners close, timers stop and
+	// (in SimMode) process goroutines unwind. The runtime is unusable
+	// afterwards.
+	Shutdown()
+	// Dial opens a connection to a listener. Addresses starting with
+	// "unix:" name a Unix-domain socket path in RealMode; anything else
+	// is a TCP host:port. SimMode treats the address as an opaque name
+	// in the runtime's loopback namespace.
+	Dial(addr string) (Conn, error)
+	// Listen binds an address for Accept.
+	Listen(addr string) (Listener, error)
+}
+
+// MustSim returns the concrete simulation environment behind rt,
+// panicking with a service-attributed message when rt is the live
+// runtime. Simulated services use it to devirtualize at construction:
+// the paper-calibrated cost models only exist over the DES, so handing
+// them a RealRuntime is a wiring error — live serving goes through
+// internal/serve instead.
+func MustSim(rt Runtime, service string) *sim.Env {
+	if env := rt.SimEnv(); env != nil {
+		return env
+	}
+	panic(service + ": simulated service requires a SimRuntime; live mode is hosted by internal/serve (ngdc-serve)")
+}

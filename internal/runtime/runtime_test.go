@@ -1,0 +1,332 @@
+package runtime
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ngdc/internal/sim"
+)
+
+// deadline is the generous bound used for every real-clock wait: smoke
+// tests assert ordering and delivery, never tight timing.
+const deadline = 30 * time.Second
+
+// TestRealRuntimeTasksAndTimers checks the live runtime's basic
+// contract: Go tasks run and Run waits for them, daemons do not hold Run
+// open, After fires once, and the clock moves forward.
+func TestRealRuntimeTasksAndTimers(t *testing.T) {
+	rt := NewReal()
+	defer rt.Shutdown()
+	if rt.Mode() != RealMode || rt.SimEnv() != nil {
+		t.Fatalf("Mode=%v SimEnv=%v, want RealMode and nil", rt.Mode(), rt.SimEnv())
+	}
+	var ran, fired atomic.Int64
+	daemonGate := make(chan struct{})
+	rt.GoDaemon("lingering-daemon", func(tk Task) { <-daemonGate })
+	rt.After(time.Millisecond, func() { fired.Add(1) })
+	for i := 0; i < 8; i++ {
+		rt.Go("worker", func(tk Task) {
+			if tk.Name() != "worker" {
+				t.Errorf("task name %q, want worker", tk.Name())
+			}
+			before := tk.Now()
+			tk.Sleep(2 * time.Millisecond)
+			if tk.Now() <= before {
+				t.Error("Now did not advance across Sleep")
+			}
+			ran.Add(1)
+		})
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 8 {
+		t.Fatalf("%d tasks ran, want 8", ran.Load())
+	}
+	waitFor(t, func() bool { return fired.Load() == 1 })
+	close(daemonGate)
+}
+
+// TestRealChan exercises the dual-mode channel on the live substrate:
+// delivery across tasks, timeout expiry, and close waking a blocked
+// receiver.
+func TestRealChan(t *testing.T) {
+	rt := NewReal()
+	defer rt.Shutdown()
+	ch := NewChan[int](rt, "ints", 0)
+	rt.Go("sender", func(tk Task) {
+		for i := 0; i < 100; i++ {
+			ch.Send(tk, i)
+		}
+	})
+	rt.Go("receiver", func(tk Task) {
+		for i := 0; i < 100; i++ {
+			v, ok := ch.Recv(tk)
+			if !ok || v != i {
+				t.Errorf("Recv #%d = (%d, %v)", i, v, ok)
+				return
+			}
+		}
+		if _, ok, timedOut := ch.RecvTimeout(tk, 5*time.Millisecond); ok || !timedOut {
+			t.Errorf("RecvTimeout on idle channel: ok=%v timedOut=%v", ok, timedOut)
+		}
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	closed := NewChan[int](rt, "closing", 0)
+	rt.Go("blocked-receiver", func(tk Task) {
+		if v, ok := closed.Recv(tk); ok {
+			t.Errorf("Recv after close = (%d, %v), want ok=false", v, ok)
+		}
+	})
+	rt.After(time.Millisecond, func() { closed.Close() })
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRealFuture checks single-assignment completion under real
+// goroutines: many waiters, one resolver, Done flips exactly once.
+func TestRealFuture(t *testing.T) {
+	rt := NewReal()
+	defer rt.Shutdown()
+	fut := NewFuture[string](rt, "answer")
+	if fut.Done() {
+		t.Fatal("future born resolved")
+	}
+	for i := 0; i < 16; i++ {
+		rt.Go("waiter", func(tk Task) {
+			if got := fut.Wait(tk); got != "42" {
+				t.Errorf("Wait = %q, want 42", got)
+			}
+		})
+	}
+	rt.Go("resolver", func(tk Task) {
+		tk.Sleep(time.Millisecond)
+		fut.Resolve("42")
+		fut.Resolve("ignored") // second resolve is a no-op in RealMode
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fut.Done() {
+		t.Fatal("future not Done after resolve")
+	}
+}
+
+// transportRoundTrips drives a listener/dialer pair through framed
+// round trips on any runtime, failing the test on mismatch.
+func transportRoundTrips(t *testing.T, rt Runtime, addr string) {
+	t.Helper()
+	ln, err := rt.Listen(addr)
+	if err != nil {
+		t.Fatalf("Listen(%q): %v", addr, err)
+	}
+	rt.GoDaemon("echo-server", func(tk Task) {
+		conn, err := ln.Accept(tk)
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for {
+			frame, err := conn.Recv(tk)
+			if err != nil {
+				return
+			}
+			if err := conn.Send(tk, frame); err != nil {
+				return
+			}
+		}
+	})
+	rt.Go("client", func(tk Task) {
+		conn, err := rt.Dial(ln.Addr())
+		if err != nil {
+			t.Errorf("Dial(%q): %v", ln.Addr(), err)
+			return
+		}
+		// Frames of several sizes, including empty, reusing one buffer to
+		// check Send copies (or finishes with) the caller's bytes.
+		for _, n := range []int{0, 1, 7, 1024, 64 << 10} {
+			frame := bytes.Repeat([]byte{byte(n)}, n)
+			if err := conn.Send(tk, frame); err != nil {
+				t.Errorf("Send(%d bytes): %v", n, err)
+				return
+			}
+			back, err := conn.Recv(tk)
+			if err != nil || !bytes.Equal(back, frame) {
+				t.Errorf("Recv(%d bytes): err=%v, match=%v", n, err, bytes.Equal(back, frame))
+				return
+			}
+		}
+		conn.Close()
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ln.Close()
+}
+
+// TestRealTransportTCP round-trips frames over loopback TCP.
+func TestRealTransportTCP(t *testing.T) {
+	rt := NewReal()
+	defer rt.Shutdown()
+	transportRoundTrips(t, rt, "127.0.0.1:0")
+}
+
+// TestRealTransportUnix round-trips frames over a Unix-domain socket.
+func TestRealTransportUnix(t *testing.T) {
+	rt := NewReal()
+	defer rt.Shutdown()
+	sock := filepath.Join(t.TempDir(), "rt.sock")
+	transportRoundTrips(t, rt, "unix:"+sock)
+	if !strings.HasPrefix("unix:"+sock, "unix:") {
+		t.Fatal("unreachable")
+	}
+}
+
+// TestRealConnEOF checks that closing one endpoint surfaces io.EOF (not
+// a transport-specific error) at the peer.
+func TestRealConnEOF(t *testing.T) {
+	rt := NewReal()
+	defer rt.Shutdown()
+	ln, err := rt.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.GoDaemon("closer", func(tk Task) {
+		conn, err := ln.Accept(tk)
+		if err != nil {
+			return
+		}
+		conn.Close()
+	})
+	rt.Go("client", func(tk Task) {
+		conn, err := rt.Dial(ln.Addr())
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		if _, err := conn.Recv(tk); err != io.EOF {
+			t.Errorf("Recv after peer close = %v, want io.EOF", err)
+		}
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimRuntimeMirror runs the same task/channel/future/transport
+// shapes on the simulator, pinning the two implementations to one
+// behavioural contract — and checks sim determinism on top.
+func TestSimRuntimeMirror(t *testing.T) {
+	run := func() (events int, virtual time.Duration) {
+		env := sim.NewEnv(7)
+		defer env.Shutdown()
+		rt := NewSim(env)
+		if rt.Mode() != SimMode || rt.SimEnv() != env {
+			t.Fatalf("Mode=%v, SimEnv mismatch", rt.Mode())
+		}
+		ch := NewChan[int](rt, "ints", 0)
+		fut := NewFuture[string](rt, "answer")
+		rt.Go("sender", func(tk Task) {
+			for i := 0; i < 10; i++ {
+				tk.Sleep(time.Millisecond)
+				ch.Send(tk, i)
+				events++
+			}
+		})
+		rt.Go("receiver", func(tk Task) {
+			for i := 0; i < 10; i++ {
+				if v, ok := ch.Recv(tk); !ok || v != i {
+					t.Errorf("Recv #%d = (%d, %v)", i, v, ok)
+				}
+				events++
+			}
+			if _, ok, timedOut := ch.RecvTimeout(tk, time.Millisecond); ok || !timedOut {
+				t.Error("RecvTimeout on idle channel did not time out")
+			}
+			fut.Resolve("42")
+		})
+		rt.Go("waiter", func(tk Task) {
+			if got := fut.Wait(tk); got != "42" {
+				t.Errorf("Wait = %q", got)
+			}
+		})
+		transportRoundTrips(t, rt, "svc")
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return events, rt.Now()
+	}
+	e1, t1 := run()
+	e2, t2 := run()
+	if e1 != e2 || t1 != t2 {
+		t.Fatalf("sim runs diverge: (%d, %s) vs (%d, %s)", e1, t1, e2, t2)
+	}
+	if t1 < 10*time.Millisecond {
+		t.Fatalf("virtual clock only advanced %s", t1)
+	}
+}
+
+// TestSimDialRefused checks the loopback namespace is per-runtime and
+// unknown addresses are refused.
+func TestSimDialRefused(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Shutdown()
+	rt := NewSim(env)
+	if _, err := rt.Dial("nowhere"); err == nil {
+		t.Fatal("Dial of unbound address succeeded")
+	}
+	if _, err := rt.Listen("svc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Listen("svc"); err == nil {
+		t.Fatal("double Listen on one address succeeded")
+	}
+	other := NewSim(env)
+	if _, err := other.Dial("svc"); err == nil {
+		t.Fatal("listener leaked across SimRuntime namespaces")
+	}
+}
+
+// TestMustSim checks the devirtualization seam: the sim env comes back
+// unwrapped, and handing a live runtime to a simulated service panics
+// with a service-attributed message.
+func TestMustSim(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Shutdown()
+	if got := MustSim(NewSim(env), "svc"); got != env {
+		t.Fatal("MustSim returned a different env")
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("MustSim(RealRuntime) did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.HasPrefix(msg, "svc:") {
+			t.Fatalf("panic %v not attributed to the service", r)
+		}
+	}()
+	rt := NewReal()
+	defer rt.Shutdown()
+	MustSim(rt, "svc")
+}
+
+// waitFor polls cond with the test's generous deadline.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for !cond() {
+		if time.Now().After(stop) {
+			t.Fatal("condition not reached within deadline")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

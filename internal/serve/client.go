@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"fmt"
+
+	"ngdc/internal/runtime"
+)
+
+// Client speaks the serve wire protocol over one connection on either
+// runtime. It is used by one task at a time (requests are synchronous
+// request/response pairs on the connection).
+type Client struct {
+	conn runtime.Conn
+	req  []byte
+}
+
+// Dial connects a client to a server listening at addr on rt.
+func Dial(rt runtime.Runtime, addr string) (*Client, error) {
+	conn, err := rt.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn runtime.Conn) *Client { return &Client{conn: conn} }
+
+// Close closes the connection; the server releases any locks this
+// connection still held.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// do runs one request/response round trip.
+func (c *Client) do(t runtime.Task, r Request) (Status, []byte, error) {
+	var err error
+	c.req, err = AppendRequest(c.req[:0], r)
+	if err != nil {
+		return StatusErr, nil, err
+	}
+	if err := c.conn.Send(t, c.req); err != nil {
+		return StatusErr, nil, err
+	}
+	frame, err := c.conn.Recv(t)
+	if err != nil {
+		return StatusErr, nil, err
+	}
+	return DecodeResponse(frame)
+}
+
+// statusErr converts an error-bearing response into an error.
+func statusErr(st Status, val []byte) error {
+	if st == StatusErr {
+		return fmt.Errorf("serve: %s", val)
+	}
+	return fmt.Errorf("serve: unexpected status %d", st)
+}
+
+// Echo round-trips payload and returns the server's copy.
+func (c *Client) Echo(t runtime.Task, payload []byte) ([]byte, error) {
+	st, val, err := c.do(t, Request{Op: OpEcho, Val: payload})
+	if err != nil {
+		return nil, err
+	}
+	if st != StatusOK {
+		return nil, statusErr(st, val)
+	}
+	return val, nil
+}
+
+// Put stores val under key.
+func (c *Client) Put(t runtime.Task, key string, val []byte) error {
+	st, v, err := c.do(t, Request{Op: OpPut, Key: key, Val: val})
+	if err != nil {
+		return err
+	}
+	if st != StatusOK {
+		return statusErr(st, v)
+	}
+	return nil
+}
+
+// Get loads key; ok reports whether it exists.
+func (c *Client) Get(t runtime.Task, key string) (val []byte, ok bool, err error) {
+	st, v, err := c.do(t, Request{Op: OpGet, Key: key})
+	if err != nil {
+		return nil, false, err
+	}
+	switch st {
+	case StatusOK:
+		return v, true, nil
+	case StatusNotFound:
+		return nil, false, nil
+	}
+	return nil, false, statusErr(st, v)
+}
+
+// Lock blocks until lock is held in the requested mode.
+func (c *Client) Lock(t runtime.Task, lock int, excl bool) error {
+	st, v, err := c.do(t, Request{Op: OpLock, Lock: uint32(lock), Excl: excl})
+	if err != nil {
+		return err
+	}
+	if st != StatusOK {
+		return statusErr(st, v)
+	}
+	return nil
+}
+
+// TryLock attempts a non-blocking acquire, reporting success.
+func (c *Client) TryLock(t runtime.Task, lock int, excl bool) (bool, error) {
+	st, v, err := c.do(t, Request{Op: OpTryLock, Lock: uint32(lock), Excl: excl})
+	if err != nil {
+		return false, err
+	}
+	switch st {
+	case StatusOK:
+		return true, nil
+	case StatusBusy:
+		return false, nil
+	}
+	return false, statusErr(st, v)
+}
+
+// Unlock releases a lock held by this connection.
+func (c *Client) Unlock(t runtime.Task, lock int, excl bool) error {
+	st, v, err := c.do(t, Request{Op: OpUnlock, Lock: uint32(lock), Excl: excl})
+	if err != nil {
+		return err
+	}
+	if st != StatusOK {
+		return statusErr(st, v)
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ngdc/internal/runtime"
+)
+
+// LoadStats summarizes one live load-generation run.
+type LoadStats struct {
+	// Clients is the number of concurrent connections driven.
+	Clients int
+	// Ops counts completed requests across all clients.
+	Ops int64
+	// Errors counts failed requests.
+	Errors int64
+	// Elapsed is the wall time of the measured window.
+	Elapsed time.Duration
+}
+
+// OpsPerSec is the aggregate request throughput.
+func (s LoadStats) OpsPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Ops) / s.Elapsed.Seconds()
+}
+
+// loadLockSpan is the slice of the lock namespace the load generator
+// contends on; small enough that queues actually form under ~100
+// clients, large enough to keep the locks from full serialization.
+const loadLockSpan = 8
+
+// RunLoad drives a mixed workload — echo with payload verification,
+// put/get with read-back verification, contended shared and exclusive
+// lock/unlock cycles — against a live server at addr, with clients
+// concurrent connections for roughly dur of wall time. It returns the
+// aggregate stats and the first error any client hit (the stats still
+// count the rest). Live runtimes only: the simulated transport has no
+// cross-runtime addresses and its time is virtual.
+func RunLoad(rt *runtime.RealRuntime, addr string, clients int, dur time.Duration) (LoadStats, error) {
+	if clients <= 0 {
+		clients = 1
+	}
+	var ops, errs atomic.Int64
+	var firstErr atomic.Value
+	fail := func(err error) {
+		errs.Add(1)
+		firstErr.CompareAndSwap(nil, err) //nolint:errcheck // best effort: keep the first
+	}
+	deadline := time.Now().Add(dur)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		idx := i
+		rt.GoDaemon(fmt.Sprintf("load-%d", idx), func(t runtime.Task) {
+			defer wg.Done()
+			cl, err := Dial(rt, addr)
+			if err != nil {
+				fail(fmt.Errorf("client %d: dial: %w", idx, err))
+				return
+			}
+			defer cl.Close()
+			key := fmt.Sprintf("load-%d", idx)
+			payload := []byte(fmt.Sprintf("payload-%d", idx))
+			for round := 0; time.Now().Before(deadline); round++ {
+				if err := loadRound(t, cl, idx, round, key, payload); err != nil {
+					fail(fmt.Errorf("client %d round %d: %w", idx, round, err))
+					return
+				}
+				ops.Add(5) // echo, put, get, lock, unlock
+			}
+		})
+	}
+	wg.Wait()
+	stats := LoadStats{
+		Clients: clients,
+		Ops:     ops.Load(),
+		Errors:  errs.Load(),
+		Elapsed: time.Since(start),
+	}
+	err, _ := firstErr.Load().(error)
+	return stats, err
+}
+
+// loadRound is one client iteration of the mixed workload.
+func loadRound(t runtime.Task, cl *Client, idx, round int, key string, payload []byte) error {
+	got, err := cl.Echo(t, payload)
+	if err != nil {
+		return fmt.Errorf("echo: %w", err)
+	}
+	if !bytes.Equal(got, payload) {
+		return fmt.Errorf("echo returned %q, want %q", got, payload)
+	}
+	val := []byte(fmt.Sprintf("%s#%d", key, round))
+	if err := cl.Put(t, key, val); err != nil {
+		return fmt.Errorf("put: %w", err)
+	}
+	back, ok, err := cl.Get(t, key)
+	if err != nil {
+		return fmt.Errorf("get: %w", err)
+	}
+	if !ok || !bytes.Equal(back, val) {
+		return fmt.Errorf("get returned %q (ok=%v), want %q", back, ok, val)
+	}
+	lock := (idx + round) % loadLockSpan
+	excl := (idx+round)%3 == 0 // mostly shared, every third exclusive
+	if err := cl.Lock(t, lock, excl); err != nil {
+		return fmt.Errorf("lock %d: %w", lock, err)
+	}
+	if err := cl.Unlock(t, lock, excl); err != nil {
+		return fmt.Errorf("unlock %d: %w", lock, err)
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"ngdc/internal/runtime"
+	"ngdc/internal/sim"
+)
+
+// The parity test is the dual-mode contract check: one scripted request
+// sequence — covering success paths, not-found, busy TryLocks and every
+// server-side validation error — runs against the simulated backend over
+// the sim loopback and against the live backend over real TCP. The
+// transcripts of results (values, statuses, error strings) must be
+// identical; timings of course are not compared.
+
+// step is one scripted request from one of the script's two sessions.
+type step struct {
+	sess int // 0 or 1
+	op   string
+	key  string
+	val  string
+	lock int
+	excl bool
+}
+
+// parityScript interleaves two sessions through the full surface.
+var parityScript = []step{
+	{sess: 0, op: "echo", val: "hello"},
+	{sess: 0, op: "get", key: "absent"},
+	{sess: 0, op: "put", key: "a", val: "one"},
+	{sess: 0, op: "get", key: "a"},
+	{sess: 1, op: "get", key: "a"},
+	{sess: 1, op: "put", key: "a", val: "two"},
+	{sess: 0, op: "get", key: "a"},
+	{sess: 0, op: "put", key: "", val: "x"}, // error: empty key
+	{sess: 0, op: "lock", lock: 1, excl: true},
+	{sess: 0, op: "lock", lock: 1, excl: true},     // error: already held here
+	{sess: 1, op: "trylock", lock: 1, excl: true},  // busy
+	{sess: 1, op: "trylock", lock: 1, excl: false}, // busy
+	{sess: 1, op: "trylock", lock: 2, excl: false}, // ok
+	{sess: 0, op: "trylock", lock: 2, excl: false}, // ok: shared coexists
+	{sess: 0, op: "unlock", lock: 3, excl: true},   // error: not held
+	{sess: 0, op: "unlock", lock: 1, excl: false},  // error: wrong mode
+	{sess: 0, op: "unlock", lock: 1, excl: true},
+	{sess: 1, op: "trylock", lock: 1, excl: true}, // now ok
+	{sess: 1, op: "unlock", lock: 1, excl: true},
+	{sess: 0, op: "unlock", lock: 2, excl: false},
+	{sess: 1, op: "unlock", lock: 2, excl: false},
+	{sess: 0, op: "lock", lock: 9, excl: true}, // error: outside namespace of 8
+	{sess: 0, op: "put", key: "b", val: "payload-b"},
+	{sess: 1, op: "get", key: "b"},
+}
+
+// runScript plays the script serially through two sessions on rt and
+// returns the transcript. Serial execution (one task, alternating
+// clients) keeps both modes on one deterministic order.
+func runScript(t *testing.T, rt runtime.Runtime, addr string) []string {
+	t.Helper()
+	var out []string
+	rt.Go("script", func(tk runtime.Task) {
+		var cls [2]*Client
+		for i := range cls {
+			cl, err := Dial(rt, addr)
+			if err != nil {
+				t.Errorf("dial session %d: %v", i, err)
+				return
+			}
+			defer cl.Close()
+			cls[i] = cl
+		}
+		for i, s := range parityScript {
+			cl := cls[s.sess]
+			var line string
+			switch s.op {
+			case "echo":
+				got, err := cl.Echo(tk, []byte(s.val))
+				line = fmt.Sprintf("echo %q err=%v", got, err)
+			case "put":
+				err := cl.Put(tk, s.key, []byte(s.val))
+				line = fmt.Sprintf("put err=%v", err)
+			case "get":
+				v, ok, err := cl.Get(tk, s.key)
+				line = fmt.Sprintf("get %q ok=%v err=%v", v, ok, err)
+			case "lock":
+				err := cl.Lock(tk, s.lock, s.excl)
+				line = fmt.Sprintf("lock err=%v", err)
+			case "trylock":
+				ok, err := cl.TryLock(tk, s.lock, s.excl)
+				line = fmt.Sprintf("trylock ok=%v err=%v", ok, err)
+			case "unlock":
+				err := cl.Unlock(tk, s.lock, s.excl)
+				line = fmt.Sprintf("unlock err=%v", err)
+			default:
+				t.Errorf("step %d: unknown op %q", i, s.op)
+				return
+			}
+			out = append(out, fmt.Sprintf("#%02d s%d %s", i, s.sess, line))
+		}
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestSimLiveParity requires the simulated and live backends to produce
+// identical transcripts for the scripted sequence.
+func TestSimLiveParity(t *testing.T) {
+	opts := Options{Locks: 8, Nodes: 2}
+
+	env := sim.NewEnv(5)
+	defer env.Shutdown()
+	simRT := runtime.NewSim(env)
+	simSrv := New(simRT, opts)
+	simLn, err := simRT.Listen("ngdc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	simSrv.Serve(simLn)
+	simOut := runScript(t, simRT, "ngdc")
+
+	liveRT, addr := startLive(t, opts)
+	liveOut := runScript(t, liveRT, addr)
+
+	if len(simOut) != len(parityScript) || len(liveOut) != len(parityScript) {
+		t.Fatalf("transcript lengths: sim=%d live=%d want %d", len(simOut), len(liveOut), len(parityScript))
+	}
+	for i := range simOut {
+		if simOut[i] != liveOut[i] {
+			t.Errorf("parity break at step %d:\n  sim:  %s\n  live: %s", i, simOut[i], liveOut[i])
+		}
+	}
+}

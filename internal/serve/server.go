@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ngdc/internal/runtime"
+)
+
+// Options sizes a server. The zero value is usable.
+type Options struct {
+	// Locks is the lock-namespace size (default 64).
+	Locks int
+	// Nodes is the simulated backend's cluster size (default 4);
+	// ignored by the live backend.
+	Nodes int
+	// Seed drives the simulated backend's randomness (default 1);
+	// ignored by the live backend.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Locks <= 0 {
+		o.Locks = 64
+	}
+	if o.Nodes <= 0 {
+		o.Nodes = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// session is one connection's view of a backend. Sessions are used by a
+// single connection-handler task at a time.
+type session interface {
+	// Put stores val under key.
+	Put(t runtime.Task, key string, val []byte) error
+	// Get loads key; ok is false when it does not exist.
+	Get(t runtime.Task, key string) (val []byte, ok bool, err error)
+	// Lock blocks until lock is held in the requested mode.
+	Lock(t runtime.Task, lock int, excl bool) error
+	// TryLock attempts a non-blocking acquire.
+	TryLock(t runtime.Task, lock int, excl bool) (bool, error)
+	// Unlock releases a held lock.
+	Unlock(t runtime.Task, lock int, excl bool) error
+}
+
+// backend is one of the two service implementations: the simulated
+// framework (simBackend) or the live in-memory one (liveBackend).
+type backend interface {
+	session(id int) session
+	numLocks() int
+}
+
+// Server hosts the request surface on a runtime. Construct with New,
+// bind listeners with Serve, then drive the runtime (rt.Run for the
+// simulator; for the live runtime the accept loops are daemons and the
+// caller decides when to Shutdown).
+type Server struct {
+	rt   runtime.Runtime
+	opts Options
+	bk   backend
+
+	mu     sync.Mutex
+	nextID int
+}
+
+// New builds a server on rt: a deterministic simulated-framework
+// backend on a SimRuntime, a live concurrent backend on a RealRuntime.
+func New(rt runtime.Runtime, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{rt: rt, opts: opts}
+	if rt.Mode() == runtime.SimMode {
+		s.bk = newSimBackend(rt, opts)
+	} else {
+		s.bk = newLiveBackend(opts)
+	}
+	return s
+}
+
+// Serve starts accepting connections on l. Accept loops and connection
+// handlers run as daemon tasks: they do not hold Run open, and on the
+// simulator a parked handler does not count as a deadlock.
+func (s *Server) Serve(l runtime.Listener) {
+	s.rt.GoDaemon("serve-accept "+l.Addr(), func(t runtime.Task) {
+		for {
+			conn, err := l.Accept(t)
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			id := s.nextID
+			s.nextID++
+			s.mu.Unlock()
+			name := fmt.Sprintf("serve-conn-%d", id)
+			s.rt.GoDaemon(name, func(t runtime.Task) { s.handle(t, id, conn) })
+		}
+	})
+}
+
+// connState tracks one connection's session and held locks. Hold
+// validation lives here — above both backends — so a misuse (unlock of
+// a lock not held, double lock) yields the identical error in both
+// modes.
+type connState struct {
+	sess session
+	held map[int]bool // lock -> exclusive?
+}
+
+// handle runs one connection's request loop until EOF or a protocol
+// error, then releases any locks the peer still held.
+func (s *Server) handle(t runtime.Task, id int, conn runtime.Conn) {
+	st := &connState{sess: s.bk.session(id), held: map[int]bool{}}
+	defer func() {
+		conn.Close()
+		// Release abandoned locks in a stable order so the simulated
+		// backend stays deterministic.
+		ids := make([]int, 0, len(st.held))
+		for lock := range st.held {
+			ids = append(ids, lock)
+		}
+		sort.Ints(ids)
+		for _, lock := range ids {
+			st.sess.Unlock(t, lock, st.held[lock])
+		}
+	}()
+	var resp []byte
+	for {
+		frame, err := conn.Recv(t)
+		if err != nil {
+			return
+		}
+		req, err := DecodeRequest(frame)
+		if err != nil {
+			resp = AppendResponse(resp[:0], StatusErr, []byte(err.Error()))
+			conn.Send(t, resp)
+			return
+		}
+		status, val := s.dispatch(t, st, req)
+		resp = AppendResponse(resp[:0], status, val)
+		if err := conn.Send(t, resp); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch executes one request against the connection's session.
+func (s *Server) dispatch(t runtime.Task, st *connState, req Request) (Status, []byte) {
+	switch req.Op {
+	case OpEcho:
+		return StatusOK, req.Val
+
+	case OpPut:
+		if len(req.Val) > MaxValue {
+			return StatusErr, []byte(fmt.Sprintf("serve: value of %d bytes exceeds limit %d", len(req.Val), MaxValue))
+		}
+		if req.Key == "" {
+			return StatusErr, []byte("serve: empty key")
+		}
+		if err := st.sess.Put(t, req.Key, req.Val); err != nil {
+			return StatusErr, []byte(err.Error())
+		}
+		return StatusOK, nil
+
+	case OpGet:
+		val, ok, err := st.sess.Get(t, req.Key)
+		if err != nil {
+			return StatusErr, []byte(err.Error())
+		}
+		if !ok {
+			return StatusNotFound, nil
+		}
+		return StatusOK, val
+
+	case OpLock, OpTryLock:
+		lock := int(req.Lock)
+		if lock < 0 || lock >= s.bk.numLocks() {
+			return StatusErr, []byte(fmt.Sprintf("serve: lock %d outside namespace of %d", lock, s.bk.numLocks()))
+		}
+		if _, ok := st.held[lock]; ok {
+			return StatusErr, []byte(fmt.Sprintf("serve: lock %d already held on this connection", lock))
+		}
+		if req.Op == OpTryLock {
+			ok, err := st.sess.TryLock(t, lock, req.Excl)
+			if err != nil {
+				return StatusErr, []byte(err.Error())
+			}
+			if !ok {
+				return StatusBusy, nil
+			}
+		} else {
+			if err := st.sess.Lock(t, lock, req.Excl); err != nil {
+				return StatusErr, []byte(err.Error())
+			}
+		}
+		st.held[lock] = req.Excl
+		return StatusOK, nil
+
+	case OpUnlock:
+		lock := int(req.Lock)
+		excl, ok := st.held[lock]
+		if !ok || excl != req.Excl {
+			return StatusErr, []byte(fmt.Sprintf("serve: lock %d not held in that mode on this connection", lock))
+		}
+		if err := st.sess.Unlock(t, lock, req.Excl); err != nil {
+			return StatusErr, []byte(err.Error())
+		}
+		delete(st.held, lock)
+		return StatusOK, nil
+	}
+	return StatusErr, []byte(fmt.Sprintf("serve: unknown op %d", req.Op))
+}

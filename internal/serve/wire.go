@@ -1,0 +1,126 @@
+// Package serve hosts the framework's request surface — sockets-style
+// echo, DDSS-style key/value sharing and DLM-style locking — on either
+// execution substrate of internal/runtime:
+//
+//   - on a SimRuntime the backend is the full simulated framework (the
+//     verbs-based DDSS substrate and N-CoSED lock manager over the
+//     paper's fabric cost model), and every run is deterministic;
+//
+//   - on a RealRuntime the backend is a live in-memory implementation
+//     with the same request semantics, served to real concurrent
+//     clients over loopback TCP or Unix-domain sockets.
+//
+// One wire protocol and one Client speak to both, which is what makes
+// the simulator the repeatable test harness for the live ngdc-serve
+// process: a request script must produce the same results (not the same
+// timings) in both modes.
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Op is a request opcode.
+type Op byte
+
+// The request surface.
+const (
+	// OpEcho returns the payload unchanged (the sockets-style smoke op).
+	OpEcho Op = iota + 1
+	// OpPut stores Val under Key (DDSS-style shared segment).
+	OpPut
+	// OpGet loads the value under Key.
+	OpGet
+	// OpLock blocks until the lock is held in the requested mode.
+	OpLock
+	// OpTryLock attempts a non-blocking acquire.
+	OpTryLock
+	// OpUnlock releases a held lock.
+	OpUnlock
+)
+
+// Status is the first byte of every response.
+type Status byte
+
+// Response statuses.
+const (
+	// StatusOK carries the (possibly empty) result value.
+	StatusOK Status = iota
+	// StatusNotFound reports a Get of a key that does not exist.
+	StatusNotFound
+	// StatusBusy reports a TryLock that did not acquire.
+	StatusBusy
+	// StatusErr carries an error message as the value.
+	StatusErr
+)
+
+// MaxValue bounds one stored value. The simulated backend maps every
+// key onto a fixed-size DDSS segment (length-prefixed inside the slot),
+// so the bound is part of the service contract in both modes.
+const MaxValue = 254
+
+// MaxKey bounds one key.
+const MaxKey = 255
+
+// Request is one decoded request frame.
+type Request struct {
+	Op   Op
+	Lock uint32 // lock ID for the lock ops
+	Excl bool   // exclusive (vs shared) mode for the lock ops
+	Key  string
+	Val  []byte
+}
+
+// reqHdrSize is op(1) + lock(4) + excl(1) + keyLen(1).
+const reqHdrSize = 7
+
+// AppendRequest encodes r onto dst and returns the extended slice.
+func AppendRequest(dst []byte, r Request) ([]byte, error) {
+	if len(r.Key) > MaxKey {
+		return dst, fmt.Errorf("serve: key of %d bytes exceeds limit %d", len(r.Key), MaxKey)
+	}
+	var hdr [reqHdrSize]byte
+	hdr[0] = byte(r.Op)
+	binary.BigEndian.PutUint32(hdr[1:5], r.Lock)
+	if r.Excl {
+		hdr[5] = 1
+	}
+	hdr[6] = byte(len(r.Key))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, r.Key...)
+	dst = append(dst, r.Val...)
+	return dst, nil
+}
+
+// DecodeRequest parses one request frame.
+func DecodeRequest(frame []byte) (Request, error) {
+	if len(frame) < reqHdrSize {
+		return Request{}, fmt.Errorf("serve: short request frame (%d bytes)", len(frame))
+	}
+	keyLen := int(frame[6])
+	if len(frame) < reqHdrSize+keyLen {
+		return Request{}, fmt.Errorf("serve: request frame truncates key")
+	}
+	return Request{
+		Op:   Op(frame[0]),
+		Lock: binary.BigEndian.Uint32(frame[1:5]),
+		Excl: frame[5] != 0,
+		Key:  string(frame[reqHdrSize : reqHdrSize+keyLen]),
+		Val:  frame[reqHdrSize+keyLen:],
+	}, nil
+}
+
+// AppendResponse encodes a response frame onto dst.
+func AppendResponse(dst []byte, st Status, val []byte) []byte {
+	dst = append(dst, byte(st))
+	return append(dst, val...)
+}
+
+// DecodeResponse splits a response frame.
+func DecodeResponse(frame []byte) (Status, []byte, error) {
+	if len(frame) < 1 {
+		return StatusErr, nil, fmt.Errorf("serve: empty response frame")
+	}
+	return Status(frame[0]), frame[1:], nil
+}

@@ -23,6 +23,7 @@ import (
 
 	"ngdc/internal/cluster"
 	"ngdc/internal/ddss"
+	"ngdc/internal/runtime"
 	"ngdc/internal/sim"
 	"ngdc/internal/sockets"
 	"ngdc/internal/verbs"
@@ -87,8 +88,11 @@ type Cluster struct {
 	queries int
 }
 
-// Options configures a STORM deployment.
+// Options configures a STORM deployment, in the framework's unified
+// options form: the shared ServiceOptions head selects the execution
+// substrate and cross-cutting hooks.
 type Options struct {
+	runtime.ServiceOptions
 	// Transport selects how query results travel (OverTCP or OverDDSS).
 	Transport Transport
 	// Client is the query-issuing node; it must be distinct from the
@@ -100,6 +104,7 @@ type Options struct {
 // framework's canonical (nw, nodes, opts) constructor form; nodes are
 // the data nodes holding record partitions.
 func New(nw *verbs.Network, dataNodes []*cluster.Node, opts Options) *Cluster {
+	opts.Bind(nw.Env, "storm")
 	if opts.Client == nil {
 		panic("storm: Options.Client is required")
 	}
@@ -120,7 +125,7 @@ func New(nw *verbs.Network, dataNodes []*cluster.Node, opts Options) *Cluster {
 	}
 	if t == OverDDSS {
 		nodes := append([]*cluster.Node{client}, dataNodes...)
-		c.ss = ddss.New(nw, nodes)
+		c.ss = ddss.New(nw, nodes, ddss.Options{})
 	}
 	return c
 }

@@ -36,6 +36,8 @@ import (
 	"ngdc/internal/multicast"
 	"ngdc/internal/qos"
 	"ngdc/internal/reconfig"
+	"ngdc/internal/runtime"
+	"ngdc/internal/serve"
 	"ngdc/internal/sim"
 	"ngdc/internal/sockets"
 	"ngdc/internal/storm"
@@ -199,14 +201,6 @@ func NewLocks(nw *verbs.Network, nodes []*Node, opts LockOptions) *LockManager {
 	return dlm.New(nw, nodes, opts)
 }
 
-// NewLockManager builds a standalone lock manager.
-//
-// Deprecated: use NewLocks, which follows the framework's canonical
-// (nw, nodes, opts) constructor form.
-func NewLockManager(kind LockKind, nw *verbs.Network, nodes []*Node, numLocks int) *LockManager {
-	return dlm.New(nw, nodes, dlm.Options{Kind: kind, NumLocks: numLocks})
-}
-
 // LockCascade runs the Fig 5 cascading experiment.
 func LockCascade(kind LockKind, mode LockMode, waiters int, seed int64) (CascadeResult, error) {
 	return dlm.Cascade(kind, mode, waiters, seed)
@@ -331,14 +325,6 @@ func NewStormCluster(nw *verbs.Network, dataNodes []*Node, opts StormOptions) *S
 	return storm.New(nw, dataNodes, opts)
 }
 
-// NewStorm builds a STORM deployment.
-//
-// Deprecated: use NewStormCluster, which follows the framework's
-// canonical (nw, nodes, opts) constructor form.
-func NewStorm(t StormTransport, nw *verbs.Network, client *Node, dataNodes []*Node) *StormCluster {
-	return storm.New(nw, dataNodes, storm.Options{Transport: t, Client: client})
-}
-
 // Workloads.
 type (
 	// Zipf samples document ranks with configurable skew.
@@ -421,14 +407,6 @@ func NewPool(nw *verbs.Network, nodes []*Node, opts PoolOptions) (*MemoryPool, e
 	return gma.New(nw, nodes, opts)
 }
 
-// NewMemoryPool pools arenaPerNode bytes from every node.
-//
-// Deprecated: use NewPool, which follows the framework's canonical
-// (nw, nodes, opts) constructor form.
-func NewMemoryPool(nw *verbs.Network, nodes []*Node, arenaPerNode int64) (*MemoryPool, error) {
-	return gma.New(nw, nodes, gma.Options{ArenaPerNode: arenaPerNode})
-}
-
 // Layer 1 — multicast.
 type (
 	// MulticastGroup is a static dissemination group.
@@ -450,14 +428,6 @@ type MulticastOptions = multicast.Options
 // root.
 func NewMulticast(nw *verbs.Network, members []*Node, opts MulticastOptions) *MulticastGroup {
 	return multicast.NewGroup(nw, members, opts)
-}
-
-// NewMulticastGroup builds a group over the member nodes.
-//
-// Deprecated: use NewMulticast, which follows the framework's canonical
-// (nw, nodes, opts) constructor form.
-func NewMulticastGroup(name string, nw *verbs.Network, strategy MulticastStrategy, members []*Node) *MulticastGroup {
-	return multicast.NewGroup(nw, members, multicast.Options{Name: name, Strategy: strategy})
 }
 
 // MulticastLatency measures dissemination latency for a group size.
@@ -541,3 +511,62 @@ func ConnectQP(a, b *Device, depth int) (*verbs.QP, *verbs.QP) {
 
 // QP is one endpoint of a connected verbs queue pair.
 type QP = verbs.QP
+
+// Dual-mode runtime: the construction-time execution substrate every
+// service is built against. A SimRuntime wraps a deterministic
+// discrete-event environment; a RealRuntime runs tasks as goroutines on
+// the wall clock with loopback TCP / unix-domain transport.
+type (
+	// Runtime is the execution substrate abstraction.
+	Runtime = runtime.Runtime
+	// RuntimeMode tells the two substrates apart.
+	RuntimeMode = runtime.Mode
+	// Task is a unit of execution on either substrate.
+	Task = runtime.Task
+	// ServiceOptions is the shared head of every service's Options:
+	// runtime selection, trace registry and fault plan in one place.
+	ServiceOptions = runtime.ServiceOptions
+	// SimRuntime adapts a simulation environment to the Runtime API.
+	SimRuntime = runtime.SimRuntime
+	// RealRuntime runs tasks on goroutines over the wall clock.
+	RealRuntime = runtime.RealRuntime
+)
+
+// The two runtime modes.
+const (
+	SimMode  = runtime.SimMode
+	RealMode = runtime.RealMode
+)
+
+// NewSimRuntime adapts an existing simulation environment.
+func NewSimRuntime(env *Env) *SimRuntime { return runtime.NewSim(env) }
+
+// NewRealRuntime creates a wall-clock runtime for live serving.
+func NewRealRuntime() *RealRuntime { return runtime.NewReal() }
+
+// Live serving: the ngdc-serve request surface (echo, KV put/get over
+// the sharing substrate, shared/exclusive locks over the lock manager),
+// hostable on either runtime with identical semantics.
+type (
+	// Server hosts the serve protocol on a Runtime.
+	Server = serve.Server
+	// ServerOptions sizes a Server.
+	ServerOptions = serve.Options
+	// ServeClient speaks the serve wire protocol.
+	ServeClient = serve.Client
+	// LoadStats summarizes a live load-generation run.
+	LoadStats = serve.LoadStats
+)
+
+// NewServer builds a serve host on rt: framework-backed in SimMode,
+// in-memory live backend in RealMode.
+func NewServer(rt Runtime, opts ServerOptions) *Server { return serve.New(rt, opts) }
+
+// DialServe connects a serve client to a server listening at addr.
+func DialServe(rt Runtime, addr string) (*ServeClient, error) { return serve.Dial(rt, addr) }
+
+// RunServeLoad drives clients concurrent connections of mixed load
+// against a live server for roughly dur, returning aggregate stats.
+func RunServeLoad(rt *RealRuntime, addr string, clients int, dur time.Duration) (LoadStats, error) {
+	return serve.RunLoad(rt, addr, clients, dur)
+}
