@@ -23,7 +23,9 @@
 // profiles covering the experiment run.
 //
 // The special command "bench" runs wall-clock microbenchmarks of the
-// hot substrate paths (engine events/s and verbs posted-ops/s) and,
+// hot substrate paths (engine events/s and verbs posted-ops/s) plus the
+// E18 connection-scaling probe (cluster_events_per_sec and
+// conn_bytes_per_node at 64 and 1024 nodes in both transport modes) and,
 // with -bench-json <file> (default BENCH_ngdc.json), writes the numbers
 // as a machine-readable snapshot so the performance trajectory can be
 // tracked across commits.
@@ -44,6 +46,7 @@
 //	multicast           framework — multicast dissemination latency
 //	integrated          §6     — full-stack integrated evaluation
 //	recovery            fault model — lock recovery latency vs lease length
+//	dc-scale            datacenter at scale — cluster size × transport mode
 //	all                 run every experiment
 package main
 
@@ -216,6 +219,22 @@ type benchSnapshot struct {
 	CoopCacheReqsPerSec float64 `json:"coopcache_reqs_per_sec"`
 	DLMLockOpsPerSec    float64 `json:"dlm_lock_ops_per_sec"`
 	LiveReqsPerSec      float64 `json:"live_reqs_per_sec"`
+	// ClusterEventsPerSec is engine throughput under the E18
+	// datacenter-at-scale model (1024 nodes, pooled transport) — scheduler
+	// events per wall second with the full multi-tier request path live.
+	ClusterEventsPerSec float64 `json:"cluster_events_per_sec"`
+	// ConnBytesPerNode records average HCA connection-state memory per
+	// node at 64 and 1024 nodes in both transport modes — the
+	// connection-scaling trajectory (pooled must stay near-flat).
+	ConnBytesPerNode connBytesPerNode `json:"conn_bytes_per_node"`
+}
+
+// connBytesPerNode is the nested conn_bytes_per_node snapshot record.
+type connBytesPerNode struct {
+	RC64       float64 `json:"rc_64"`
+	RC1024     float64 `json:"rc_1024"`
+	Pooled64   float64 `json:"pooled_64"`
+	Pooled1024 float64 `json:"pooled_1024"`
 }
 
 // runBench measures the hot substrate and service paths against the wall
@@ -232,6 +251,7 @@ func runBench(jsonPath string) {
 		DLMLockOpsPerSec:    benchDLM(),
 		LiveReqsPerSec:      benchLive(),
 	}
+	snap.ClusterEventsPerSec, snap.ConnBytesPerNode = benchScale()
 	fmt.Printf("engine            %14.0f events/s\n", snap.EngineEventsPerSec)
 	fmt.Printf("verbs posted ops  %14.0f ops/s\n", snap.VerbsPostedOpsSec)
 	fmt.Printf("sockets           %14.0f msgs/s\n", snap.SocketsMsgsPerSec)
@@ -239,6 +259,10 @@ func runBench(jsonPath string) {
 	fmt.Printf("coopcache         %14.0f reqs/s\n", snap.CoopCacheReqsPerSec)
 	fmt.Printf("dlm locks         %14.0f ops/s\n", snap.DLMLockOpsPerSec)
 	fmt.Printf("live serve        %14.0f reqs/s\n", snap.LiveReqsPerSec)
+	fmt.Printf("cluster engine    %14.0f events/s\n", snap.ClusterEventsPerSec)
+	fmt.Printf("conn bytes/node   rc %.0f -> %.0f KB, pooled %.0f -> %.0f KB (64 -> 1024 nodes)\n",
+		snap.ConnBytesPerNode.RC64/1024, snap.ConnBytesPerNode.RC1024/1024,
+		snap.ConnBytesPerNode.Pooled64/1024, snap.ConnBytesPerNode.Pooled1024/1024)
 	if jsonPath == "" {
 		return
 	}
@@ -435,6 +459,28 @@ func benchDLM() float64 {
 		total += ops
 	}
 	return float64(total) / elapsed.Seconds()
+}
+
+// benchScale runs the E18 connection-scaling probe: both transport modes
+// at 64 and 1024 nodes with a reduced client population. It reports
+// engine events per wall second in the 1024-node pooled cell (the
+// datacenter-scale engine throughput) and the average connection-state
+// bytes per node of all four cells.
+func benchScale() (float64, connBytesPerNode) {
+	probe, err := experiments.RunScaleProbe(1, runtime.GOMAXPROCS(0))
+	if err != nil {
+		fail(err)
+	}
+	eventsPerSec := 0.0
+	if probe.Pooled1024.Wall > 0 {
+		eventsPerSec = float64(probe.Pooled1024.Events) / probe.Pooled1024.Wall.Seconds()
+	}
+	return eventsPerSec, connBytesPerNode{
+		RC64:       probe.RC64.ConnBytesAvg,
+		RC1024:     probe.RC1024.ConnBytesAvg,
+		Pooled64:   probe.Pooled64.ConnBytesAvg,
+		Pooled1024: probe.Pooled1024.ConnBytesAvg,
+	}
 }
 
 func fail(err error) {

@@ -48,8 +48,9 @@ func main() {
 
 	if *load {
 		stats, err := serve.RunLoad(rt, ln.Addr(), *clients, *duration)
-		fmt.Printf("clients=%d ops=%d errors=%d elapsed=%s throughput=%.0f req/s\n",
-			stats.Clients, stats.Ops, stats.Errors, stats.Elapsed, stats.OpsPerSec())
+		fmt.Printf("clients=%d ops=%d errors=%d elapsed=%s throughput=%.0f req/s p50=%s p99=%s\n",
+			stats.Clients, stats.Ops, stats.Errors, stats.Elapsed, stats.OpsPerSec(),
+			stats.P50, stats.P99)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ngdc-serve: load: %v\n", err)
 			os.Exit(1)

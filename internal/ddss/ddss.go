@@ -127,6 +127,9 @@ type Substrate struct {
 	nodes []*cluster.Node
 
 	segs map[string]*segment
+	// place is the pluggable NodeAuto placement policy (SetPlacement);
+	// nil means PlaceLeastLoaded.
+	place func(key string, size int) int
 	// Ops counts substrate operations, for instrumentation.
 	Ops int64
 }
@@ -199,7 +202,7 @@ func (s *Substrate) Rehome(p *sim.Proc, key string, newHome int) (int, error) {
 		return 0, fmt.Errorf("ddss: rehome %q: home node %d is up", key, seg.home)
 	}
 	if newHome == NodeAuto {
-		newHome = s.PlaceLeastLoaded()
+		newHome = s.placeAuto(key, seg.size)
 	}
 	if flt.Down(newHome) {
 		return 0, fmt.Errorf("ddss: rehome %q: node %d is down", key, newHome)
@@ -274,7 +277,7 @@ func (c *Client) Allocate(p *sim.Proc, key string, size int, coh Coherence, home
 		return nil, fmt.Errorf("ddss: allocate %q: bad size %d", key, size)
 	}
 	if home == NodeAuto {
-		home = c.ss.PlaceLeastLoaded()
+		home = c.ss.placeAuto(key, size)
 	}
 	homeDev := c.ss.nw.Device(home)
 	if homeDev == nil {

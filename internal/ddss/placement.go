@@ -1,0 +1,80 @@
+package ddss
+
+// Pluggable data placement. The substrate's default NodeAuto policy is
+// global least-loaded (PlaceLeastLoaded); a datacenter-scale deployment
+// instead places segments rack-aware, spreading the working set across
+// failure domains and keeping rack-local capacity balanced. SetPlacement
+// installs any policy; RackAware builds the standard rack-spreading one.
+
+import (
+	"sort"
+
+	"ngdc/internal/cluster"
+	"ngdc/internal/faults"
+)
+
+// SetPlacement installs fn as the NodeAuto placement policy: Allocate
+// and Rehome call it with the segment's key and size and place the
+// segment on the returned node. nil restores the default least-loaded
+// policy.
+func (s *Substrate) SetPlacement(fn func(key string, size int) int) { s.place = fn }
+
+// placeAuto resolves a NodeAuto home through the installed policy.
+func (s *Substrate) placeAuto(key string, size int) int {
+	if s.place != nil {
+		return s.place(key, size)
+	}
+	return s.PlaceLeastLoaded()
+}
+
+// RackAware returns a placement policy that spreads segments across
+// racks: the segment key hashes to a rack, and the least-loaded eligible
+// node within that rack becomes the home. A rack with every node down
+// (or excluded) falls back to the global least-loaded policy. rackOf
+// maps a node ID to its rack; eligible, when non-nil, restricts
+// placement to a node subset (e.g. the storage tier).
+func (s *Substrate) RackAware(rackOf func(nodeID int) int, eligible func(nodeID int) bool) func(key string, size int) int {
+	var rackIDs []int
+	racks := map[int][]*cluster.Node{}
+	for _, n := range s.nodes {
+		if eligible != nil && !eligible(n.ID) {
+			continue
+		}
+		r := rackOf(n.ID)
+		if racks[r] == nil {
+			rackIDs = append(rackIDs, r)
+		}
+		racks[r] = append(racks[r], n)
+	}
+	sort.Ints(rackIDs)
+	return func(key string, size int) int {
+		if len(rackIDs) == 0 {
+			return s.PlaceLeastLoaded()
+		}
+		flt := faults.Of(s.nw.Env)
+		rack := racks[rackIDs[int(hashKey(key))%len(rackIDs)]]
+		var best *cluster.Node
+		for _, n := range rack {
+			if flt.Down(n.ID) {
+				continue
+			}
+			if best == nil || n.MemFree() > best.MemFree() {
+				best = n
+			}
+		}
+		if best == nil {
+			return s.PlaceLeastLoaded()
+		}
+		return best.ID
+	}
+}
+
+// hashKey is a 32-bit FNV-1a over the segment key: deterministic,
+// allocation-free rack selection.
+func hashKey(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return h
+}

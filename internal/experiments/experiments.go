@@ -125,6 +125,7 @@ func All() []Experiment {
 		{ID: "E14", Figure: "multicast", Name: "multicast", Run: Multicast},
 		{ID: "E16", Figure: "§6 integrated", Name: "integrated", Run: Integrated},
 		{ID: "E17", Figure: "fault recovery", Name: "recovery", Run: Recovery, GoldenExcluded: true},
+		{ID: "E18", Figure: "datacenter at scale", Name: "dc-scale", Run: DCScale, GoldenExcluded: true},
 	}
 }
 

@@ -1,0 +1,403 @@
+package experiments
+
+// E18 — datacenter at scale. Every other experiment mirrors the paper's
+// small OSU testbed; this one carries its three primitives (one-sided
+// directory lookup, cooperative-cache single-copy placement, DDSS
+// segment storage) to a web-scale deployment: a multi-tier cluster of up
+// to 1000 nodes in racks, serving Zipf traffic from a modeled client
+// population of ~10^6 through a sharded RDMA-readable coopcache
+// directory, with misses fetched from rack-aware-placed DDSS segments.
+//
+// The sweep crosses cluster size with the verbs transport mode to
+// reproduce the RDMAvisor crossover: fully-connected RC-per-pair wins at
+// testbed scale (every connection fits the NIC's context cache, so
+// established transports are free), while at O(1000) nodes the resident
+// connection count thrashes the context cache on every front-end and the
+// pooled hybrid — a fixed LRU pool of connected transports plus a shared
+// datagram endpoint for the long tail — wins on both latency and
+// per-node connection memory (O(pool) instead of O(N)).
+
+import (
+	"fmt"
+	"time"
+
+	"ngdc/internal/cluster"
+	"ngdc/internal/coopcache"
+	"ngdc/internal/ddss"
+	"ngdc/internal/fabric"
+	"ngdc/internal/metrics"
+	"ngdc/internal/sim"
+	"ngdc/internal/verbs"
+	"ngdc/internal/workload"
+)
+
+// ScaleConfig describes one cell of the datacenter-at-scale model.
+//
+// Tiers interleave within racks by node index: i%8 ∈ {0,1} is a
+// front-end (25%), i%8 == 7 is storage (12.5%), the rest are cache
+// nodes (62.5%) — so every rack hosts all three tiers and rack-aware
+// placement has real spread to work with.
+type ScaleConfig struct {
+	// Nodes is the cluster size (≥ 8 so every tier is populated).
+	Nodes int
+	// RackSize groups node IDs into racks (default 32).
+	RackSize int
+	// Transport selects the verbs connection-management mode.
+	Transport verbs.TransportConfig
+	// Clients is the modeled client population (default 1e6).
+	Clients int
+	// Drivers bounds the concurrent generator processes multiplexing the
+	// client population (default 64, capped at the front-end count).
+	Drivers int
+	// Requests is the total request count across all drivers (default
+	// 200 per front-end).
+	Requests int
+	// Docs is the working-set size (default 16384).
+	Docs int
+	// DocBytes is the uniform document size (default 2048).
+	DocBytes int
+	// ZipfAlpha shapes document popularity (default 0.99).
+	ZipfAlpha float64
+	// FrontCPU is the per-request front-end admission/parse cost
+	// (default 3µs).
+	FrontCPU time.Duration
+	// Seed drives the workload streams and the engine.
+	Seed int64
+}
+
+func (c ScaleConfig) withDefaults() ScaleConfig {
+	if c.RackSize <= 0 {
+		c.RackSize = 32
+	}
+	if c.Clients <= 0 {
+		c.Clients = 1_000_000
+	}
+	if c.Drivers <= 0 {
+		c.Drivers = 64
+	}
+	if c.Requests <= 0 {
+		c.Requests = 200 * frontEnds(c.Nodes)
+	}
+	if c.Docs <= 0 {
+		c.Docs = 16384
+	}
+	if c.DocBytes <= 0 {
+		c.DocBytes = 2048
+	}
+	if c.ZipfAlpha == 0 {
+		c.ZipfAlpha = 0.99
+	}
+	if c.FrontCPU <= 0 {
+		c.FrontCPU = 3 * time.Microsecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// frontEnds returns the front-end count of an n-node cluster under the
+// interleaved tier layout.
+func frontEnds(n int) int {
+	count := (n / 8) * 2
+	if rem := n % 8; rem >= 2 {
+		count += 2
+	} else {
+		count += rem
+	}
+	return count
+}
+
+// ScaleResult is one cell's outcome.
+type ScaleResult struct {
+	Nodes                            int
+	FrontEnds, CacheNodes, StoreNodes int
+	Transport                        string
+	Requests, Hits, Misses           int64
+	// Elapsed is the virtual duration of the measured request phase.
+	Elapsed time.Duration
+	// P50/P99 are virtual per-request latencies.
+	P50, P99 time.Duration
+	// ReqsPerSec is virtual throughput: Requests / Elapsed.
+	ReqsPerSec float64
+	// ConnBytesAvg/Max are HCA connection-state memory per node at the
+	// end of the run (the sublinearity gate).
+	ConnBytesAvg float64
+	ConnBytesMax int64
+	// Transport counters summed over all devices.
+	Establishes, Evictions, UDOps, CacheMisses int64
+	// Events is the engine's processed-event count; Wall the host time
+	// of the run — together the cluster_events_per_sec bench key.
+	Events uint64
+	Wall   time.Duration
+}
+
+// RunScaleCell builds and runs one datacenter-at-scale cell.
+func RunScaleCell(cfg ScaleConfig) (ScaleResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes < 8 {
+		return ScaleResult{}, fmt.Errorf("scale: need ≥ 8 nodes for all tiers, got %d", cfg.Nodes)
+	}
+	env := sim.NewEnv(cfg.Seed)
+	nw := verbs.NewNetworkWith(env, fabric.DefaultParams(), cfg.Transport)
+	nodes := make([]*cluster.Node, cfg.Nodes)
+	var fes, caches, stores []*cluster.Node
+	for i := range nodes {
+		n := cluster.NewNode(env, i, 4, 1<<26)
+		nodes[i] = n
+		switch {
+		case i%8 < 2:
+			fes = append(fes, n)
+		case i%8 == 7:
+			stores = append(stores, n)
+		default:
+			caches = append(caches, n)
+		}
+	}
+	feDevs := make([]*verbs.Device, len(fes))
+	for i, n := range fes {
+		feDevs[i] = nw.Attach(n)
+	}
+	// Cache tier: the sharded RDMA-readable directory plus one registered
+	// document slab per cache node (hit reads and miss installs target
+	// it; document identity lives in the directory, not the slab bytes).
+	dir := coopcache.NewDirectory(nw, caches, cfg.Docs)
+	slabs := make([]verbs.RemoteAddr, len(caches))
+	for i, n := range caches {
+		slabs[i] = nw.Attach(n).RegisterAtSetup(make([]byte, cfg.DocBytes)).Addr()
+	}
+	// Storage tier: DDSS segments spread rack-aware across the storage
+	// nodes of every rack.
+	ss := ddss.New(nw, nodes, ddss.Options{})
+	ss.SetPlacement(ss.RackAware(
+		func(id int) int { return id / cfg.RackSize },
+		func(id int) bool { return id%8 == 7 },
+	))
+	numSegs := 2 * len(stores)
+	segKeys := make([]string, numSegs)
+	for s := range segKeys {
+		segKeys[s] = fmt.Sprintf("seg-%04d", s)
+	}
+
+	drivers := cfg.Drivers
+	if drivers > len(fes) {
+		drivers = len(fes)
+	}
+	pop := workload.NewPopulation(cfg.Clients, cfg.Docs, cfg.ZipfAlpha, cfg.Seed)
+	numCaches := len(caches)
+	holderOf := func(doc int) int { return int((uint32(doc)*2654435761)>>16) % numCaches }
+
+	// Lazy per-(front-end, segment) DDSS handles: Zipf traffic touches a
+	// small fraction of the cross product, so the flat index array stays
+	// mostly nil.
+	handles := make([]*ddss.Handle, len(fes)*numSegs)
+	clients := make([]*ddss.Client, len(fes))
+
+	var hits, misses int64
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	lat := make([][]time.Duration, drivers)
+	var start sim.Time
+
+	driver := func(p *sim.Proc, k int) {
+		st := pop.Stream(k, drivers)
+		nReq := cfg.Requests / drivers
+		if k < cfg.Requests%drivers {
+			nReq++
+		}
+		feLo := k * len(fes) / drivers
+		feN := (k+1)*len(fes)/drivers - feLo
+		scratch := make([]byte, 8)
+		buf := make([]byte, cfg.DocBytes)
+		lats := make([]time.Duration, 0, nReq)
+		for i := 0; i < nReq; i++ {
+			rq := st.Next()
+			fi := feLo + rq.Client%feN
+			t0 := env.Now()
+			fes[fi].Exec(p, cfg.FrontCPU)
+			holder, ok, err := dir.Lookup(p, feDevs[fi], rq.Doc, scratch)
+			if err != nil {
+				fail(err)
+				return
+			}
+			if ok {
+				// Hit: one-sided read of the document from its holder.
+				if err := feDevs[fi].Read(p, buf, slabs[holder], 0); err != nil {
+					fail(err)
+					return
+				}
+				hits++
+			} else {
+				// Miss: fetch from the document's DDSS segment on the
+				// storage tier, install the copy on its cache holder and
+				// publish the directory entry (CAS; a concurrent racer may
+				// win — the directory keeps the first).
+				si := rq.Doc % numSegs
+				hidx := fi*numSegs + si
+				if handles[hidx] == nil {
+					if clients[fi] == nil {
+						clients[fi] = ss.Client(fes[fi].ID)
+					}
+					h, err := clients[fi].Open(segKeys[si])
+					if err != nil {
+						fail(err)
+						return
+					}
+					handles[hidx] = h
+				}
+				if _, err := handles[hidx].Get(p, buf); err != nil {
+					fail(err)
+					return
+				}
+				hi := holderOf(rq.Doc)
+				if err := feDevs[fi].Write(p, slabs[hi], 0, buf); err != nil {
+					fail(err)
+					return
+				}
+				if _, err := dir.Publish(p, feDevs[fi], rq.Doc, hi); err != nil {
+					fail(err)
+					return
+				}
+				misses++
+			}
+			lats = append(lats, time.Duration(env.Now()-t0))
+		}
+		lat[k] = lats
+	}
+
+	env.Go("boot", func(p *sim.Proc) {
+		boot := ss.Client(fes[0].ID)
+		for _, key := range segKeys {
+			if _, err := boot.Allocate(p, key, cfg.DocBytes, ddss.Null, ddss.NodeAuto); err != nil {
+				fail(err)
+				return
+			}
+		}
+		start = env.Now()
+		for k := 0; k < drivers; k++ {
+			kk := k
+			env.Go(fmt.Sprintf("driver-%d", kk), func(p *sim.Proc) { driver(p, kk) })
+		}
+	})
+
+	wallStart := time.Now()
+	if err := env.Run(); err != nil {
+		return ScaleResult{}, err
+	}
+	if firstErr != nil {
+		return ScaleResult{}, firstErr
+	}
+
+	var sample metrics.Sample
+	for _, ls := range lat {
+		for _, d := range ls {
+			sample.AddDuration(d)
+		}
+	}
+	elapsed := time.Duration(env.Now() - start)
+	res := ScaleResult{
+		Nodes: cfg.Nodes, FrontEnds: len(fes), CacheNodes: numCaches, StoreNodes: len(stores),
+		Transport: nw.Transport().Mode.String(),
+		Requests:  hits + misses, Hits: hits, Misses: misses,
+		Elapsed: elapsed,
+		P50:     time.Duration(sample.Percentile(50) * float64(time.Microsecond)),
+		P99:     time.Duration(sample.Percentile(99) * float64(time.Microsecond)),
+		Events:  env.Stats().EventsProcessed,
+		Wall:    time.Since(wallStart),
+	}
+	if elapsed > 0 {
+		res.ReqsPerSec = float64(res.Requests) / elapsed.Seconds()
+	}
+	res.ConnBytesAvg, res.ConnBytesMax = nw.ConnBytesPerNode()
+	res.Establishes, res.Evictions, res.UDOps, res.CacheMisses = nw.ConnTotals()
+	return res, nil
+}
+
+// DCScale regenerates E18: the cluster-size × transport-mode sweep.
+func DCScale(o Options) (*metrics.Table, error) {
+	sizes := []int{64, 256, 1024}
+	clients, perFE := 1_000_000, 600
+	if o.Quick {
+		// The CI quick-scale smoke: still the full 1000-node cluster, but
+		// a reduced client population and request budget.
+		sizes = []int{64, 1000}
+		clients, perFE = 100_000, 150
+	}
+	modes := []verbs.TransportConfig{{}, verbs.PooledTransport()}
+	type cell struct {
+		nodes int
+		tc    verbs.TransportConfig
+	}
+	var cells []cell
+	for _, n := range sizes {
+		for _, tc := range modes {
+			cells = append(cells, cell{n, tc})
+		}
+	}
+	res := make([]ScaleResult, len(cells))
+	err := runCells(o, len(cells), func(i int, o Options) error {
+		c := cells[i]
+		cfg := ScaleConfig{
+			Nodes:     c.nodes,
+			Transport: c.tc,
+			Clients:   clients,
+			Requests:  perFE * frontEnds(c.nodes),
+			Seed:      o.seed(),
+		}
+		var err error
+		res[i], err = RunScaleCell(cfg)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := metrics.NewTable("E18 — datacenter at scale: cluster size × transport mode (Zipf traffic, "+
+		fmt.Sprintf("%d modeled clients)", clients),
+		"nodes", "transport", "reqs/s", "p50 (µs)", "p99 (µs)", "hit %", "conn KB/node", "ud ops", "evictions")
+	for _, r := range res {
+		tb.AddRow(r.Nodes, r.Transport,
+			r.ReqsPerSec,
+			float64(r.P50)/float64(time.Microsecond),
+			float64(r.P99)/float64(time.Microsecond),
+			metrics.Ratio(float64(r.Hits)*100, float64(r.Requests)),
+			r.ConnBytesAvg/1024,
+			r.UDOps, r.Evictions)
+	}
+	return tb, nil
+}
+
+// ScaleProbe holds the connection-scaling measurements the bench
+// snapshot publishes: both transport modes at 64 and 1024 nodes.
+type ScaleProbe struct {
+	RC64, RC1024, Pooled64, Pooled1024 ScaleResult
+}
+
+// RunScaleProbe measures connection state and event throughput at 64
+// and 1024 nodes in both transport modes (the conn_bytes_per_node and
+// cluster_events_per_sec bench keys).
+func RunScaleProbe(seed int64, parallel int) (ScaleProbe, error) {
+	cfgs := []ScaleConfig{
+		{Nodes: 64, Transport: verbs.TransportConfig{}},
+		{Nodes: 1024, Transport: verbs.TransportConfig{}},
+		{Nodes: 64, Transport: verbs.PooledTransport()},
+		{Nodes: 1024, Transport: verbs.PooledTransport()},
+	}
+	res := make([]ScaleResult, len(cfgs))
+	err := runCells(Options{Seed: seed, Parallel: parallel}, len(cfgs), func(i int, o Options) error {
+		cfg := cfgs[i]
+		cfg.Clients = 200_000
+		cfg.Requests = 400 * frontEnds(cfg.Nodes)
+		cfg.Seed = o.seed()
+		var err error
+		res[i], err = RunScaleCell(cfg)
+		return err
+	})
+	if err != nil {
+		return ScaleProbe{}, err
+	}
+	return ScaleProbe{RC64: res[0], RC1024: res[1], Pooled64: res[2], Pooled1024: res[3]}, nil
+}

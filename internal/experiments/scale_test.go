@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"testing"
+
+	"ngdc/internal/verbs"
+)
+
+func TestScaleCellSanity(t *testing.T) {
+	res, err := RunScaleCell(ScaleConfig{Nodes: 16, Clients: 5000, Requests: 2000, Docs: 512, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FrontEnds != 4 || res.StoreNodes != 2 || res.CacheNodes != 10 {
+		t.Fatalf("tier split = %d/%d/%d, want 4/10/2", res.FrontEnds, res.CacheNodes, res.StoreNodes)
+	}
+	if res.Requests != 2000 || res.Hits+res.Misses != res.Requests {
+		t.Fatalf("requests %d = hits %d + misses %d violated", res.Requests, res.Hits, res.Misses)
+	}
+	if res.Hits == 0 || res.Misses == 0 {
+		t.Fatalf("want both hits and misses, got %d/%d", res.Hits, res.Misses)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 {
+		t.Fatalf("latency percentiles inconsistent: p50=%v p99=%v", res.P50, res.P99)
+	}
+	if res.ReqsPerSec <= 0 || res.Events == 0 {
+		t.Fatalf("throughput/events empty: %v reqs/s, %d events", res.ReqsPerSec, res.Events)
+	}
+	if res.ConnBytesAvg <= 0 {
+		t.Fatalf("no connection state accounted")
+	}
+}
+
+// TestScaleCellDeterministic checks one cell reproduces identically, and
+// that a mini sweep through the parallel harness is byte-identical at
+// -parallel 1 and 4 (the same discipline the golden catalogue enforces).
+func TestScaleCellDeterministic(t *testing.T) {
+	cfg := ScaleConfig{Nodes: 24, Clients: 10_000, Requests: 3000, Docs: 1024, Seed: 7,
+		Transport: verbs.PooledTransport()}
+	a, err := RunScaleCell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScaleCell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Wall, b.Wall = 0, 0 // host time is the one legitimately varying field
+	if a != b {
+		t.Fatalf("same config diverged:\n%+v\n%+v", a, b)
+	}
+
+	sweep := func(parallel int) []ScaleResult {
+		cells := []ScaleConfig{
+			{Nodes: 16, Clients: 4000, Requests: 1200, Docs: 512},
+			{Nodes: 16, Clients: 4000, Requests: 1200, Docs: 512, Transport: verbs.PooledTransport()},
+			{Nodes: 32, Clients: 4000, Requests: 1200, Docs: 512},
+			{Nodes: 32, Clients: 4000, Requests: 1200, Docs: 512, Transport: verbs.PooledTransport()},
+		}
+		res := make([]ScaleResult, len(cells))
+		err := runCells(Options{Parallel: parallel}, len(cells), func(i int, o Options) error {
+			cells[i].Seed = o.seed()
+			var err error
+			res[i], err = RunScaleCell(cells[i])
+			res[i].Wall = 0
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial, par := sweep(1), sweep(4)
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("cell %d differs between -parallel 1 and 4:\n%+v\n%+v", i, serial[i], par[i])
+		}
+	}
+}
+
+// TestScaleConnStateSublinear is the sublinearity gate of the issue: in
+// pooled mode, per-node connection memory at 1024 nodes must be < 2× its
+// 64-node value, while RC-per-pair grows by a large factor.
+func TestScaleConnStateSublinear(t *testing.T) {
+	run := func(nodes int, tc verbs.TransportConfig) ScaleResult {
+		res, err := RunScaleCell(ScaleConfig{
+			Nodes: nodes, Transport: tc,
+			Clients: 20_000, Requests: 400 * frontEnds(nodes), Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	rc64 := run(64, verbs.TransportConfig{})
+	rc1024 := run(1024, verbs.TransportConfig{})
+	p64 := run(64, verbs.PooledTransport())
+	p1024 := run(1024, verbs.PooledTransport())
+
+	if ratio := p1024.ConnBytesAvg / p64.ConnBytesAvg; ratio >= 2 {
+		t.Errorf("pooled conn bytes/node grew %.2fx from 64 to 1024 nodes, want < 2x (%.0f -> %.0f)",
+			ratio, p64.ConnBytesAvg, p1024.ConnBytesAvg)
+	}
+	if ratio := rc1024.ConnBytesAvg / rc64.ConnBytesAvg; ratio < 4 {
+		t.Errorf("rc conn bytes/node grew only %.2fx from 64 to 1024 nodes, expected near-linear growth", ratio)
+	}
+	if p1024.UDOps == 0 {
+		t.Errorf("pooled 1024-node run exercised no datagram path")
+	}
+	if rc1024.CacheMisses == 0 {
+		t.Errorf("rc 1024-node run never thrashed the connection context cache")
+	}
+
+	// The RDMAvisor crossover: fully-connected wins at testbed scale
+	// (every conn fits the NIC context cache, so established transports
+	// are free and pooled pays its datagram overhead for nothing); at
+	// 1024 nodes RC thrashes the context cache on every front-end and
+	// the pooled hybrid takes the lead.
+	if rc64.P50 >= p64.P50 {
+		t.Errorf("at 64 nodes rc p50 %v should beat pooled p50 %v", rc64.P50, p64.P50)
+	}
+	if p1024.P50 >= rc1024.P50 {
+		t.Errorf("at 1024 nodes pooled p50 %v should beat rc p50 %v", p1024.P50, rc1024.P50)
+	}
+}

@@ -66,6 +66,35 @@ type Params struct {
 	// store (disk array / database tier) behind the data-center.
 	BackendLatency   time.Duration
 	BackendBandwidth float64
+
+	// Connection-state cost model (RDMAvisor-style RC scalability). An RC
+	// connection pins per-endpoint HCA state (QP context, WQEs, buffers)
+	// of RCConnBytes on BOTH ends; a node's NIC caches ConnCacheEntries
+	// connection contexts, and once its resident connection count exceeds
+	// that, each operation pays an amortized ConnCacheMissTime for the
+	// context fetch from host memory. A pooled/hybrid transport instead
+	// keeps one shared datagram-style endpoint (UDEndpointBytes, charged
+	// once per node) whose sends cost UDOverhead extra per operation and
+	// hold no per-peer state; promoting a hot peer onto a connected
+	// transport costs ConnSetupTime (the RC handshake).
+
+	// RCConnBytes is the per-endpoint memory of one connected transport.
+	RCConnBytes int64
+	// UDEndpointBytes is the per-node memory of the shared datagram-style
+	// endpoint used for low-rate peers in pooled mode.
+	UDEndpointBytes int64
+	// ConnCacheEntries is the NIC's connection-context cache capacity.
+	ConnCacheEntries int
+	// ConnCacheMissTime is the per-operation cost of fetching a connection
+	// context that fell out of the NIC cache, charged amortized over the
+	// resident connection count.
+	ConnCacheMissTime time.Duration
+	// ConnSetupTime is the cost of establishing one connected transport
+	// (charged in pooled mode, where establishment is on the hot path).
+	ConnSetupTime time.Duration
+	// UDOverhead is the extra per-operation cost of the shared datagram
+	// endpoint (address handle lookup, no pinned peer context).
+	UDOverhead time.Duration
 }
 
 // DefaultParams returns the 2007-era calibration described in DESIGN.md.
@@ -89,6 +118,13 @@ func DefaultParams() Params {
 
 		BackendLatency:   2500 * time.Microsecond,
 		BackendBandwidth: 200e6,
+
+		RCConnBytes:       24 << 10,
+		UDEndpointBytes:   32 << 10,
+		ConnCacheEntries:  128,
+		ConnCacheMissTime: 1200 * time.Nanosecond,
+		ConnSetupTime:     20 * time.Microsecond,
+		UDOverhead:        500 * time.Nanosecond,
 	}
 }
 

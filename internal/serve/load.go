@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,6 +21,9 @@ type LoadStats struct {
 	Errors int64
 	// Elapsed is the wall time of the measured window.
 	Elapsed time.Duration
+	// P50 and P99 are per-request wall latencies across every operation
+	// of every client (echo, put, get, lock, unlock each count as one).
+	P50, P99 time.Duration
 }
 
 // OpsPerSec is the aggregate request throughput.
@@ -55,6 +59,8 @@ func RunLoad(rt *runtime.RealRuntime, addr string, clients int, dur time.Duratio
 	deadline := time.Now().Add(dur)
 	start := time.Now()
 	var wg sync.WaitGroup
+	var latMu sync.Mutex
+	var allLats []time.Duration
 	for i := 0; i < clients; i++ {
 		wg.Add(1)
 		idx := i
@@ -68,13 +74,17 @@ func RunLoad(rt *runtime.RealRuntime, addr string, clients int, dur time.Duratio
 			defer cl.Close()
 			key := fmt.Sprintf("load-%d", idx)
 			payload := []byte(fmt.Sprintf("payload-%d", idx))
+			lats := make([]time.Duration, 0, 4096)
 			for round := 0; time.Now().Before(deadline); round++ {
-				if err := loadRound(t, cl, idx, round, key, payload); err != nil {
+				if err := loadRound(t, cl, idx, round, key, payload, &lats); err != nil {
 					fail(fmt.Errorf("client %d round %d: %w", idx, round, err))
-					return
+					break
 				}
 				ops.Add(5) // echo, put, get, lock, unlock
 			}
+			latMu.Lock()
+			allLats = append(allLats, lats...)
+			latMu.Unlock()
 		})
 	}
 	wg.Wait()
@@ -84,12 +94,26 @@ func RunLoad(rt *runtime.RealRuntime, addr string, clients int, dur time.Duratio
 		Errors:  errs.Load(),
 		Elapsed: time.Since(start),
 	}
+	stats.P50, stats.P99 = latPercentile(allLats, 50), latPercentile(allLats, 99)
 	err, _ := firstErr.Load().(error)
 	return stats, err
 }
 
-// loadRound is one client iteration of the mixed workload.
-func loadRound(t runtime.Task, cl *Client, idx, round int, key string, payload []byte) error {
+// latPercentile returns the p-th percentile of the observed latencies
+// (nearest-rank on the sorted sample; 0 when empty).
+func latPercentile(lats []time.Duration, p float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	k := int(p / 100 * float64(len(lats)-1))
+	return lats[k]
+}
+
+// loadRound is one client iteration of the mixed workload, appending one
+// wall latency per operation to lats.
+func loadRound(t runtime.Task, cl *Client, idx, round int, key string, payload []byte, lats *[]time.Duration) error {
+	t0 := time.Now()
 	got, err := cl.Echo(t, payload)
 	if err != nil {
 		return fmt.Errorf("echo: %w", err)
@@ -97,10 +121,14 @@ func loadRound(t runtime.Task, cl *Client, idx, round int, key string, payload [
 	if !bytes.Equal(got, payload) {
 		return fmt.Errorf("echo returned %q, want %q", got, payload)
 	}
+	t1 := time.Now()
+	*lats = append(*lats, t1.Sub(t0))
 	val := []byte(fmt.Sprintf("%s#%d", key, round))
 	if err := cl.Put(t, key, val); err != nil {
 		return fmt.Errorf("put: %w", err)
 	}
+	t2 := time.Now()
+	*lats = append(*lats, t2.Sub(t1))
 	back, ok, err := cl.Get(t, key)
 	if err != nil {
 		return fmt.Errorf("get: %w", err)
@@ -108,13 +136,18 @@ func loadRound(t runtime.Task, cl *Client, idx, round int, key string, payload [
 	if !ok || !bytes.Equal(back, val) {
 		return fmt.Errorf("get returned %q (ok=%v), want %q", back, ok, val)
 	}
+	t3 := time.Now()
+	*lats = append(*lats, t3.Sub(t2))
 	lock := (idx + round) % loadLockSpan
 	excl := (idx+round)%3 == 0 // mostly shared, every third exclusive
 	if err := cl.Lock(t, lock, excl); err != nil {
 		return fmt.Errorf("lock %d: %w", lock, err)
 	}
+	t4 := time.Now()
+	*lats = append(*lats, t4.Sub(t3))
 	if err := cl.Unlock(t, lock, excl); err != nil {
 		return fmt.Errorf("unlock %d: %w", lock, err)
 	}
+	*lats = append(*lats, time.Since(t4))
 	return nil
 }

@@ -252,6 +252,7 @@ func (w *workReq) startStep() {
 		w.start = env.Now()
 		w.ser = pp.IBTxTime(len(w.dst))
 		w.half1, w.half2 = pp.IBReadLatency/2, pp.IBReadLatency/2
+		w.half1 += w.d.connCost(w.r.Node)
 		w.addLinkDelay()
 		env.After(w.half1, w.midFn)
 	case wrWrite:
@@ -273,7 +274,7 @@ func (w *workReq) startStep() {
 		w.d.Writes++
 		w.start = env.Now()
 		w.ser = pp.IBTxTime(len(w.src))
-		w.half2 = pp.IBWriteLatency
+		w.half2 = pp.IBWriteLatency + w.d.connCost(w.r.Node)
 		w.addLinkDelay()
 		w.nic.Tx().AcquireAsync(1, w.grantFn)
 	case wrCAS, wrFAA:
@@ -295,6 +296,7 @@ func (w *workReq) startStep() {
 		w.start = env.Now()
 		lat := pp.IBAtomicLatency
 		w.half1, w.half2 = lat/2, lat-lat/2
+		w.half1 += w.d.connCost(w.r.Node)
 		w.addLinkDelay()
 		env.After(w.half1, w.midFn)
 	}

@@ -44,6 +44,11 @@ func ConnectQP(a, b *Device, depth int) (*QP, *QP) {
 		rq: sim.NewChan[[]byte](b.nw.Env, fmt.Sprintf("%s/qp%d-rq", b.Node.Name, qpSeq), depth)}
 	qa.remote, qb.remote = qb, qa
 	a.nw.qps = append(a.nw.qps, qa, qb)
+	// An explicit queue pair pins connection state on both endpoints
+	// (transport.go): it never falls out of the pooled-mode LRU and is
+	// the memoized endpoint QPTo returns.
+	a.pinConn(b.Node.ID, qa)
+	b.pinConn(a.Node.ID, qb)
 	return qa, qb
 }
 
@@ -91,7 +96,7 @@ func (q *QP) Send(p *sim.Proc, data []byte) error {
 	buf := q.dev.pool.getBuf(len(data))
 	copy(buf, data)
 	start := q.dev.nw.Env.Now()
-	q.dev.nic.AcquireTx(p, pp.IBMsgTxTime(len(data)))
+	q.dev.nic.AcquireTx(p, pp.IBMsgTxTime(len(data))+q.dev.connCost(b))
 	q.Sent++
 	q.dev.Sends++
 	if q.dev.ts != nil {

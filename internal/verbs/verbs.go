@@ -64,6 +64,10 @@ type Network struct {
 	qps   []*QP
 	qpSeq int
 
+	// tc is the connection-management policy (see transport.go);
+	// zero-value is the classic fully-connected RC-per-pair layout.
+	tc TransportConfig
+
 	// flt is the fault injector active on the environment, nil for a
 	// healthy run. It is cached here (and refreshed on Attach) so every
 	// datapath check is a single pointer load.
@@ -76,7 +80,15 @@ type Network struct {
 // attaches, the network propagates crashes and link faults with verbs
 // semantics; see the Fault model section of DESIGN.md.
 func NewNetwork(env *sim.Env, p fabric.Params) *Network {
-	nw := &Network{Env: env, Fab: fabric.New(env, p), devs: map[int]*Device{}}
+	return NewNetworkWith(env, p, TransportConfig{})
+}
+
+// NewNetworkWith is NewNetwork with an explicit transport configuration:
+// the default fully-connected RC-per-pair layout, or the pooled hybrid
+// whose per-node connection state stays O(pool) in cluster size (see
+// transport.go).
+func NewNetworkWith(env *sim.Env, p fabric.Params, tc TransportConfig) *Network {
+	nw := &Network{Env: env, Fab: fabric.New(env, p), devs: map[int]*Device{}, tc: tc.withDefaults()}
 	nw.hookFaults()
 	return nw
 }
@@ -111,6 +123,18 @@ func (nw *Network) nodeCrashed(node int) {
 			q.enterError("flushed: peer down")
 		}
 	}
+	// Connection state: every survivor tears down its transport to the
+	// crashed node (freeing the pool slot in pooled mode), and the crashed
+	// HCA itself comes back cold. The per-device teardowns commute, so map
+	// iteration order does not affect determinism.
+	for id, dd := range nw.devs {
+		if id != node {
+			dd.dropPeer(node)
+		}
+	}
+	if d := nw.devs[node]; d != nil {
+		d.resetConns()
+	}
 }
 
 // Params returns the fabric cost model.
@@ -128,6 +152,7 @@ func (nw *Network) Attach(node *cluster.Node) *Device {
 		nic:   nw.Fab.Attach(node),
 		mrs:   map[uint32]*MR{},
 		recvq: map[string]*sim.Chan[Message]{},
+		conns: map[int]*conn{},
 	}
 	if r := trace.Of(nw.Env); r != nil {
 		d.tr = r
@@ -175,6 +200,19 @@ type Device struct {
 	deliverSendFn func()
 	deliverTCPFn  func()
 	deliverQPFn   func()
+
+	// Transport-layer connection state (see transport.go): lazily
+	// established per-peer records, the pooled-mode LRU and promotion
+	// sketch, and memory/ops accounting.
+	conns              map[int]*conn
+	connFree           []*conn
+	lruHead, lruTail   *conn
+	poolCount          int
+	connBytes          int64
+	udActive           bool
+	hot                []uint16
+	connEst, connEvict int64
+	connUD, connMiss   int64
 }
 
 // NIC returns the device's network interface.
@@ -285,6 +323,9 @@ func (d *Device) Read(p *sim.Proc, dst []byte, r RemoteAddr, off int) error {
 	target := d.nw.devs[r.Node]
 	ser := pp.IBTxTime(len(dst))
 	half1, half2 := pp.IBReadLatency/2, pp.IBReadLatency/2
+	// Transport cost (transport.go): zero in the default small-cluster
+	// regime, so the chain's instants are unchanged there.
+	half1 += d.connCost(r.Node)
 	if f := d.nw.flt; f != nil {
 		if xtra := f.LinkDelay(d.Node.ID, r.Node); xtra > 0 {
 			half1, half2 = half1+xtra, half2+xtra
@@ -327,7 +368,7 @@ func (d *Device) Write(p *sim.Proc, r RemoteAddr, off int, src []byte) error {
 	d.Writes++
 	pp := d.nw.Fab.P
 	ser := pp.IBTxTime(len(src))
-	half2 := pp.IBWriteLatency
+	half2 := pp.IBWriteLatency + d.connCost(r.Node)
 	if f := d.nw.flt; f != nil {
 		if xtra := f.LinkDelay(d.Node.ID, r.Node); xtra > 0 {
 			half2 += xtra
@@ -390,6 +431,7 @@ func (d *Device) atomic(p *sim.Proc, name string, op wrOp, r RemoteAddr, off int
 	d.Atomics++
 	lat := d.nw.Fab.P.IBAtomicLatency
 	half1, half2 := lat/2, lat-lat/2
+	half1 += d.connCost(r.Node)
 	if f := d.nw.flt; f != nil {
 		if xtra := f.LinkDelay(d.Node.ID, r.Node); xtra > 0 {
 			half1, half2 = half1+xtra, half2+xtra
@@ -472,7 +514,7 @@ func (d *Device) SendBuf(p *sim.Proc, dstNode int, service string, buf []byte) e
 	d.Sends++
 	pp := d.nw.Fab.P
 	start := d.nw.Env.Now()
-	d.nic.AcquireTx(p, pp.IBMsgTxTime(len(buf)))
+	d.nic.AcquireTx(p, pp.IBMsgTxTime(len(buf))+d.connCost(dstNode))
 	if d.ts != nil {
 		lat := time.Duration(d.nw.Env.Now() - start)
 		d.ts.Send.Record(len(buf), lat)
@@ -556,6 +598,7 @@ func (d *Device) PostSendAt(dstNode int, service string, data []byte) error {
 	}
 	d.Sends++
 	pp := d.nw.Fab.P
+	xtra += d.connCost(dstNode)
 	buf := d.pool.getBuf(len(data))
 	copy(buf, data)
 	if d.ts != nil {
