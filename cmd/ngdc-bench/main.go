@@ -23,7 +23,8 @@
 // profiles covering the experiment run.
 //
 // The special command "bench" runs wall-clock microbenchmarks of the
-// hot substrate paths (engine events/s and verbs posted-ops/s) plus the
+// hot substrate paths (engine events/s — shallow and with a 100k-deep
+// pending queue — and verbs posted-ops/s) plus the
 // E18 connection-scaling probe (cluster_events_per_sec and
 // conn_bytes_per_node at 64 and 1024 nodes in both transport modes) and,
 // with -bench-json <file> (default BENCH_ngdc.json), writes the numbers
@@ -210,15 +211,20 @@ func writeTrace(f *os.File, r *trace.Registry) {
 // The first two entries cover the substrate (engine, verbs); the rest are
 // service-level request loops riding the same pools.
 type benchSnapshot struct {
-	Date                string  `json:"date"`
-	GoVersion           string  `json:"go_version"`
-	EngineEventsPerSec  float64 `json:"engine_events_per_sec"`
-	VerbsPostedOpsSec   float64 `json:"verbs_posted_ops_per_sec"`
-	SocketsMsgsPerSec   float64 `json:"sockets_msgs_per_sec"`
-	DDSSOpsPerSec       float64 `json:"ddss_ops_per_sec"`
-	CoopCacheReqsPerSec float64 `json:"coopcache_reqs_per_sec"`
-	DLMLockOpsPerSec    float64 `json:"dlm_lock_ops_per_sec"`
-	LiveReqsPerSec      float64 `json:"live_reqs_per_sec"`
+	Date               string  `json:"date"`
+	GoVersion          string  `json:"go_version"`
+	EngineEventsPerSec float64 `json:"engine_events_per_sec"`
+	// EngineDeepEventsPerSec is scheduler throughput with 100k events
+	// pending at every instant — the deep-queue regime the ladder
+	// scheduler targets (E18 at O(10^4) nodes), where queue depth rather
+	// than per-event work dominates engine time.
+	EngineDeepEventsPerSec float64 `json:"engine_events_per_sec_deep"`
+	VerbsPostedOpsSec      float64 `json:"verbs_posted_ops_per_sec"`
+	SocketsMsgsPerSec      float64 `json:"sockets_msgs_per_sec"`
+	DDSSOpsPerSec          float64 `json:"ddss_ops_per_sec"`
+	CoopCacheReqsPerSec    float64 `json:"coopcache_reqs_per_sec"`
+	DLMLockOpsPerSec       float64 `json:"dlm_lock_ops_per_sec"`
+	LiveReqsPerSec         float64 `json:"live_reqs_per_sec"`
 	// ClusterEventsPerSec is engine throughput under the E18
 	// datacenter-at-scale model (1024 nodes, pooled transport) — scheduler
 	// events per wall second with the full multi-tier request path live.
@@ -241,18 +247,20 @@ type connBytesPerNode struct {
 // clock and writes the snapshot to jsonPath (skipped when empty).
 func runBench(jsonPath string) {
 	snap := benchSnapshot{
-		Date:                time.Now().UTC().Format(time.RFC3339),
-		GoVersion:           runtime.Version(),
-		EngineEventsPerSec:  benchEngine(),
-		VerbsPostedOpsSec:   benchPostedOps(),
-		SocketsMsgsPerSec:   benchSockets(),
-		DDSSOpsPerSec:       benchDDSS(),
-		CoopCacheReqsPerSec: benchCoopCache(),
-		DLMLockOpsPerSec:    benchDLM(),
-		LiveReqsPerSec:      benchLive(),
+		Date:                   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:              runtime.Version(),
+		EngineEventsPerSec:     benchEngine(),
+		EngineDeepEventsPerSec: benchEngineDeep(),
+		VerbsPostedOpsSec:      benchPostedOps(),
+		SocketsMsgsPerSec:      benchSockets(),
+		DDSSOpsPerSec:          benchDDSS(),
+		CoopCacheReqsPerSec:    benchCoopCache(),
+		DLMLockOpsPerSec:       benchDLM(),
+		LiveReqsPerSec:         benchLive(),
 	}
 	snap.ClusterEventsPerSec, snap.ConnBytesPerNode = benchScale()
 	fmt.Printf("engine            %14.0f events/s\n", snap.EngineEventsPerSec)
+	fmt.Printf("engine deep queue %14.0f events/s\n", snap.EngineDeepEventsPerSec)
 	fmt.Printf("verbs posted ops  %14.0f ops/s\n", snap.VerbsPostedOpsSec)
 	fmt.Printf("sockets           %14.0f msgs/s\n", snap.SocketsMsgsPerSec)
 	fmt.Printf("ddss              %14.0f ops/s\n", snap.DDSSOpsPerSec)
@@ -294,6 +302,46 @@ func benchEngine() float64 {
 					p.Sleep(time.Microsecond)
 				}
 			})
+		}
+		start := time.Now()
+		if err := env.Run(); err != nil {
+			fail(err)
+		}
+		elapsed += time.Since(start)
+		events += env.Stats().EventsProcessed
+	}
+	return float64(events) / elapsed.Seconds()
+}
+
+// benchEngineDeep measures scheduler throughput in the deep-queue
+// regime: 100k self-rescheduling timers whose firing times spread
+// pseudo-uniformly over a 100ms window, so ~100k events are pending at
+// every instant of the run. Fire times come from an inline xorshift64 so
+// the workload itself allocates nothing and the number isolates the
+// event queue.
+func benchEngineDeep() float64 {
+	const pending = 100_000
+	var events uint64
+	var elapsed time.Duration
+	for elapsed < 500*time.Millisecond {
+		env := sim.NewEnv(1)
+		rng := uint64(0x9E3779B97F4A7C15)
+		next := func() time.Duration {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			return time.Duration(1 + rng%(pending*1000))
+		}
+		remaining := 400_000
+		var tick func()
+		tick = func() {
+			if remaining > 0 {
+				remaining--
+				env.After(next(), tick)
+			}
+		}
+		for i := 0; i < pending; i++ {
+			env.After(next(), tick)
 		}
 		start := time.Now()
 		if err := env.Run(); err != nil {

@@ -4,9 +4,12 @@ package experiments
 // small OSU testbed; this one carries its three primitives (one-sided
 // directory lookup, cooperative-cache single-copy placement, DDSS
 // segment storage) to a web-scale deployment: a multi-tier cluster of up
-// to 1000 nodes in racks, serving Zipf traffic from a modeled client
+// to 8192 nodes in racks, serving Zipf traffic from a modeled client
 // population of ~10^6 through a sharded RDMA-readable coopcache
 // directory, with misses fetched from rack-aware-placed DDSS segments.
+// The O(10^4)-node cells are also the engine's deep-queue regime — tens
+// of thousands of pending events at every instant — which is what the
+// ladder scheduler (internal/sim) exists for.
 //
 // The sweep crosses cluster size with the verbs transport mode to
 // reproduce the RDMAvisor crossover: fully-connected RC-per-pair wins at
@@ -110,10 +113,10 @@ func frontEnds(n int) int {
 
 // ScaleResult is one cell's outcome.
 type ScaleResult struct {
-	Nodes                            int
+	Nodes                             int
 	FrontEnds, CacheNodes, StoreNodes int
-	Transport                        string
-	Requests, Hits, Misses           int64
+	Transport                         string
+	Requests, Hits, Misses            int64
 	// Elapsed is the virtual duration of the measured request phase.
 	Elapsed time.Duration
 	// P50/P99 are virtual per-request latencies.
@@ -319,12 +322,12 @@ func RunScaleCell(cfg ScaleConfig) (ScaleResult, error) {
 
 // DCScale regenerates E18: the cluster-size × transport-mode sweep.
 func DCScale(o Options) (*metrics.Table, error) {
-	sizes := []int{64, 256, 1024}
+	sizes := []int{64, 256, 1024, 4096, 8192}
 	clients, perFE := 1_000_000, 600
 	if o.Quick {
-		// The CI quick-scale smoke: still the full 1000-node cluster, but
-		// a reduced client population and request budget.
-		sizes = []int{64, 1000}
+		// The CI quick-scale smoke: still an O(10^4)-node cluster, but a
+		// reduced client population and request budget.
+		sizes = []int{64, 4096}
 		clients, perFE = 100_000, 150
 	}
 	modes := []verbs.TransportConfig{{}, verbs.PooledTransport()}

@@ -7,6 +7,10 @@ package sim
 // events live inline in the slice — scheduling allocates nothing once
 // the backing array has grown to the simulation's high-water mark.
 //
+// Since the ladder rewrite (ladder.go) the heap is one tier of the
+// engine's eventQueue: small populations run entirely on it, and at
+// scale it holds the far-future overflow beyond the bucket horizon.
+//
 // The engine never cancels a queued event (stale process wakeups are
 // skipped at pop time), so no per-event index bookkeeping is needed.
 type eventHeap struct {
@@ -52,17 +56,37 @@ func (h *eventHeap) pop() event {
 	h.ev[n] = event{} // release *Proc / func() references to the GC
 	h.ev = h.ev[:n]
 	if n > 0 {
-		h.siftDown(last)
+		h.siftDownFrom(0, last)
 	}
 	return min
 }
 
-// siftDown re-inserts x starting from the root hole, moving the hole
-// toward the smallest child until x fits.
-func (h *eventHeap) siftDown(x event) {
+// heapify re-establishes the heap invariant over the whole backing
+// array in O(n) — used after the ladder's re-anchor compacts the
+// beyond-horizon remainder in place.
+func (h *eventHeap) heapify() {
+	n := len(h.ev)
+	for i := (n - 2) >> 2; i >= 0; i-- {
+		h.siftDownFrom(i, h.ev[i])
+	}
+}
+
+// maybeShrink halves the backing array when the population has fallen
+// below a quarter of its capacity (down to a floor), so a burst's
+// high-water storage is released once the queue settles.
+func (h *eventHeap) maybeShrink() {
+	if cap(h.ev) > heapShrinkFloor && len(h.ev) < cap(h.ev)/4 {
+		ns := make([]event, len(h.ev), cap(h.ev)/2)
+		copy(ns, h.ev)
+		h.ev = ns
+	}
+}
+
+// siftDownFrom re-inserts x starting from the hole at i, moving the
+// hole toward the smallest child until x fits.
+func (h *eventHeap) siftDownFrom(i int, x event) {
 	ev := h.ev
 	n := len(ev)
-	i := 0
 	for {
 		first := i<<2 + 1
 		if first >= n {

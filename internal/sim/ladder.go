@@ -1,0 +1,404 @@
+package sim
+
+import (
+	"math/bits"
+	"slices"
+)
+
+// eventQueue is the engine's pending-event scheduler: a two-tier
+// ladder/calendar queue that replaces the former single 4-ary heap while
+// preserving its pop order bit for bit.
+//
+// Tier one is a near-horizon ladder of time buckets. Bucket i covers the
+// half-open interval [base + i·width, base + (i+1)·width), with width a
+// power of two so routing an event to its bucket is one subtract and one
+// shift. Events land in their bucket unsorted; a bucket is sorted by the
+// engine's strict (at, seq) total order exactly once, the first time the
+// drain reaches it. Tier two is the 4-ary heap of old (eventHeap), kept
+// as the overflow for events beyond the bucket horizon. Whenever the
+// ladder drains empty and the far tier has accumulated at least
+// ladderThreshold events, the queue re-anchors: it scans the heap's
+// backing array once, scatters every event within the new horizon into
+// buckets in O(1) each, and re-heapifies the (usually small) remainder.
+//
+// Bucket width adapts to the observed inter-event gap distribution: the
+// queue keeps an EWMA of the virtual-time gap between consecutively
+// popped events and sizes buckets to hold ~bucketOccupancy events each,
+// so dense regions get fine buckets and a far-future outlier cannot
+// force the whole population into one giant bucket (outliers simply stay
+// in the far heap across re-anchors). The bucket count scales with the
+// population (~pop/bucketOccupancy, clamped to a power of two in
+// [minBuckets, maxBuckets]) so advancing over empty buckets stays a
+// small amortized cost.
+//
+// Why pop order is exactly the heap's: (at, seq) is a strict total order
+// (seq increments on every push, so no two events compare equal), and
+// both implementations pop the global minimum of that order. For the
+// ladder this holds by three invariants: (1) every far-tier event maps
+// to a bucket index >= nb, i.e. is later than every bucketed event;
+// (2) every event in a bucket after the draining one is later than every
+// event remaining in the draining bucket — pushes that land at or before
+// the drain position are inserted into the draining bucket's sorted
+// remainder at their exact (at, seq) slot (schedule() clamps to the
+// current time, so nothing is ever pushed before the last popped event);
+// (3) the draining bucket's remainder is kept sorted. The differential
+// fuzz test (ladder_test.go) checks the pop sequence against a
+// container/heap oracle over adversarial workloads.
+//
+// Steady-state operation is allocation-free: bucket storage, the bucket
+// directory and the far heap's array all recycle at their high-water
+// marks, like waitq. After a burst, backing arrays shrink back down
+// (halved whenever occupancy falls below a quarter of capacity, down to
+// a floor) so one spike does not pin memory for the rest of a long run.
+type eventQueue struct {
+	far   eventHeap // overflow tier: events beyond the bucket horizon
+	count int       // total pending events, both tiers
+
+	// The ladder. active is false until the first re-anchor (small
+	// populations never build buckets and run on the pure heap path).
+	active    bool
+	base      Time      // left edge of bucket 0
+	shift     uint      // bucket width = 1 << shift nanoseconds
+	nb        int       // live bucket count (power of two)
+	cur       int       // index of the bucket currently draining
+	bi        int       // next undrained slot in buckets[cur]
+	curSorted bool      // buckets[cur] has been sorted for draining
+	inB       int       // events currently held in buckets
+	buckets   [][]event // bucket directory; len may exceed nb (recycled)
+
+	// Inter-pop gap tracking for adaptive bucket sizing.
+	lastAt  Time
+	gapEwma int64
+}
+
+const (
+	// ladderThreshold is the far population below which the queue stays
+	// on the pure heap path: tiny queues are already cache-resident and
+	// O(log n) is ~free, so buckets would only add constant overhead.
+	ladderThreshold = 128
+	// bucketOccupancy is the width target: the average number of events
+	// a bucket should hold, given the observed inter-event gap.
+	bucketOccupancy = 4
+	// minBuckets/maxBuckets bound the bucket count (powers of two).
+	minBuckets = 16
+	maxBuckets = 1 << 16
+	// heapShrinkFloor/bucketShrinkFloor: backing arrays at or below
+	// these capacities never shrink (hysteresis against tiny churn).
+	heapShrinkFloor   = 1024
+	bucketShrinkFloor = 256
+)
+
+func (q *eventQueue) len() int { return q.count }
+
+// push inserts ev: into its bucket when the ladder covers ev.at, else
+// into the far heap. An event before the ladder's base (possible when a
+// RunUntil limit stopped the clock below the first bucketed event and
+// the caller scheduled new stimuli there) belongs before everything
+// bucketed, so it joins the draining bucket's sorted remainder — it
+// must never land in the far heap, which only holds events later than
+// every bucketed one.
+func (q *eventQueue) push(ev event) {
+	q.count++
+	if q.active {
+		idx := 0
+		if ev.at > q.base {
+			idx = int(uint64(ev.at-q.base) >> q.shift)
+		}
+		if idx < q.nb {
+			if idx <= q.cur {
+				q.insertCur(ev)
+			} else {
+				q.buckets[idx] = append(q.buckets[idx], ev)
+				q.inB++
+			}
+			return
+		}
+	}
+	q.far.push(ev)
+}
+
+// top returns a pointer to the minimum event. It must not be retained
+// across a push or pop. Lazy work (advancing to the next non-empty
+// bucket, sorting it, re-anchoring the ladder) happens here, but top is
+// idempotent: two calls without an intervening push/pop return the same
+// event.
+func (q *eventQueue) top() *event {
+	if q.active {
+		if q.inB > 0 {
+			q.advance()
+			return &q.buckets[q.cur][q.bi]
+		}
+		q.deactivate()
+	}
+	if q.far.len() >= ladderThreshold {
+		q.build()
+		q.advance()
+		return &q.buckets[q.cur][q.bi]
+	}
+	return q.far.top()
+}
+
+// pop removes and returns the minimum event.
+func (q *eventQueue) pop() event {
+	if q.active {
+		if q.inB > 0 {
+			q.advance()
+			b := q.buckets[q.cur]
+			ev := b[q.bi]
+			b[q.bi] = event{} // release *Proc / func() references
+			q.bi++
+			q.inB--
+			q.count--
+			q.noteGap(ev.at)
+			return ev
+		}
+		q.deactivate()
+	}
+	if q.far.len() >= ladderThreshold {
+		q.build()
+		return q.pop()
+	}
+	// Pure heap mode (small population). The inter-pop gap EWMA is not
+	// updated here — it only sizes buckets, and the first build seeds it
+	// from the population itself — keeping the shallow path lean.
+	ev := q.far.pop()
+	q.count--
+	q.far.maybeShrink()
+	return ev
+}
+
+// advance moves the drain position to the head event: it skips drained
+// buckets (recycling their storage) and sorts the next non-empty bucket
+// on first touch. Only called with inB > 0.
+func (q *eventQueue) advance() {
+	for {
+		b := q.buckets[q.cur]
+		if q.bi < len(b) {
+			if !q.curSorted {
+				sortEvents(b)
+				q.curSorted = true
+			}
+			return
+		}
+		q.buckets[q.cur] = recycleBucket(b)
+		q.bi = 0
+		q.curSorted = false
+		q.cur++
+		// Bucket transitions are also where the far array's post-burst
+		// shrink runs while the ladder stays active (build and the pure
+		// heap path never execute then). Gating on the total population —
+		// not the far tier's momentary length, which is near zero right
+		// after a scatter — avoids collapsing an array the next re-anchor
+		// would immediately regrow.
+		if q.count < cap(q.far.ev)/4 {
+			q.far.maybeShrink()
+		}
+	}
+}
+
+// insertCur places ev into the draining bucket. Before the bucket is
+// sorted this is a plain append; afterwards ev goes to its exact
+// (at, seq) slot in the sorted remainder. The insert works like a gap
+// buffer: when the drained prefix is non-empty and the insertion point
+// is nearer the head, the elements before it shift one slot left into
+// the prefix instead of the (usually longer) tail shifting right — a
+// same-instant wake lands right behind its siblings for a copy of just
+// the pending same-instant run.
+func (q *eventQueue) insertCur(ev event) {
+	q.inB++
+	b := q.buckets[q.cur]
+	if !q.curSorted {
+		q.buckets[q.cur] = append(b, ev)
+		return
+	}
+	lo, hi := q.bi, len(b)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if ev.before(&b[m]) {
+			hi = m
+		} else {
+			lo = m + 1
+		}
+	}
+	if q.bi > 0 && lo-q.bi < len(b)-lo {
+		copy(b[q.bi-1:lo-1], b[q.bi:lo])
+		b[lo-1] = ev
+		q.bi--
+	} else {
+		if q.bi > bucketShrinkFloor && q.bi > len(b)-q.bi {
+			// The drained prefix dominates the array: slide the live
+			// remainder down before growing, so a sustained storm into
+			// the draining bucket recycles its own slots instead of
+			// growing the array in proportion to events processed.
+			n := copy(b, b[q.bi:])
+			tail := b[n:]
+			for i := range tail {
+				tail[i] = event{}
+			}
+			b = b[:n]
+			lo -= q.bi
+			q.bi = 0
+		}
+		b = append(b, event{})
+		copy(b[lo+1:], b[lo:])
+		b[lo] = ev
+		q.buckets[q.cur] = b
+	}
+}
+
+// build re-anchors the ladder from the far heap: one pass over the
+// heap's backing array scatters every event within the new horizon into
+// its bucket and compacts the remainder in place, which is then
+// re-heapified. Only called with the ladder inactive, all buckets
+// empty, and far.len() >= ladderThreshold.
+func (q *eventQueue) build() {
+	ev := q.far.ev
+	n := len(ev)
+	base := ev[0].at // heap invariant: the root is the minimum
+	maxAt := base
+	for i := 1; i < n; i++ {
+		if ev[i].at > maxAt {
+			maxAt = ev[i].at
+		}
+	}
+	span := int64(maxAt - base)
+	if q.gapEwma <= 0 {
+		// First build (or an all-same-instant regime decayed the EWMA to
+		// zero): seed the gap estimate with this population's mean.
+		q.gapEwma = span/int64(n) + 1
+	}
+	nb := pow2ceil(n / bucketOccupancy)
+	if nb < minBuckets {
+		nb = minBuckets
+	}
+	if nb > maxBuckets {
+		nb = maxBuckets
+	}
+	// Bucket width: pow2ceil of bucketOccupancy mean gaps, floored so the
+	// horizon always covers at least a quarter of the population's span —
+	// without the floor, a stale-low gap estimate could make re-anchors
+	// (each an O(far) scan) far more frequent than the events they drain.
+	w := uint64(q.gapEwma) * bucketOccupancy
+	if f := uint64(span)/uint64(nb*4) + 1; w < f {
+		w = f
+	}
+	q.shift = uint(bits.Len64(w - 1)) // width = pow2ceil(w)
+	if q.shift > 50 {
+		q.shift = 50 // ~13-day buckets; beyond-horizon checks still apply
+	}
+	if nb > len(q.buckets) {
+		q.buckets = append(q.buckets, make([][]event, nb-len(q.buckets))...)
+	} else if len(q.buckets) >= 4*nb && len(q.buckets) > 4*minBuckets {
+		// The directory (and the bucket storage pinned by its tail) is
+		// oversized for the current population: halve it. The dropped
+		// buckets are all empty.
+		nd := make([][]event, len(q.buckets)/2)
+		copy(nd, q.buckets)
+		q.buckets = nd
+	}
+	q.base, q.nb = base, nb
+	q.cur, q.bi, q.curSorted = 0, 0, false
+	keep := 0
+	for i := 0; i < n; i++ {
+		idx := int(uint64(ev[i].at-base) >> q.shift)
+		if idx < nb {
+			q.buckets[idx] = append(q.buckets[idx], ev[i])
+			q.inB++
+		} else {
+			ev[keep] = ev[i]
+			keep++
+		}
+	}
+	for i := keep; i < n; i++ {
+		ev[i] = event{}
+	}
+	// Post-burst shrink. The far array is near-empty right after a
+	// scatter, so the decision compares capacity against the epoch
+	// population n just consumed — the next epoch will accumulate about
+	// as much again — not against the momentary length: shrinking on
+	// length alone would collapse the array every epoch only to regrow
+	// it through doubling copies.
+	if c := cap(ev); c > heapShrinkFloor && n < c/4 {
+		ns := make([]event, keep, c/2)
+		copy(ns, ev[:keep])
+		q.far.ev = ns
+	} else {
+		q.far.ev = ev[:keep]
+	}
+	q.far.heapify()
+	q.active = true
+}
+
+// deactivate retires a fully drained ladder. The draining bucket still
+// holds its drained (zeroed) prefix — advance only recycles a bucket
+// when the drain moves past it — so it must be recycled here, or the
+// next build would append live events after a run of zero slots. All
+// other buckets are already empty.
+func (q *eventQueue) deactivate() {
+	q.buckets[q.cur] = recycleBucket(q.buckets[q.cur])
+	q.bi = 0
+	q.curSorted = false
+	q.active = false
+}
+
+// noteGap feeds the inter-pop gap EWMA that sizes buckets.
+func (q *eventQueue) noteGap(at Time) {
+	gap := int64(at - q.lastAt)
+	q.lastAt = at
+	q.gapEwma += (gap - q.gapEwma) >> 3
+}
+
+// clear releases everything (Env.Shutdown).
+func (q *eventQueue) clear() { *q = eventQueue{} }
+
+// recycleBucket returns the drained bucket's storage truncated for
+// reuse, halving backing arrays whose occupancy this epoch fell below a
+// quarter of capacity (post-burst shrink).
+func recycleBucket(b []event) []event {
+	if cap(b) > bucketShrinkFloor && len(b) < cap(b)/4 {
+		return make([]event, 0, cap(b)/2)
+	}
+	return b[:0]
+}
+
+// pow2ceil returns the smallest power of two >= x (and >= 1).
+func pow2ceil(x int) int {
+	if x <= 1 {
+		return 1
+	}
+	return 1 << bits.Len64(uint64(x-1))
+}
+
+// sortEvents orders a bucket by the engine's strict (at, seq) order:
+// insertion sort for the common small bucket, stdlib pdqsort (in place,
+// no allocation) for outliers.
+func sortEvents(b []event) {
+	if len(b) <= 24 {
+		for i := 1; i < len(b); i++ {
+			x := b[i]
+			j := i - 1
+			for j >= 0 && x.before(&b[j]) {
+				b[j+1] = b[j]
+				j--
+			}
+			b[j+1] = x
+		}
+		return
+	}
+	slices.SortFunc(b, cmpEvent)
+}
+
+// cmpEvent is sortEvents' comparator. (at, seq) is strict — no two
+// events are equal — so it never returns 0.
+func cmpEvent(a, b event) int {
+	if a.at != b.at {
+		if a.at < b.at {
+			return -1
+		}
+		return 1
+	}
+	if a.seq < b.seq {
+		return -1
+	}
+	return 1
+}

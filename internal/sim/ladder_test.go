@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// oracleHeap is a container/heap reference implementation of the
+// engine's strict (at, seq) order — deliberately the dumbest possible
+// correct queue, used to differentially test the ladder queue.
+type oracleHeap []event
+
+func (o oracleHeap) Len() int           { return len(o) }
+func (o oracleHeap) Less(i, j int) bool { return o[i].before(&o[j]) }
+func (o oracleHeap) Swap(i, j int)      { o[i], o[j] = o[j], o[i] }
+func (o *oracleHeap) Push(x any)        { *o = append(*o, x.(event)) }
+func (o *oracleHeap) Pop() any {
+	old := *o
+	n := len(old) - 1
+	ev := old[n]
+	*o = old[:n]
+	return ev
+}
+
+// queuePair drives the ladder queue and the oracle in lockstep,
+// mirroring the engine's contract: seq strictly increases per push, and
+// a push's time is never below the time of the last popped event (the
+// schedule() clamp).
+type queuePair struct {
+	t      *testing.T
+	q      eventQueue
+	oracle oracleHeap
+	seq    uint64
+	now    Time // time of the last popped event
+}
+
+func (p *queuePair) push(at Time) {
+	if at < p.now {
+		at = p.now
+	}
+	p.seq++
+	ev := event{at: at, seq: p.seq}
+	p.q.push(ev)
+	heap.Push(&p.oracle, ev)
+}
+
+func (p *queuePair) pop() event {
+	if p.q.len() != len(p.oracle) {
+		p.t.Fatalf("length diverged: ladder %d, oracle %d", p.q.len(), len(p.oracle))
+	}
+	want := heap.Pop(&p.oracle).(event)
+	if top := p.q.top(); top.at != want.at || top.seq != want.seq {
+		p.t.Fatalf("top diverged: ladder (%d,%d), oracle (%d,%d) [pending %d]",
+			top.at, top.seq, want.at, want.seq, len(p.oracle)+1)
+	}
+	got := p.q.pop()
+	if got.at != want.at || got.seq != want.seq {
+		p.t.Fatalf("pop diverged: ladder (%d,%d), oracle (%d,%d) [pending %d]",
+			got.at, got.seq, want.at, want.seq, len(p.oracle)+1)
+	}
+	if got.at < p.now {
+		p.t.Fatalf("pop went backwards: %d after %d", got.at, p.now)
+	}
+	p.now = got.at
+	return got
+}
+
+func (p *queuePair) drain() {
+	for p.q.len() > 0 {
+		p.pop()
+	}
+}
+
+// runDifferential drives one randomized workload shaped by rng against
+// both queues. The mixture covers the regimes the engine produces:
+// same-instant bursts (wake storms), short timers near now, spread-out
+// timers (the deep-queue regime, forcing ladder builds and bucket
+// drains), far-future spikes (events that must sit out several
+// re-anchors in the overflow heap), and bulk drains below the build
+// threshold (pure heap mode).
+func runDifferential(t *testing.T, rng *rand.Rand, ops int) {
+	p := &queuePair{t: t}
+	for i := 0; i < ops; i++ {
+		switch k := rng.Intn(10); {
+		case k < 4: // short timer near now
+			p.push(p.now + Time(rng.Intn(64)))
+		case k < 6: // same-instant burst
+			n := 1 + rng.Intn(32)
+			at := p.now + Time(rng.Intn(16))
+			for j := 0; j < n; j++ {
+				p.push(at)
+			}
+		case k < 8: // spread-out timer (deep-queue regime)
+			p.push(p.now + Time(rng.Intn(100_000)))
+		case k == 8: // far-future spike, occasionally maxTime-adjacent
+			at := p.now + Time(rng.Intn(1_000_000_000))
+			if rng.Intn(32) == 0 {
+				at = maxTime - Time(rng.Intn(1000))
+			}
+			p.push(at)
+		default: // pop a run
+			n := 1 + rng.Intn(16)
+			for j := 0; j < n && p.q.len() > 0; j++ {
+				p.pop()
+			}
+		}
+	}
+	p.drain()
+}
+
+// TestEventQueueDifferential cross-checks the ladder queue against the
+// container/heap oracle over many randomized workloads: every pop (and
+// every top) must match the oracle exactly, which is the engine's
+// bit-for-bit determinism requirement.
+func TestEventQueueDifferential(t *testing.T) {
+	for seed := int64(0); seed < 16; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runDifferential(t, rand.New(rand.NewSource(seed)), 12_000)
+		})
+	}
+}
+
+// TestEventQueueDifferentialDeep forces deep pending populations (well
+// past every build threshold and bucket-count clamp) before draining.
+func TestEventQueueDifferentialDeep(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	p := &queuePair{t: t}
+	// Deep uniform population.
+	for i := 0; i < 200_000; i++ {
+		p.push(Time(rng.Intn(1_000_000)))
+	}
+	// Interleave pops with pushes that chase the moving horizon.
+	for i := 0; i < 400_000; i++ {
+		if i%2 == 0 {
+			p.pop()
+		} else if rng.Intn(4) == 0 {
+			p.push(p.now + Time(rng.Intn(2_000_000)))
+		} else {
+			p.push(p.now + Time(rng.Intn(500)))
+		}
+	}
+	p.drain()
+}
+
+// TestEventQueueShrinksAfterBurst checks the post-burst storage policy:
+// a scheduling spike may grow the far heap's backing array to the burst
+// high-water mark, but once the population settles back down the array
+// must halve its way back toward the shrink floor instead of pinning
+// burst-sized memory for the rest of a long run.
+func TestEventQueueShrinksAfterBurst(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := &queuePair{t: t}
+	// Burst: a deep population spread over a second of virtual time.
+	for i := 0; i < 200_000; i++ {
+		p.push(p.now + Time(rng.Intn(1_000_000_000)))
+	}
+	high := cap(p.q.far.ev)
+	if high < 100_000 {
+		t.Fatalf("burst high-water cap = %d, expected the burst to grow the far heap", high)
+	}
+	// Settle: drain to a small steady population, then run a steady
+	// trickle of short timers at constant depth.
+	for p.q.len() > 64 {
+		p.pop()
+	}
+	for i := 0; i < 4096; i++ {
+		p.push(p.now + Time(rng.Intn(64)))
+		p.pop()
+	}
+	if c := cap(p.q.far.ev); c > heapShrinkFloor {
+		t.Errorf("far heap cap = %d after settling, want <= %d (burst high-water %d)",
+			c, heapShrinkFloor, high)
+	}
+	p.drain()
+}
+
+// TestRecycleBucketShrinks pins the bucket-storage half of the policy: a
+// drained bucket keeps its array when occupancy was healthy, halves it
+// when occupancy fell below a quarter of capacity, and never shrinks
+// below the floor.
+func TestRecycleBucketShrinks(t *testing.T) {
+	if got := recycleBucket(make([]event, 100, 4*bucketShrinkFloor)); cap(got) != 2*bucketShrinkFloor || len(got) != 0 {
+		t.Errorf("sparse bucket: recycled to len %d cap %d, want len 0 cap %d",
+			len(got), cap(got), 2*bucketShrinkFloor)
+	}
+	full := make([]event, 4*bucketShrinkFloor-10, 4*bucketShrinkFloor)
+	if got := recycleBucket(full); cap(got) != 4*bucketShrinkFloor || len(got) != 0 {
+		t.Errorf("dense bucket: recycled to len %d cap %d, want storage kept (cap %d)",
+			len(got), cap(got), 4*bucketShrinkFloor)
+	}
+	small := make([]event, 1, bucketShrinkFloor)
+	if got := recycleBucket(small); cap(got) != bucketShrinkFloor {
+		t.Errorf("floor bucket: recycled to cap %d, want %d kept", cap(got), bucketShrinkFloor)
+	}
+}
+
+// TestEventQueueSteadyStateAllocs asserts the ladder's steady state is
+// allocation-free: once the directory, bucket storage and far array have
+// reached their high-water caps, a constant-depth push/pop workload —
+// including periodic re-anchors — mallocs nothing.
+func TestEventQueueSteadyStateAllocs(t *testing.T) {
+	var q eventQueue
+	var seq uint64
+	var now Time
+	rng := uint64(0x9E3779B97F4A7C15)
+	next := func() Time {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return now + Time(1+rng%20_000_000)
+	}
+	for i := 0; i < 20_000; i++ {
+		seq++
+		q.push(event{at: next(), seq: seq})
+	}
+	batch := func() {
+		for i := 0; i < 2_000; i++ {
+			ev := q.pop()
+			now = ev.at
+			seq++
+			q.push(event{at: next(), seq: seq})
+		}
+	}
+	// Warm up through many epochs so every backing array reaches its
+	// steady cap. The tail is long — random scatter keeps setting new
+	// per-bucket occupancy records (at a decaying rate) for a while — so
+	// the warm-up is deliberately generous; it is still ~1M cheap ops.
+	for i := 0; i < 500; i++ {
+		batch()
+	}
+	// A couple of stragglers per 2000-op batch (<0.1% of ops) are within
+	// the record-setting tail; an actual per-op allocation regression
+	// shows up as ~2000 and fails unambiguously.
+	if allocs := testing.AllocsPerRun(20, batch); allocs > 2 {
+		t.Errorf("steady-state churn allocates %.2f allocs per 2000-op batch, want ~0", allocs)
+	}
+}
+
+// FuzzEventQueueOrder is the fuzz entry for the same differential
+// property: any (seed, size) pair must produce oracle-identical pop
+// sequences.
+func FuzzEventQueueOrder(f *testing.F) {
+	f.Add(int64(1), uint16(1000))
+	f.Add(int64(42), uint16(60000))
+	f.Add(int64(7), uint16(300))
+	f.Fuzz(func(t *testing.T, seed int64, ops uint16) {
+		runDifferential(t, rand.New(rand.NewSource(seed)), int(ops))
+	})
+}

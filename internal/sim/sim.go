@@ -17,15 +17,17 @@
 // the scheduler and may use the non-blocking primitives (Chan.PostSend,
 // Resource.ReleaseFrom-free helpers) but must never block.
 //
-// The engine is built for throughput: the event queue is a hand
-// specialized 4-ary heap of event values (no allocation, no interface
-// dispatch per scheduling operation), waiter queues recycle their
-// storage, and when one process parks while another is runnable at the
-// head of the queue the baton passes directly between the two process
-// goroutines — the central scheduler goroutine is only woken for timer
-// callbacks, run limits and termination. Steady-state scheduling
-// (Sleep/Yield, channel ping-pong, resource hand-off) is allocation
-// free; internal/sim's benchmarks assert this numerically.
+// The engine is built for throughput: the event queue is a two-tier
+// ladder/calendar queue of event values (amortized O(1) scheduling into
+// near-horizon time buckets with a 4-ary heap overflow for the far
+// future — no allocation, no interface dispatch per scheduling
+// operation), waiter queues recycle their storage, and when one process
+// parks while another is runnable at the head of the queue the baton
+// passes directly between the two process goroutines — the central
+// scheduler goroutine is only woken for timer callbacks, run limits and
+// termination. Steady-state scheduling (Sleep/Yield, channel ping-pong,
+// resource hand-off) is allocation free; internal/sim's benchmarks
+// assert this numerically.
 package sim
 
 import (
@@ -47,14 +49,28 @@ const maxTime = Time(1<<62 - 1)
 // simulation epoch, which is convenient for formatting.
 func (t Time) Duration() time.Duration { return time.Duration(t) }
 
-// Add returns the time d after t.
-func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+// Add returns the time d after t, saturating at maxTime instead of
+// wrapping: maxTime is the "run forever" sentinel, so an overflowed sum
+// must stay there rather than jump into the past (which would make a
+// far-future timer fire immediately, or a RunUntil limit vanish).
+// Negative d clamps at the epoch; virtual time never precedes it.
+func (t Time) Add(d time.Duration) Time {
+	s := t + Time(d)
+	if d >= 0 {
+		if s < t || s > maxTime {
+			return maxTime
+		}
+	} else if s < 0 {
+		return 0
+	}
+	return s
+}
 
 func (t Time) String() string { return time.Duration(t).String() }
 
 // event is a scheduled occurrence: either the resumption of a parked
 // process or an inline timer callback. Events are stored by value in the
-// engine's 4-ary heap; scheduling one allocates nothing.
+// engine's ladder queue; scheduling one allocates nothing.
 type event struct {
 	at   Time
 	seq  uint64 // tie-break: FIFO among events at the same instant
@@ -77,7 +93,7 @@ type killSentinel struct{}
 type Env struct {
 	now     Time
 	seq     uint64
-	heap    eventHeap
+	evq     eventQueue
 	limit   Time // active run limit; only meaningful while running
 	yield   chan struct{}
 	procs   []*Proc // live processes, position mirrored in Proc.liveIdx
@@ -132,9 +148,9 @@ func (e *Env) schedule(at Time, p *Proc, fn func()) {
 		at = e.now
 	}
 	e.seq++
-	e.heap.push(event{at: at, seq: e.seq, proc: p, fn: fn})
-	if e.heap.len() > e.maxEventQueue {
-		e.maxEventQueue = e.heap.len()
+	e.evq.push(event{at: at, seq: e.seq, proc: p, fn: fn})
+	if e.evq.len() > e.maxEventQueue {
+		e.maxEventQueue = e.evq.len()
 	}
 }
 
@@ -238,15 +254,15 @@ func (e *Env) run(limit Time, detectDeadlock bool) error {
 	e.running = true
 	e.limit = limit
 	defer func() { e.running = false }()
-	for e.heap.len() > 0 {
-		if e.heap.top().at > limit {
+	for e.evq.len() > 0 {
+		if e.evq.top().at > limit {
 			// Do not advance the clock beyond the limit.
 			if e.now < limit {
 				e.now = limit
 			}
 			return nil
 		}
-		ev := e.heap.pop()
+		ev := e.evq.pop()
 		e.now = ev.at
 		e.eventsProcessed++
 		switch {
@@ -305,12 +321,12 @@ func (e *Env) run(limit Time, detectDeadlock bool) error {
 // may dispatch itself. Timer callbacks, limit crossings and an empty
 // queue return ok == false: those are handled by the central run loop.
 func (e *Env) nextRunnable() (p *Proc, ok bool) {
-	for e.heap.len() > 0 {
-		top := e.heap.top()
+	for e.evq.len() > 0 {
+		top := e.evq.top()
 		if top.proc == nil || top.at > e.limit {
 			return nil, false
 		}
-		ev := e.heap.pop()
+		ev := e.evq.pop()
 		if ev.proc.done {
 			continue // stale wakeup for a finished process
 		}
@@ -333,7 +349,7 @@ func (e *Env) Shutdown() {
 		p.resume <- procSignal{kill: true}
 	}
 	e.procs = nil
-	e.heap.ev = nil
+	e.evq.clear()
 }
 
 // Proc is a simulated process. Its methods must only be called from the

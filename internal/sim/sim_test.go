@@ -704,6 +704,35 @@ func TestTimeString(t *testing.T) {
 	}
 }
 
+func TestTimeAddSaturates(t *testing.T) {
+	cases := []struct {
+		t    Time
+		d    time.Duration
+		want Time
+	}{
+		{Time(100), time.Second, Time(100 + int64(time.Second))},
+		{maxTime, time.Nanosecond, maxTime},                  // sentinel stays put
+		{maxTime - 10, time.Minute, maxTime},                 // overshoots the sentinel
+		{maxTime, time.Duration(1<<63 - 1), maxTime},         // int64 wraparound
+		{Time(1<<62 - 5), time.Duration(1<<62 - 5), maxTime}, // sum past sentinel, no wrap
+		{Time(5), -10 * time.Nanosecond, Time(0)},            // before the epoch
+		{Time(0), time.Duration(-1 << 62), Time(0)},          // deep underflow
+		{Time(100), -40 * time.Nanosecond, Time(60)},         // ordinary negative d
+		{maxTime, time.Duration(-1), maxTime - 1},            // backing off the sentinel
+	}
+	for _, c := range cases {
+		if got := c.t.Add(c.d); got != c.want {
+			t.Errorf("Time(%d).Add(%d) = %d, want %d", c.t, c.d, got, c.want)
+		}
+	}
+	// The failure mode the saturation exists to prevent: a timer armed
+	// near the end of virtual time must stay in the future rather than
+	// wrap negative and fire as if it were overdue.
+	if got := maxTime.Add(time.Hour); got < maxTime {
+		t.Fatalf("overflowed Add went backwards: %d", got)
+	}
+}
+
 func TestRecvTimeoutExpires(t *testing.T) {
 	e := NewEnv(1)
 	c := NewChan[int](e, "c", 0)

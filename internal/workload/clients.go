@@ -9,9 +9,10 @@ package workload
 // streams no matter how many streams run concurrently or on how many OS
 // threads the harness schedules them.
 //
-// The document-popularity CDF is computed once per population and shared
-// read-only by all streams, so a 10^6-client population over a large
-// working set costs one CDF, not one per driver.
+// The document-popularity CDF is memoized process-wide by (docs, alpha)
+// — see zipfCDF — and shared read-only by all streams of all populations
+// over the same working set, so a sweep running many 10^6-client cells
+// costs one CDF, not one per cell (let alone one per driver).
 
 import (
 	"math/rand"
@@ -38,8 +39,7 @@ func NewPopulation(clients, docs int, alpha float64, seed int64) *Population {
 	if clients <= 0 || docs <= 0 {
 		panic("workload: population needs clients > 0 and docs > 0")
 	}
-	z := NewZipf(rand.New(rand.NewSource(seed)), alpha, docs)
-	return &Population{Clients: clients, Docs: docs, Alpha: alpha, Seed: seed, cdf: z.cdf}
+	return &Population{Clients: clients, Docs: docs, Alpha: alpha, Seed: seed, cdf: zipfCDF(alpha, docs)}
 }
 
 // Request is one generated client request.

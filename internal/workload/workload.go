@@ -10,6 +10,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -26,6 +27,36 @@ func NewZipf(rng *rand.Rand, alpha float64, n int) *Zipf {
 	if n <= 0 {
 		panic("workload: zipf needs n > 0")
 	}
+	return &Zipf{rng: rng, cdf: zipfCDF(alpha, n)}
+}
+
+// zipfCDF memoizes popularity CDFs by (n, alpha). The CDF is a pure
+// function of those two parameters — the sampler's rng plays no part in
+// building it — and a parameter sweep instantiates many samplers and
+// populations over the same working set (often O(10^6) entries each), so
+// one shared read-only array serves them all. Samplers never write to
+// the CDF, which is what makes sharing across concurrently-running sweep
+// cells sound; the mutex also serializes first computation of a given
+// key, so concurrent cells wait for one build instead of racing to
+// duplicate it.
+var (
+	zipfCDFMu    sync.Mutex
+	zipfCDFMemo  = map[zipfKey][]float64{}
+	zipfCDFBuilt int // distinct CDFs actually computed (for tests)
+)
+
+type zipfKey struct {
+	n     int
+	alpha float64
+}
+
+func zipfCDF(alpha float64, n int) []float64 {
+	zipfCDFMu.Lock()
+	defer zipfCDFMu.Unlock()
+	k := zipfKey{n: n, alpha: alpha}
+	if cdf, ok := zipfCDFMemo[k]; ok {
+		return cdf
+	}
 	cdf := make([]float64, n)
 	sum := 0.0
 	for i := 0; i < n; i++ {
@@ -35,7 +66,9 @@ func NewZipf(rng *rand.Rand, alpha float64, n int) *Zipf {
 	for i := range cdf {
 		cdf[i] /= sum
 	}
-	return &Zipf{rng: rng, cdf: cdf}
+	zipfCDFMemo[k] = cdf
+	zipfCDFBuilt++
+	return cdf
 }
 
 // N returns the number of items.

@@ -20,6 +20,55 @@ func TestZipfUniformWhenAlphaZero(t *testing.T) {
 	}
 }
 
+// TestZipfCDFMemoized pins the sweep-sharing contract: every sampler and
+// population over the same (docs, alpha) shares one CDF array, computed
+// once; distinct parameters get distinct arrays with correct values; and
+// memoization is invisible in the sampled streams, which stay
+// byte-identical for identical parameters.
+func TestZipfCDFMemoized(t *testing.T) {
+	// Parameters no other test uses, so this test owns the cache entry.
+	const docs, alpha = 4321, 0.87
+	built := func() int {
+		zipfCDFMu.Lock()
+		defer zipfCDFMu.Unlock()
+		return zipfCDFBuilt
+	}
+	before := built()
+	p1 := NewPopulation(1_000, docs, alpha, 1)
+	p2 := NewPopulation(2_000, docs, alpha, 99)
+	z := NewZipf(rand.New(rand.NewSource(5)), alpha, docs)
+	if n := built() - before; n != 1 {
+		t.Errorf("computed %d CDFs for one (docs, alpha) key, want 1", n)
+	}
+	if &p1.cdf[0] != &p2.cdf[0] || &z.cdf[0] != &p1.cdf[0] {
+		t.Error("populations/samplers over the same (docs, alpha) do not share one CDF")
+	}
+	if p3 := NewPopulation(1_000, docs, alpha+0.1, 1); &p3.cdf[0] == &p1.cdf[0] {
+		t.Error("distinct alpha returned the same CDF array")
+	}
+	// The memoized array must hold exactly what direct computation yields.
+	sum := 0.0
+	ref := make([]float64, docs)
+	for i := 0; i < docs; i++ {
+		sum += 1 / math.Pow(float64(i+1), alpha)
+		ref[i] = sum
+	}
+	for i := range ref {
+		if got := p1.cdf[i]; got != ref[i]/sum {
+			t.Fatalf("cdf[%d] = %v, want %v", i, got, ref[i]/sum)
+		}
+	}
+	// Streams from equal parameters are byte-identical regardless of how
+	// warm the cache was when their populations were built.
+	s1 := p1.Stream(0, 1)
+	s2 := NewPopulation(1_000, docs, alpha, 1).Stream(0, 1)
+	for i := 0; i < 10_000; i++ {
+		if a, b := s1.Next(), s2.Next(); a != b {
+			t.Fatalf("streams diverged at request %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
 func TestZipfSkewsTowardLowRanks(t *testing.T) {
 	z := NewZipf(rand.New(rand.NewSource(1)), 0.9, 100)
 	counts := make([]int, 100)
