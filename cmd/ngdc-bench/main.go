@@ -229,6 +229,11 @@ type benchSnapshot struct {
 	// datacenter-at-scale model (1024 nodes, pooled transport) — scheduler
 	// events per wall second with the full multi-tier request path live.
 	ClusterEventsPerSec float64 `json:"cluster_events_per_sec"`
+	// CacheEvictionsPerSec is the cache tier's virtual eviction rate in
+	// a capacity-bounded E18 cell (256 nodes, slabs at 10% of the
+	// working set) — the sustained evict/invalidate/install churn the
+	// directory protocol absorbs under capacity pressure.
+	CacheEvictionsPerSec float64 `json:"cache_evictions_per_sec"`
 	// ConnBytesPerNode records average HCA connection-state memory per
 	// node at 64 and 1024 nodes in both transport modes — the
 	// connection-scaling trajectory (pooled must stay near-flat).
@@ -258,7 +263,7 @@ func runBench(jsonPath string) {
 		DLMLockOpsPerSec:       benchDLM(),
 		LiveReqsPerSec:         benchLive(),
 	}
-	snap.ClusterEventsPerSec, snap.ConnBytesPerNode = benchScale()
+	snap.ClusterEventsPerSec, snap.CacheEvictionsPerSec, snap.ConnBytesPerNode = benchScale()
 	fmt.Printf("engine            %14.0f events/s\n", snap.EngineEventsPerSec)
 	fmt.Printf("engine deep queue %14.0f events/s\n", snap.EngineDeepEventsPerSec)
 	fmt.Printf("verbs posted ops  %14.0f ops/s\n", snap.VerbsPostedOpsSec)
@@ -268,6 +273,7 @@ func runBench(jsonPath string) {
 	fmt.Printf("dlm locks         %14.0f ops/s\n", snap.DLMLockOpsPerSec)
 	fmt.Printf("live serve        %14.0f reqs/s\n", snap.LiveReqsPerSec)
 	fmt.Printf("cluster engine    %14.0f events/s\n", snap.ClusterEventsPerSec)
+	fmt.Printf("cache churn       %14.0f evictions/s\n", snap.CacheEvictionsPerSec)
 	fmt.Printf("conn bytes/node   rc %.0f -> %.0f KB, pooled %.0f -> %.0f KB (64 -> 1024 nodes)\n",
 		snap.ConnBytesPerNode.RC64/1024, snap.ConnBytesPerNode.RC1024/1024,
 		snap.ConnBytesPerNode.Pooled64/1024, snap.ConnBytesPerNode.Pooled1024/1024)
@@ -510,11 +516,12 @@ func benchDLM() float64 {
 }
 
 // benchScale runs the E18 connection-scaling probe: both transport modes
-// at 64 and 1024 nodes with a reduced client population. It reports
-// engine events per wall second in the 1024-node pooled cell (the
-// datacenter-scale engine throughput) and the average connection-state
-// bytes per node of all four cells.
-func benchScale() (float64, connBytesPerNode) {
+// at 64 and 1024 nodes with a reduced client population, plus one
+// capacity-bounded churn cell. It reports engine events per wall second
+// in the 1024-node pooled cell (the datacenter-scale engine
+// throughput), the churn cell's virtual eviction rate, and the average
+// connection-state bytes per node of the four scaling cells.
+func benchScale() (float64, float64, connBytesPerNode) {
 	probe, err := experiments.RunScaleProbe(1, runtime.GOMAXPROCS(0))
 	if err != nil {
 		fail(err)
@@ -523,7 +530,7 @@ func benchScale() (float64, connBytesPerNode) {
 	if probe.Pooled1024.Wall > 0 {
 		eventsPerSec = float64(probe.Pooled1024.Events) / probe.Pooled1024.Wall.Seconds()
 	}
-	return eventsPerSec, connBytesPerNode{
+	return eventsPerSec, probe.Churn.CacheEvictPerSec, connBytesPerNode{
 		RC64:       probe.RC64.ConnBytesAvg,
 		RC1024:     probe.RC1024.ConnBytesAvg,
 		Pooled64:   probe.Pooled64.ConnBytesAvg,

@@ -6,11 +6,18 @@ package coopcache
 // the directory itself to be remotely operable state: front-ends far
 // from a directory home must resolve and install entries with one-sided
 // verbs, never a remote CPU. Directory provides that form: document →
-// holder slots packed into registered memory regions, sharded across a
-// set of home nodes, read with RDMA read and installed with
+// placement slots packed into registered memory regions, sharded across
+// a set of home nodes, read with RDMA read and installed with
 // compare-and-swap — the paper's "RDMA-based directory lookup delivers
 // lookup latency resilient to server load" design carried to cluster
 // scale.
+//
+// Every directory word carries the full placement — holder node AND the
+// slab slot the copy lives in — so a hit needs exactly one directory
+// read plus one slab read, and invalidation is a single CAS of the
+// exact observed word: a Clear races safely against concurrent
+// republishes because a stale word never compares equal (the slot bits
+// disambiguate re-installs of the same document at a new slab slot).
 
 import (
 	"encoding/binary"
@@ -20,8 +27,24 @@ import (
 	"ngdc/internal/verbs"
 )
 
-// Directory is a sharded document→holder map in registered memory.
-// Slot encoding: 0 = no holder, v>0 = holder node ID v-1.
+// Entry is one packed directory word: the holder node ID (+1, so a zero
+// word means "no entry") in the low 32 bits and the holder's slab slot
+// index in the high 32 bits.
+type Entry uint64
+
+// PackEntry builds the directory word for a copy of a document held at
+// slab slot `slot` of cache node `holder`.
+func PackEntry(holder, slot int) Entry {
+	return Entry(uint64(slot)<<32 | uint64(uint32(holder))+1)
+}
+
+// Holder returns the holder node ID.
+func (e Entry) Holder() int { return int(uint32(e)) - 1 }
+
+// Slot returns the holder-local slab slot index.
+func (e Entry) Slot() int { return int(e >> 32) }
+
+// Directory is a sharded document→placement map in registered memory.
 type Directory struct {
 	shards []verbs.RemoteAddr
 	docs   int
@@ -46,47 +69,49 @@ func NewDirectory(nw *verbs.Network, homes []*cluster.Node, docs int) *Directory
 // Shards returns the shard count.
 func (d *Directory) Shards() int { return len(d.shards) }
 
+// HomeShard returns the shard index serving doc (the node index within
+// the homes slice NewDirectory was given).
+func (d *Directory) HomeShard(doc int) int { return doc % len(d.shards) }
+
 // slot resolves a document to its shard address and byte offset.
 func (d *Directory) slot(doc int) (verbs.RemoteAddr, int) {
 	return d.shards[doc%len(d.shards)], doc / len(d.shards) * 8
 }
 
-// Lookup resolves doc's holder with a one-sided read issued from dev.
+// Lookup resolves doc's placement with a one-sided read issued from dev.
 // scratch must be at least 8 bytes (caller-owned, so a steady-state
-// lookup loop allocates nothing). ok reports whether a holder is
+// lookup loop allocates nothing). A zero Entry means no copy is
 // registered.
-func (d *Directory) Lookup(p *sim.Proc, dev *verbs.Device, doc int, scratch []byte) (holder int, ok bool, err error) {
+func (d *Directory) Lookup(p *sim.Proc, dev *verbs.Device, doc int, scratch []byte) (Entry, error) {
 	r, off := d.slot(doc)
 	if err := dev.Read(p, scratch[:8], r, off); err != nil {
-		return 0, false, err
+		return 0, err
 	}
-	v := binary.LittleEndian.Uint64(scratch)
-	if v == 0 {
-		return 0, false, nil
-	}
-	return int(v - 1), true, nil
+	return Entry(binary.LittleEndian.Uint64(scratch)), nil
 }
 
-// Publish installs holder as doc's owner with a compare-and-swap against
-// an empty slot. won reports whether this caller's install took effect
-// (a concurrent publisher may have won the race; the directory keeps the
-// first).
-func (d *Directory) Publish(p *sim.Proc, dev *verbs.Device, doc, holder int) (won bool, err error) {
+// Publish installs e as doc's placement with a compare-and-swap against
+// an empty word. won reports whether this caller's install took effect
+// (a concurrent publisher may have won the race — the directory keeps
+// the first — or a stale entry may still occupy the word; the loser
+// must roll back its local install).
+func (d *Directory) Publish(p *sim.Proc, dev *verbs.Device, doc int, e Entry) (won bool, err error) {
 	r, off := d.slot(doc)
-	old, err := dev.CompareSwap(p, r, off, 0, uint64(holder)+1)
+	old, err := dev.CompareSwap(p, r, off, 0, uint64(e))
 	if err != nil {
 		return false, err
 	}
 	return old == 0, nil
 }
 
-// Clear removes doc's entry if holder still owns it (CAS holder+1 → 0),
-// the eviction/invalidation path.
-func (d *Directory) Clear(p *sim.Proc, dev *verbs.Device, doc, holder int) (cleared bool, err error) {
+// Clear removes doc's entry if the word still equals e (CAS e → 0) —
+// the eviction/invalidation path. A Clear racing a republish loses
+// cleanly: the new word no longer matches the observed one.
+func (d *Directory) Clear(p *sim.Proc, dev *verbs.Device, doc int, e Entry) (cleared bool, err error) {
 	r, off := d.slot(doc)
-	old, err := dev.CompareSwap(p, r, off, uint64(holder)+1, 0)
+	old, err := dev.CompareSwap(p, r, off, uint64(e), 0)
 	if err != nil {
 		return false, err
 	}
-	return old == uint64(holder)+1, nil
+	return Entry(old) == e, nil
 }

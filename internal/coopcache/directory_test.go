@@ -1,0 +1,174 @@
+package coopcache
+
+import (
+	"testing"
+
+	"ngdc/internal/cluster"
+	"ngdc/internal/fabric"
+	"ngdc/internal/sim"
+	"ngdc/internal/verbs"
+)
+
+// dirEnv builds a 4-node network with a 2-shard directory on nodes 1-2
+// and returns requester devices on nodes 0 and 3.
+func dirEnv(t *testing.T, docs int) (*sim.Env, *Directory, *verbs.Device, *verbs.Device) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	nw := verbs.NewNetwork(env, fabric.DefaultParams())
+	nodes := make([]*cluster.Node, 4)
+	for i := range nodes {
+		nodes[i] = cluster.NewNode(env, i, 2, 1<<24)
+	}
+	dir := NewDirectory(nw, nodes[1:3], docs)
+	return env, dir, nw.Attach(nodes[0]), nw.Attach(nodes[3])
+}
+
+func TestEntryPacking(t *testing.T) {
+	cases := []struct{ holder, slot int }{
+		{0, 0}, {1, 0}, {0, 1}, {4095, 130000}, {1 << 30, 1 << 30},
+	}
+	for _, c := range cases {
+		e := PackEntry(c.holder, c.slot)
+		if e == 0 {
+			t.Fatalf("PackEntry(%d,%d) = 0, collides with the empty word", c.holder, c.slot)
+		}
+		if e.Holder() != c.holder || e.Slot() != c.slot {
+			t.Fatalf("PackEntry(%d,%d) round-trips to (%d,%d)", c.holder, c.slot, e.Holder(), e.Slot())
+		}
+	}
+	// Same holder at a different slot is a different word — the ABA
+	// protection eviction/invalidation relies on.
+	if PackEntry(7, 3) == PackEntry(7, 4) {
+		t.Fatal("slot bits do not disambiguate re-installs")
+	}
+}
+
+// Lost CAS: of two concurrent publishers, exactly the first wins and the
+// directory keeps its entry.
+func TestDirectoryPublishLost(t *testing.T) {
+	env, dir, devA, devB := dirEnv(t, 64)
+	eA, eB := PackEntry(1, 5), PackEntry(2, 9)
+	var wonA, wonB bool
+	env.Go("a", func(p *sim.Proc) {
+		var err error
+		if wonA, err = dir.Publish(p, devA, 17, eA); err != nil {
+			t.Error(err)
+		}
+	})
+	env.Go("b", func(p *sim.Proc) {
+		var err error
+		if wonB, err = dir.Publish(p, devB, 17, eB); err != nil {
+			t.Error(err)
+		}
+		scratch := make([]byte, 8)
+		e, err := dir.Lookup(p, devB, 17, scratch)
+		if err != nil {
+			t.Error(err)
+		}
+		if wonA == wonB {
+			t.Errorf("publish race: wonA=%v wonB=%v, want exactly one winner", wonA, wonB)
+		}
+		want := eA
+		if wonB {
+			want = eB
+		}
+		if e != want {
+			t.Errorf("directory kept %x, want the winner's %x", e, want)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Clear-after-republish: a Clear carrying a stale observed word must
+// lose against the republished entry.
+func TestDirectoryClearAfterRepublish(t *testing.T) {
+	env, dir, dev, _ := dirEnv(t, 64)
+	e1, e2 := PackEntry(1, 0), PackEntry(1, 4) // same holder, new slot
+	env.Go("seq", func(p *sim.Proc) {
+		if won, err := dir.Publish(p, dev, 3, e1); err != nil || !won {
+			t.Errorf("publish e1: won=%v err=%v", won, err)
+		}
+		if cleared, err := dir.Clear(p, dev, 3, e1); err != nil || !cleared {
+			t.Errorf("clear e1: cleared=%v err=%v", cleared, err)
+		}
+		if won, err := dir.Publish(p, dev, 3, e2); err != nil || !won {
+			t.Errorf("republish e2: won=%v err=%v", won, err)
+		}
+		// The stale invalidation arrives late: it must not take out e2.
+		if cleared, err := dir.Clear(p, dev, 3, e1); err != nil || cleared {
+			t.Errorf("stale clear: cleared=%v err=%v, want false nil", cleared, err)
+		}
+		scratch := make([]byte, 8)
+		e, err := dir.Lookup(p, dev, 3, scratch)
+		if err != nil || e != e2 {
+			t.Errorf("after stale clear entry = %x err=%v, want %x", e, err, e2)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Concurrent clear: two invalidators racing on the same observed word —
+// exactly one CAS succeeds.
+func TestDirectoryConcurrentClear(t *testing.T) {
+	env, dir, devA, devB := dirEnv(t, 64)
+	e := PackEntry(2, 11)
+	results := make(chan bool, 2)
+	env.Go("seed", func(p *sim.Proc) {
+		if won, err := dir.Publish(p, devA, 40, e); err != nil || !won {
+			t.Errorf("seed publish: won=%v err=%v", won, err)
+		}
+		env.Go("clear-a", func(p *sim.Proc) {
+			cleared, err := dir.Clear(p, devA, 40, e)
+			if err != nil {
+				t.Error(err)
+			}
+			results <- cleared
+		})
+		env.Go("clear-b", func(p *sim.Proc) {
+			cleared, err := dir.Clear(p, devB, 40, e)
+			if err != nil {
+				t.Error(err)
+			}
+			results <- cleared
+		})
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	a, b := <-results, <-results
+	if a == b {
+		t.Fatalf("concurrent clears returned %v/%v, want exactly one success", a, b)
+	}
+}
+
+// Publishing into a cleared word succeeds again — the full
+// evict→invalidate→reinstall cycle.
+func TestDirectoryReinstallCycle(t *testing.T) {
+	env, dir, dev, _ := dirEnv(t, 8)
+	env.Go("cycle", func(p *sim.Proc) {
+		scratch := make([]byte, 8)
+		for round := 0; round < 3; round++ {
+			e := PackEntry(round, round*2)
+			if won, err := dir.Publish(p, dev, 5, e); err != nil || !won {
+				t.Errorf("round %d publish: won=%v err=%v", round, won, err)
+			}
+			got, err := dir.Lookup(p, dev, 5, scratch)
+			if err != nil || got != e {
+				t.Errorf("round %d lookup = %x err=%v, want %x", round, got, err, e)
+			}
+			if cleared, err := dir.Clear(p, dev, 5, e); err != nil || !cleared {
+				t.Errorf("round %d clear: cleared=%v err=%v", round, cleared, err)
+			}
+			if got, err := dir.Lookup(p, dev, 5, scratch); err != nil || got != 0 {
+				t.Errorf("round %d post-clear lookup = %x err=%v, want empty", round, got, err)
+			}
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

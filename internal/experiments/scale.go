@@ -19,8 +19,19 @@ package experiments
 // pooled hybrid — a fixed LRU pool of connected transports plus a shared
 // datagram endpoint for the long tail — wins on both latency and
 // per-node connection memory (O(pool) instead of O(N)).
+//
+// The cache tier is capacity-bounded: each cache node owns a multi-slot
+// document slab sized as a fraction (CacheFrac) of its share of the
+// working set, fronted by a byte-capacity LRU. A miss install that
+// overflows the slab evicts the node's LRU victim and invalidates its
+// directory word with a one-sided CAS of the exact observed entry
+// *before* publishing the new document — so a sweep cell under capacity
+// pressure exercises the full evict → invalidate → install → publish
+// churn loop, and the capacity axis of the sweep reads out hit ratio
+// and invalidation traffic against slab size.
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -28,6 +39,8 @@ import (
 	"ngdc/internal/coopcache"
 	"ngdc/internal/ddss"
 	"ngdc/internal/fabric"
+	"ngdc/internal/faults"
+	"ngdc/internal/lru"
 	"ngdc/internal/metrics"
 	"ngdc/internal/sim"
 	"ngdc/internal/verbs"
@@ -61,11 +74,23 @@ type ScaleConfig struct {
 	DocBytes int
 	// ZipfAlpha shapes document popularity (default 0.99).
 	ZipfAlpha float64
+	// CacheFrac sizes each cache node's document slab as a fraction of
+	// its share of the working set. 0 (the default) or ≥ 1 means exact
+	// sizing — every document fits its home node, so no capacity
+	// evictions ever fire and the cell reproduces the unbounded tier.
+	// A fraction < 1 bounds the slab and turns misses into
+	// evict/invalidate churn.
+	CacheFrac float64
 	// FrontCPU is the per-request front-end admission/parse cost
 	// (default 3µs).
 	FrontCPU time.Duration
 	// Seed drives the workload streams and the engine.
 	Seed int64
+	// Faults optionally injects a deterministic fault plan (node
+	// crashes/partitions) into the cell. The cache tier degrades
+	// instead of failing: reads against crashed holders fall back to
+	// storage and the dead directory entries are cleared.
+	Faults *faults.Plan
 }
 
 func (c ScaleConfig) withDefaults() ScaleConfig {
@@ -129,10 +154,333 @@ type ScaleResult struct {
 	ConnBytesMax int64
 	// Transport counters summed over all devices.
 	Establishes, Evictions, UDOps, CacheMisses int64
+	// Cache-tier capacity and churn telemetry. CacheFrac is the
+	// effective slab fraction (1.0 when exact-sized), CacheSlots the
+	// total document slots across the tier. CacheEvictions counts LRU
+	// victims pushed out by capacity pressure, Invalidations the
+	// directory Clear CASes issued, StaleReads the hit reads that
+	// landed after their entry was evicted, DeadFallbacks the
+	// operations degraded to the storage path by an unreachable peer,
+	// and Rollbacks the installs undone after losing the publish CAS.
+	CacheFrac        float64
+	ZipfAlpha        float64
+	CacheSlots       int64
+	CacheEvictions   int64
+	Invalidations    int64
+	StaleReads       int64
+	DeadFallbacks    int64
+	Rollbacks        int64
+	CacheEvictPerSec float64
 	// Events is the engine's processed-event count; Wall the host time
 	// of the run — together the cluster_events_per_sec bench key.
 	Events uint64
 	Wall   time.Duration
+}
+
+// scaleCache is the capacity-bounded cache tier of one cell: per-node
+// document slabs in registered memory, per-node byte-capacity LRUs, and
+// the bookkeeping that keeps slab contents, LRU metadata and directory
+// words coherent under racing installs, evictions and invalidations.
+//
+// The slotDoc/docNode/docSlot arrays are the simulation's ground truth
+// for what each slab slot holds *right now*. They are only mutated at
+// callback instants (never across a costed op), so any process
+// observing them sees a consistent placement. A front-end that read a
+// directory word and then a slab slot validates the read against
+// slotDoc afterwards — modeling self-identifying slab content (the
+// document ID embedded in the stored bytes): a read that raced an
+// eviction comes back with the wrong document and is handled as a
+// miss, after clearing the exact stale word observed.
+type scaleCache struct {
+	dir   *coopcache.Directory
+	slabs []verbs.RemoteAddr
+
+	lrus     []*lru.Cache[int32] // per cache node, byte capacity = slots×DocBytes
+	slotDoc  [][]int32           // per node: slot → resident doc, -1 free
+	freeSlot [][]int32           // per node: stack of free slot indices
+	docNode  []int32             // doc → cache node index holding it, -1 none
+	docSlot  []int32             // doc → slot on docNode
+	// dead marks cache nodes observed unreachable; installs skip them.
+	// The mark is sticky — a restarted node is simply not re-used as a
+	// holder, a conservative failure-detector model.
+	dead []bool
+
+	docBytes   int
+	frac       float64 // effective fraction (1.0 when exact-sized)
+	totalSlots int64
+
+	evictions, invalidations, staleReads, deadFallbacks, rollbacks int64
+}
+
+// cacheScratch is one driver's reusable buffers, so the churn path
+// allocates nothing per request in steady state.
+type cacheScratch struct {
+	dirWord []byte  // 8-byte directory read target
+	ev      []int32 // LRU victim keys
+	evSlots []int32 // victims' slab slots
+}
+
+func newCacheScratch() *cacheScratch {
+	return &cacheScratch{
+		dirWord: make([]byte, 8),
+		ev:      make([]int32, 0, 4),
+		evSlots: make([]int32, 0, 4),
+	}
+}
+
+// newScaleCache registers the directory and the per-node slabs. Each
+// node's slot count is its exact share of the working set (the number
+// of documents hashing to it) scaled by frac, floored at one slot.
+func newScaleCache(nw *verbs.Network, caches []*cluster.Node, docs, docBytes int, frac float64) *scaleCache {
+	nc := len(caches)
+	sc := &scaleCache{
+		dir:      coopcache.NewDirectory(nw, caches, docs),
+		slabs:    make([]verbs.RemoteAddr, nc),
+		lrus:     make([]*lru.Cache[int32], nc),
+		slotDoc:  make([][]int32, nc),
+		freeSlot: make([][]int32, nc),
+		docNode:  make([]int32, docs),
+		docSlot:  make([]int32, docs),
+		dead:     make([]bool, nc),
+		docBytes: docBytes,
+		frac:     1,
+	}
+	if frac > 0 && frac < 1 {
+		sc.frac = frac
+	}
+	for d := range sc.docNode {
+		sc.docNode[d] = -1
+		sc.docSlot[d] = -1
+	}
+	homeLoad := make([]int, nc)
+	for d := 0; d < docs; d++ {
+		homeLoad[sc.home(d)]++
+	}
+	for i, n := range caches {
+		slots := homeLoad[i]
+		if frac > 0 && frac < 1 {
+			slots = int(frac * float64(homeLoad[i]))
+		}
+		if slots < 1 {
+			slots = 1
+		}
+		sc.slabs[i] = nw.Attach(n).RegisterAtSetup(make([]byte, slots*docBytes)).Addr()
+		sc.lrus[i] = lru.New[int32](int64(slots) * int64(docBytes))
+		sd := make([]int32, slots)
+		fs := make([]int32, slots)
+		for j := range sd {
+			sd[j] = -1
+			fs[j] = int32(slots - 1 - j) // pop order: slot 0 first
+		}
+		sc.slotDoc[i] = sd
+		sc.freeSlot[i] = fs
+		sc.totalSlots += int64(slots)
+	}
+	return sc
+}
+
+// home maps a document to its preferred holder (a cache node index).
+func (sc *scaleCache) home(doc int) int {
+	return int((uint32(doc)*2654435761)>>16) % len(sc.lrus)
+}
+
+// unreachable reports whether err is a one-sided op failing against a
+// crashed or partitioned peer — the degradable fault class.
+func unreachable(err error) bool {
+	var oe *verbs.OpError
+	return errors.As(err, &oe) && oe.Reason == "peer unreachable"
+}
+
+// lookup resolves doc's directory word. A lookup against a crashed
+// directory home degrades to "no entry" (the miss path serves from
+// storage) instead of failing the cell.
+func (sc *scaleCache) lookup(p *sim.Proc, dev *verbs.Device, doc int, scr *cacheScratch) (coopcache.Entry, error) {
+	e, err := sc.dir.Lookup(p, dev, doc, scr.dirWord)
+	if err != nil {
+		if unreachable(err) {
+			sc.dead[sc.dir.HomeShard(doc)] = true
+			sc.deadFallbacks++
+			return 0, nil
+		}
+		return 0, err
+	}
+	return e, nil
+}
+
+// serveHit attempts the one-sided slab read a directory hit promises.
+// It returns served=false — degrading to the miss path — when the entry
+// is stale (evicted mid-flight: the slab bytes identify the wrong
+// document) or the holder is unreachable; either way the observed word
+// is cleared so later requests don't chase it.
+func (sc *scaleCache) serveHit(p *sim.Proc, dev *verbs.Device, doc int, e coopcache.Entry, buf []byte) (served bool, err error) {
+	h, s := e.Holder(), e.Slot()
+	if h < 0 || h >= len(sc.lrus) || s < 0 || s >= len(sc.slotDoc[h]) || sc.slotDoc[h][s] != int32(doc) {
+		// Dangling word: the placement it names no longer holds doc.
+		sc.staleReads++
+		return false, sc.clearEntry(p, dev, doc, e)
+	}
+	if err := dev.Read(p, buf, sc.slabs[h], s*sc.docBytes); err != nil {
+		if !unreachable(err) {
+			return false, err
+		}
+		// Crashed holder: clear the dead entry, drop our bookkeeping
+		// for it, and let the caller re-install elsewhere.
+		sc.dead[h] = true
+		sc.deadFallbacks++
+		sc.dropIfAt(doc, h, int32(s))
+		return false, sc.clearEntry(p, dev, doc, e)
+	}
+	if sc.slotDoc[h][s] != int32(doc) {
+		// The slot turned over while the read was in flight: the bytes
+		// read belong to another document.
+		sc.staleReads++
+		return false, sc.clearEntry(p, dev, doc, e)
+	}
+	sc.lrus[h].Get(int32(doc)) // touch recency; metadata-only
+	return true, nil
+}
+
+// canInstall reports whether a miss for doc is worth installing: with
+// the doc's directory home dead, no lookup could ever find the copy.
+func (sc *scaleCache) canInstall(doc int) bool {
+	return !sc.dead[sc.dir.HomeShard(doc)]
+}
+
+// install places the fetched document into the cache tier: evict LRU
+// victims as needed, invalidate their directory words, write the slab
+// slot, publish the new word. All local metadata for the placement —
+// victim slots freed, the new slot claimed — is assigned at the
+// decision instant, before any costed op, so concurrent installers
+// observe a consistent placement throughout.
+func (sc *scaleCache) install(p *sim.Proc, dev *verbs.Device, doc int, buf []byte, scr *cacheScratch) error {
+	if n := sc.docNode[doc]; n >= 0 {
+		// A concurrent installer already claimed a slot for doc (its
+		// publish may still be in flight): refresh that copy and
+		// re-publish the same word. Losing this CAS is the common
+		// duplicate-install race — the winner published the identical
+		// word — so no rollback.
+		s := sc.docSlot[doc]
+		sc.lrus[n].Get(int32(doc))
+		if err := dev.Write(p, sc.slabs[n], int(s)*sc.docBytes, buf); err != nil {
+			if !unreachable(err) {
+				return err
+			}
+			sc.dead[n] = true
+			sc.deadFallbacks++
+			sc.dropIfAt(doc, int(n), s)
+			return nil
+		}
+		if _, err := sc.dir.Publish(p, dev, doc, coopcache.PackEntry(int(n), int(s))); err != nil {
+			if !unreachable(err) {
+				return err
+			}
+			sc.dead[sc.dir.HomeShard(doc)] = true
+			sc.deadFallbacks++
+		}
+		return nil
+	}
+
+	// Fresh install: place on the doc's home node, skipping nodes
+	// observed dead.
+	n := sc.home(doc)
+	for i := 0; i < len(sc.lrus) && sc.dead[n]; i++ {
+		n = (n + 1) % len(sc.lrus)
+	}
+	if sc.dead[n] {
+		sc.deadFallbacks++
+		return nil // entire tier unreachable: serve uncached
+	}
+
+	// Decision instant: evict, free victim slots, claim ours.
+	scr.ev = sc.lrus[n].PutInto(int32(doc), int64(sc.docBytes), scr.ev[:0])
+	scr.evSlots = scr.evSlots[:0]
+	for _, v := range scr.ev {
+		vs := sc.docSlot[v]
+		scr.evSlots = append(scr.evSlots, vs)
+		sc.slotDoc[n][vs] = -1
+		sc.freeSlot[n] = append(sc.freeSlot[n], vs)
+		sc.docNode[v] = -1
+		sc.docSlot[v] = -1
+		sc.evictions++
+	}
+	last := len(sc.freeSlot[n]) - 1
+	s := sc.freeSlot[n][last]
+	sc.freeSlot[n] = sc.freeSlot[n][:last]
+	sc.slotDoc[n][s] = int32(doc)
+	sc.docNode[doc] = int32(n)
+	sc.docSlot[doc] = s
+
+	// Invalidate the victims' directory words before publishing the
+	// new document: a reader must never find a committed word naming a
+	// slot the tier has already handed out.
+	for i, v := range scr.ev {
+		if err := sc.clearEntry(p, dev, int(v), coopcache.PackEntry(n, int(scr.evSlots[i]))); err != nil {
+			return err
+		}
+	}
+
+	if err := dev.Write(p, sc.slabs[n], int(s)*sc.docBytes, buf); err != nil {
+		if !unreachable(err) {
+			return err
+		}
+		sc.dead[n] = true
+		sc.deadFallbacks++
+		sc.dropIfAt(doc, n, s)
+		return nil
+	}
+	e := coopcache.PackEntry(n, int(s))
+	won, err := sc.dir.Publish(p, dev, doc, e)
+	if err != nil {
+		if !unreachable(err) {
+			return err
+		}
+		sc.dead[sc.dir.HomeShard(doc)] = true
+		sc.deadFallbacks++
+		sc.dropIfAt(doc, n, s)
+		return nil
+	}
+	if !won {
+		// A racing publisher (or a not-yet-invalidated stale word)
+		// holds the directory word: roll the local install back so the
+		// slab slot isn't silently orphaned.
+		sc.rollbacks++
+		sc.dropIfAt(doc, n, s)
+		return nil
+	}
+	if sc.docNode[doc] != int32(n) || sc.docSlot[doc] != s {
+		// Our slot was evicted while the write/publish was in flight;
+		// the word we just published is already dangling — clear it.
+		return sc.clearEntry(p, dev, doc, e)
+	}
+	return nil
+}
+
+// clearEntry CASes doc's directory word from the exact observed entry
+// to empty. Losing the CAS is benign (a republish already replaced the
+// word); an unreachable directory home is tolerated.
+func (sc *scaleCache) clearEntry(p *sim.Proc, dev *verbs.Device, doc int, e coopcache.Entry) error {
+	sc.invalidations++
+	if _, err := sc.dir.Clear(p, dev, doc, e); err != nil {
+		if !unreachable(err) {
+			return err
+		}
+		sc.dead[sc.dir.HomeShard(doc)] = true
+	}
+	return nil
+}
+
+// dropIfAt undoes doc's local placement if it still is (n, s): the LRU
+// entry, the slot claim and the doc→node map. A no-op if a concurrent
+// evictor already recycled the slot.
+func (sc *scaleCache) dropIfAt(doc, n int, s int32) {
+	if sc.docNode[doc] != int32(n) || sc.docSlot[doc] != s {
+		return
+	}
+	sc.lrus[n].Remove(int32(doc))
+	sc.slotDoc[n][s] = -1
+	sc.freeSlot[n] = append(sc.freeSlot[n], s)
+	sc.docNode[doc] = -1
+	sc.docSlot[doc] = -1
 }
 
 // RunScaleCell builds and runs one datacenter-at-scale cell.
@@ -142,6 +490,7 @@ func RunScaleCell(cfg ScaleConfig) (ScaleResult, error) {
 		return ScaleResult{}, fmt.Errorf("scale: need ≥ 8 nodes for all tiers, got %d", cfg.Nodes)
 	}
 	env := sim.NewEnv(cfg.Seed)
+	faults.Install(env, cfg.Faults)
 	nw := verbs.NewNetworkWith(env, fabric.DefaultParams(), cfg.Transport)
 	nodes := make([]*cluster.Node, cfg.Nodes)
 	var fes, caches, stores []*cluster.Node
@@ -161,14 +510,9 @@ func RunScaleCell(cfg ScaleConfig) (ScaleResult, error) {
 	for i, n := range fes {
 		feDevs[i] = nw.Attach(n)
 	}
-	// Cache tier: the sharded RDMA-readable directory plus one registered
-	// document slab per cache node (hit reads and miss installs target
-	// it; document identity lives in the directory, not the slab bytes).
-	dir := coopcache.NewDirectory(nw, caches, cfg.Docs)
-	slabs := make([]verbs.RemoteAddr, len(caches))
-	for i, n := range caches {
-		slabs[i] = nw.Attach(n).RegisterAtSetup(make([]byte, cfg.DocBytes)).Addr()
-	}
+	// Cache tier: the sharded RDMA-readable directory plus one
+	// capacity-bounded multi-slot document slab per cache node.
+	sc := newScaleCache(nw, caches, cfg.Docs, cfg.DocBytes, cfg.CacheFrac)
 	// Storage tier: DDSS segments spread rack-aware across the storage
 	// nodes of every rack.
 	ss := ddss.New(nw, nodes, ddss.Options{})
@@ -187,8 +531,6 @@ func RunScaleCell(cfg ScaleConfig) (ScaleResult, error) {
 		drivers = len(fes)
 	}
 	pop := workload.NewPopulation(cfg.Clients, cfg.Docs, cfg.ZipfAlpha, cfg.Seed)
-	numCaches := len(caches)
-	holderOf := func(doc int) int { return int((uint32(doc)*2654435761)>>16) % numCaches }
 
 	// Lazy per-(front-end, segment) DDSS handles: Zipf traffic touches a
 	// small fraction of the cross product, so the flat index array stays
@@ -214,7 +556,7 @@ func RunScaleCell(cfg ScaleConfig) (ScaleResult, error) {
 		}
 		feLo := k * len(fes) / drivers
 		feN := (k+1)*len(fes)/drivers - feLo
-		scratch := make([]byte, 8)
+		scr := newCacheScratch()
 		buf := make([]byte, cfg.DocBytes)
 		lats := make([]time.Duration, 0, nReq)
 		for i := 0; i < nReq; i++ {
@@ -222,23 +564,25 @@ func RunScaleCell(cfg ScaleConfig) (ScaleResult, error) {
 			fi := feLo + rq.Client%feN
 			t0 := env.Now()
 			fes[fi].Exec(p, cfg.FrontCPU)
-			holder, ok, err := dir.Lookup(p, feDevs[fi], rq.Doc, scratch)
+			e, err := sc.lookup(p, feDevs[fi], rq.Doc, scr)
 			if err != nil {
 				fail(err)
 				return
 			}
-			if ok {
-				// Hit: one-sided read of the document from its holder.
-				if err := feDevs[fi].Read(p, buf, slabs[holder], 0); err != nil {
+			served := false
+			if e != 0 {
+				served, err = sc.serveHit(p, feDevs[fi], rq.Doc, e, buf)
+				if err != nil {
 					fail(err)
 					return
 				}
+			}
+			if served {
 				hits++
 			} else {
-				// Miss: fetch from the document's DDSS segment on the
-				// storage tier, install the copy on its cache holder and
-				// publish the directory entry (CAS; a concurrent racer may
-				// win — the directory keeps the first).
+				// Miss (or degraded hit): fetch from the document's
+				// DDSS segment on the storage tier, then install the
+				// copy — evicting and invalidating as capacity demands.
 				si := rq.Doc % numSegs
 				hidx := fi*numSegs + si
 				if handles[hidx] == nil {
@@ -256,14 +600,11 @@ func RunScaleCell(cfg ScaleConfig) (ScaleResult, error) {
 					fail(err)
 					return
 				}
-				hi := holderOf(rq.Doc)
-				if err := feDevs[fi].Write(p, slabs[hi], 0, buf); err != nil {
-					fail(err)
-					return
-				}
-				if _, err := dir.Publish(p, feDevs[fi], rq.Doc, hi); err != nil {
-					fail(err)
-					return
+				if sc.canInstall(rq.Doc) {
+					if err := sc.install(p, feDevs[fi], rq.Doc, buf, scr); err != nil {
+						fail(err)
+						return
+					}
 				}
 				misses++
 			}
@@ -303,43 +644,77 @@ func RunScaleCell(cfg ScaleConfig) (ScaleResult, error) {
 	}
 	elapsed := time.Duration(env.Now() - start)
 	res := ScaleResult{
-		Nodes: cfg.Nodes, FrontEnds: len(fes), CacheNodes: numCaches, StoreNodes: len(stores),
+		Nodes: cfg.Nodes, FrontEnds: len(fes), CacheNodes: len(caches), StoreNodes: len(stores),
 		Transport: nw.Transport().Mode.String(),
 		Requests:  hits + misses, Hits: hits, Misses: misses,
 		Elapsed: elapsed,
 		P50:     time.Duration(sample.Percentile(50) * float64(time.Microsecond)),
 		P99:     time.Duration(sample.Percentile(99) * float64(time.Microsecond)),
-		Events:  env.Stats().EventsProcessed,
-		Wall:    time.Since(wallStart),
+		CacheFrac:      sc.frac,
+		ZipfAlpha:      cfg.ZipfAlpha,
+		CacheSlots:     sc.totalSlots,
+		CacheEvictions: sc.evictions,
+		Invalidations:  sc.invalidations,
+		StaleReads:     sc.staleReads,
+		DeadFallbacks:  sc.deadFallbacks,
+		Rollbacks:      sc.rollbacks,
+		Events:         env.Stats().EventsProcessed,
+		Wall:           time.Since(wallStart),
 	}
 	if elapsed > 0 {
 		res.ReqsPerSec = float64(res.Requests) / elapsed.Seconds()
+		res.CacheEvictPerSec = float64(res.CacheEvictions) / elapsed.Seconds()
 	}
 	res.ConnBytesAvg, res.ConnBytesMax = nw.ConnBytesPerNode()
 	res.Establishes, res.Evictions, res.UDOps, res.CacheMisses = nw.ConnTotals()
 	return res, nil
 }
 
-// DCScale regenerates E18: the cluster-size × transport-mode sweep.
+// DCScale regenerates E18: the cluster-size × transport-mode sweep,
+// plus a cache-capacity axis (slab fraction of the working set) and a
+// hotter Zipf point that drive the eviction/invalidation churn loop.
 func DCScale(o Options) (*metrics.Table, error) {
-	sizes := []int{64, 256, 1024, 4096, 8192}
-	clients, perFE := 1_000_000, 600
-	if o.Quick {
-		// The CI quick-scale smoke: still an O(10^4)-node cluster, but a
-		// reduced client population and request budget.
-		sizes = []int{64, 4096}
-		clients, perFE = 100_000, 150
-	}
-	modes := []verbs.TransportConfig{{}, verbs.PooledTransport()}
 	type cell struct {
 		nodes int
 		tc    verbs.TransportConfig
+		frac  float64
+		alpha float64
+		docs  int
 	}
+	modes := []verbs.TransportConfig{{}, verbs.PooledTransport()}
 	var cells []cell
+	sizes := []int{64, 256, 1024, 4096, 8192}
+	clients, perFE := 1_000_000, 600
+	churnNodes := 256
+	fracs := []float64{0.25, 0.1, 0.05}
+	hotAlpha, hotFrac := 1.2, 0.1
+	if o.Quick {
+		// The CI quick-scale smoke: still an O(10^4)-node cluster, but a
+		// reduced client population and request budget; the churn cells
+		// drop to a smaller fraction so capacity pressure is reached with
+		// the fewer distinct documents the smaller budget touches.
+		sizes = []int{64, 4096}
+		clients, perFE = 100_000, 150
+		churnNodes = 64
+		fracs = []float64{0.05}
+		hotFrac = 0.05
+	}
 	for _, n := range sizes {
 		for _, tc := range modes {
-			cells = append(cells, cell{n, tc})
+			cells = append(cells, cell{nodes: n, tc: tc, frac: 1, alpha: 0.99})
 		}
+	}
+	// Capacity axis: fixed cluster and working set, shrinking slabs —
+	// the cap-1.0 row of the same cluster size above is the baseline, so
+	// hit % reads monotone straight down the column.
+	for _, f := range fracs {
+		for _, tc := range modes {
+			cells = append(cells, cell{nodes: churnNodes, tc: tc, frac: f, alpha: 0.99})
+		}
+	}
+	// Hotspot point: hotter Zipf concentrates churn on the head.
+	for _, tc := range modes {
+		cells = append(cells, cell{nodes: churnNodes, tc: tc, frac: hotFrac, alpha: hotAlpha})
 	}
 	res := make([]ScaleResult, len(cells))
 	err := runCells(o, len(cells), func(i int, o Options) error {
@@ -349,6 +724,9 @@ func DCScale(o Options) (*metrics.Table, error) {
 			Transport: c.tc,
 			Clients:   clients,
 			Requests:  perFE * frontEnds(c.nodes),
+			Docs:      c.docs,
+			ZipfAlpha: c.alpha,
+			CacheFrac: c.frac,
 			Seed:      o.seed(),
 		}
 		var err error
@@ -358,36 +736,44 @@ func DCScale(o Options) (*metrics.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	tb := metrics.NewTable("E18 — datacenter at scale: cluster size × transport mode (Zipf traffic, "+
+	tb := metrics.NewTable("E18 — datacenter at scale: cluster size × transport mode × cache capacity (Zipf traffic, "+
 		fmt.Sprintf("%d modeled clients)", clients),
-		"nodes", "transport", "reqs/s", "p50 (µs)", "p99 (µs)", "hit %", "conn KB/node", "ud ops", "evictions")
+		"nodes", "transport", "cap", "alpha", "reqs/s", "p50 (µs)", "p99 (µs)", "hit %",
+		"evict/s", "inval", "conn KB/node", "ud ops")
 	for _, r := range res {
 		tb.AddRow(r.Nodes, r.Transport,
+			r.CacheFrac, r.ZipfAlpha,
 			r.ReqsPerSec,
 			float64(r.P50)/float64(time.Microsecond),
 			float64(r.P99)/float64(time.Microsecond),
 			metrics.Ratio(float64(r.Hits)*100, float64(r.Requests)),
+			r.CacheEvictPerSec,
+			r.Invalidations,
 			r.ConnBytesAvg/1024,
-			r.UDOps, r.Evictions)
+			r.UDOps)
 	}
 	return tb, nil
 }
 
 // ScaleProbe holds the connection-scaling measurements the bench
-// snapshot publishes: both transport modes at 64 and 1024 nodes.
+// snapshot publishes: both transport modes at 64 and 1024 nodes, plus
+// one capacity-bounded churn cell (the cache_evictions_per_sec key).
 type ScaleProbe struct {
 	RC64, RC1024, Pooled64, Pooled1024 ScaleResult
+	Churn                              ScaleResult
 }
 
 // RunScaleProbe measures connection state and event throughput at 64
 // and 1024 nodes in both transport modes (the conn_bytes_per_node and
-// cluster_events_per_sec bench keys).
+// cluster_events_per_sec bench keys) and eviction churn in a
+// capacity-bounded cell (the cache_evictions_per_sec key).
 func RunScaleProbe(seed int64, parallel int) (ScaleProbe, error) {
 	cfgs := []ScaleConfig{
 		{Nodes: 64, Transport: verbs.TransportConfig{}},
 		{Nodes: 1024, Transport: verbs.TransportConfig{}},
 		{Nodes: 64, Transport: verbs.PooledTransport()},
 		{Nodes: 1024, Transport: verbs.PooledTransport()},
+		{Nodes: 256, Transport: verbs.TransportConfig{}, Docs: 8192, CacheFrac: 0.1},
 	}
 	res := make([]ScaleResult, len(cfgs))
 	err := runCells(Options{Seed: seed, Parallel: parallel}, len(cfgs), func(i int, o Options) error {
@@ -402,5 +788,8 @@ func RunScaleProbe(seed int64, parallel int) (ScaleProbe, error) {
 	if err != nil {
 		return ScaleProbe{}, err
 	}
-	return ScaleProbe{RC64: res[0], RC1024: res[1], Pooled64: res[2], Pooled1024: res[3]}, nil
+	return ScaleProbe{
+		RC64: res[0], RC1024: res[1], Pooled64: res[2], Pooled1024: res[3],
+		Churn: res[4],
+	}, nil
 }

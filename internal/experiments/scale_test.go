@@ -2,7 +2,12 @@ package experiments
 
 import (
 	"testing"
+	"time"
 
+	"ngdc/internal/cluster"
+	"ngdc/internal/fabric"
+	"ngdc/internal/faults"
+	"ngdc/internal/sim"
 	"ngdc/internal/verbs"
 )
 
@@ -121,5 +126,256 @@ func TestScaleConnStateSublinear(t *testing.T) {
 	}
 	if p1024.P50 >= rc1024.P50 {
 		t.Errorf("at 1024 nodes pooled p50 %v should beat rc p50 %v", p1024.P50, rc1024.P50)
+	}
+}
+
+// TestScaleExactSizingPinned pins three cells against results captured
+// from the unbounded (pre-capacity-bounding) cache tier: with exact
+// slab sizing (CacheFrac 0) every document fits its home node, the
+// churn machinery never fires, and the cell must reproduce the old
+// numbers byte-for-byte — same hits, same latencies, same engine event
+// count.
+func TestScaleExactSizingPinned(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  ScaleConfig
+		want ScaleResult
+	}{
+		{
+			name: "rc-16",
+			cfg:  ScaleConfig{Nodes: 16, Clients: 5000, Requests: 2000, Docs: 512, Seed: 3},
+			want: ScaleResult{Hits: 1631, Misses: 369, Elapsed: 10031023, P50: 17283, P99: 31366, Events: 16007},
+		},
+		{
+			name: "pooled-24",
+			cfg: ScaleConfig{Nodes: 24, Transport: verbs.PooledTransport(),
+				Clients: 10_000, Requests: 3000, Docs: 1024, Seed: 7},
+			want: ScaleResult{Hits: 2361, Misses: 639, Elapsed: 10845985, P50: 17283, P99: 51858, Events: 24455},
+		},
+		{
+			name: "rc-64",
+			cfg:  ScaleConfig{Nodes: 64, Clients: 20_000, Requests: 6400, Seed: 5},
+			want: ScaleResult{Hits: 3989, Misses: 2411, Elapsed: 9240045, P50: 17283, P99: 33314, Events: 57550},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := RunScaleCell(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Hits != tc.want.Hits || res.Misses != tc.want.Misses ||
+				res.Elapsed != tc.want.Elapsed || res.P50 != tc.want.P50 ||
+				res.P99 != tc.want.P99 || res.Events != tc.want.Events {
+				t.Errorf("exact-sized cell diverged from the unbounded-tier baseline:\n got hits=%d misses=%d elapsed=%v p50=%v p99=%v events=%d\nwant hits=%d misses=%d elapsed=%v p50=%v p99=%v events=%d",
+					res.Hits, res.Misses, res.Elapsed, res.P50, res.P99, res.Events,
+					tc.want.Hits, tc.want.Misses, tc.want.Elapsed, tc.want.P50, tc.want.P99, tc.want.Events)
+			}
+			if res.CacheEvictions != 0 || res.Invalidations != 0 || res.StaleReads != 0 || res.Rollbacks != 0 {
+				t.Errorf("exact sizing churned: evict=%d inval=%d stale=%d roll=%d, want all 0",
+					res.CacheEvictions, res.Invalidations, res.StaleReads, res.Rollbacks)
+			}
+			if res.CacheFrac != 1 || res.CacheSlots < int64(tc.cfg.Docs) {
+				t.Errorf("exact sizing reported frac=%v slots=%d", res.CacheFrac, res.CacheSlots)
+			}
+		})
+	}
+}
+
+// TestScaleCapacityChurn sweeps the capacity fraction on a fixed cell:
+// hit count must be monotone non-decreasing in capacity, capacity
+// evictions must fire exactly when the slabs are undersized, and every
+// eviction must be matched by directory invalidation traffic.
+func TestScaleCapacityChurn(t *testing.T) {
+	fracs := []float64{0.1, 0.25, 0.5, 1}
+	res := make([]ScaleResult, len(fracs))
+	for i, f := range fracs {
+		var err error
+		res[i], err = RunScaleCell(ScaleConfig{
+			Nodes: 64, Clients: 100_000, Requests: 2400, Docs: 1024,
+			CacheFrac: f, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, r := range res {
+		if r.Hits+r.Misses != r.Requests {
+			t.Fatalf("frac %v: hits %d + misses %d != requests %d", fracs[i], r.Hits, r.Misses, r.Requests)
+		}
+		if i > 0 {
+			if r.Hits < res[i-1].Hits {
+				t.Errorf("hit count not monotone in capacity: frac %v got %d hits, frac %v got %d",
+					fracs[i], r.Hits, fracs[i-1], res[i-1].Hits)
+			}
+			if r.CacheSlots <= res[i-1].CacheSlots {
+				t.Errorf("slots not monotone in capacity: frac %v got %d, frac %v got %d",
+					fracs[i], r.CacheSlots, fracs[i-1], res[i-1].CacheSlots)
+			}
+		}
+		if fracs[i] < 1 {
+			if r.CacheEvictions == 0 {
+				t.Errorf("frac %v: undersized slabs evicted nothing", fracs[i])
+			}
+			if r.Invalidations < r.CacheEvictions {
+				t.Errorf("frac %v: %d evictions but only %d invalidations — victims left dangling in the directory",
+					fracs[i], r.CacheEvictions, r.Invalidations)
+			}
+			if r.CacheEvictPerSec <= 0 {
+				t.Errorf("frac %v: eviction rate not derived", fracs[i])
+			}
+		} else if r.CacheEvictions != 0 || r.Invalidations != 0 {
+			t.Errorf("full-capacity cell churned: evict=%d inval=%d", r.CacheEvictions, r.Invalidations)
+		}
+	}
+}
+
+// TestScaleChurnDeterministic extends the determinism gate to the churn
+// machinery: a capacity-bounded cell with races (stale reads, lost
+// publishes) reproduces identically.
+func TestScaleChurnDeterministic(t *testing.T) {
+	cfg := ScaleConfig{Nodes: 64, Clients: 100_000, Requests: 2400, Docs: 1024,
+		CacheFrac: 0.1, Seed: 2, Transport: verbs.PooledTransport()}
+	a, err := RunScaleCell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScaleCell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Wall, b.Wall = 0, 0
+	if a != b {
+		t.Fatalf("churning cell diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestScaleDeadHolderFallback crashes a cache node mid-run (node 3 is a
+// cache-tier node under the i%8 layout) in a capacity-bounded cell: hit
+// reads against the crashed holder and lookups against its directory
+// shard must degrade to the storage path — never fail the cell — and
+// the dead directory entries must be invalidated.
+func TestScaleDeadHolderFallback(t *testing.T) {
+	plan, err := faults.Parse("crash@2ms node=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunScaleCell(ScaleConfig{
+		Nodes: 16, Clients: 5000, Requests: 2000, Docs: 512,
+		CacheFrac: 0.25, Seed: 3, Faults: plan,
+	})
+	if err != nil {
+		t.Fatalf("cell failed instead of degrading: %v", err)
+	}
+	if res.Hits+res.Misses != res.Requests {
+		t.Fatalf("requests lost under faults: %d + %d != %d", res.Hits, res.Misses, res.Requests)
+	}
+	if res.Hits == 0 {
+		t.Error("no hits at all — surviving cache nodes should still serve")
+	}
+	if res.DeadFallbacks == 0 {
+		t.Error("crashed node never triggered a dead-peer fallback")
+	}
+	if res.Invalidations == 0 {
+		t.Error("no invalidations — dead/evicted entries left in the directory")
+	}
+	if res.CacheEvictions == 0 {
+		t.Error("capacity-bounded cell under faults evicted nothing")
+	}
+}
+
+// TestScaleChurnSteadyStateAllocationFree drives the cache tier's full
+// evict→invalidate→install→publish loop directly — every iteration a
+// miss that overflows a slab — and checks the steady state allocates
+// nothing per operation (the scratch buffers, the LRU free list and the
+// slot free stacks absorb all churn).
+func TestScaleChurnSteadyStateAllocationFree(t *testing.T) {
+	env := sim.NewEnv(1)
+	nw := verbs.NewNetworkWith(env, fabric.DefaultParams(), verbs.TransportConfig{})
+	nodes := make([]*cluster.Node, 6)
+	for i := range nodes {
+		nodes[i] = cluster.NewNode(env, i, 4, 1<<24)
+	}
+	const docs, docBytes = 256, 512
+	sc := newScaleCache(nw, nodes[1:5], docs, docBytes, 0.1)
+	dev := nw.Attach(nodes[0])
+	env.GoDaemon("churn", func(p *sim.Proc) {
+		scr := newCacheScratch()
+		buf := make([]byte, docBytes)
+		doc := 0
+		for {
+			e, err := sc.lookup(p, dev, doc, scr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			served := false
+			if e != 0 {
+				if served, err = sc.serveHit(p, dev, doc, e, buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if !served {
+				if err := sc.install(p, dev, doc, buf, scr); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			doc = (doc + 1) % docs
+		}
+	})
+	limit := sim.Time(0)
+	step := func() {
+		limit = limit.Add(time.Millisecond)
+		if err := env.RunUntil(limit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step() // prime the LRU free lists and verbs pools
+	before := sc.evictions
+	allocs := testing.AllocsPerRun(20, step)
+	if allocs > 2 {
+		t.Errorf("churn steady state allocates %.1f/step (hundreds of ops each), want ~0", allocs)
+	}
+	if sc.evictions == before {
+		t.Fatal("harness drove no eviction churn")
+	}
+}
+
+// TestScaleChurnCrossoverGates re-runs the transport gates of
+// TestScaleConnStateSublinear on capacity-bounded cells: the
+// invalidation churn must not disturb the RC-vs-pooled crossover or
+// pooled sublinearity.
+func TestScaleChurnCrossoverGates(t *testing.T) {
+	run := func(nodes int, tc verbs.TransportConfig) ScaleResult {
+		res, err := RunScaleCell(ScaleConfig{
+			Nodes: nodes, Transport: tc, Docs: 8192, CacheFrac: 0.25,
+			Clients: 20_000, Requests: 300 * frontEnds(nodes), Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CacheEvictions == 0 {
+			t.Fatalf("%d-node %s churn cell evicted nothing", nodes, res.Transport)
+		}
+		return res
+	}
+	rc64 := run(64, verbs.TransportConfig{})
+	rc1024 := run(1024, verbs.TransportConfig{})
+	p64 := run(64, verbs.PooledTransport())
+	p1024 := run(1024, verbs.PooledTransport())
+
+	if ratio := p1024.ConnBytesAvg / p64.ConnBytesAvg; ratio >= 2 {
+		t.Errorf("under churn, pooled conn bytes/node grew %.2fx from 64 to 1024 nodes, want < 2x", ratio)
+	}
+	if ratio := rc1024.ConnBytesAvg / rc64.ConnBytesAvg; ratio < 4 {
+		t.Errorf("under churn, rc conn bytes/node grew only %.2fx, expected near-linear growth", ratio)
+	}
+	if rc64.P50 >= p64.P50 {
+		t.Errorf("under churn at 64 nodes rc p50 %v should beat pooled p50 %v", rc64.P50, p64.P50)
+	}
+	if p1024.P50 >= rc1024.P50 {
+		t.Errorf("under churn at 1024 nodes pooled p50 %v should beat rc p50 %v", p1024.P50, rc1024.P50)
 	}
 }

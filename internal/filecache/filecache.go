@@ -104,10 +104,23 @@ type pageKey struct {
 	file, page int
 }
 
-// victim is one page parked in remote memory.
+// victim is one page parked in remote memory. gen stamps the page's
+// current fifo position: promoting or re-demoting a page bumps gen,
+// tombstoning any older fifo entries for the same key so the eviction
+// scan cannot free a buffer the page no longer parks there (or has
+// re-parked more recently).
 type victim struct {
 	key pageKey
 	buf *gma.Buf
+	gen uint64
+}
+
+// fifoEntry is one victim-eviction-order slot: the key plus the gen it
+// was enqueued under. An entry whose gen no longer matches the live
+// victim's is stale and skipped.
+type fifoEntry struct {
+	key pageKey
+	gen uint64
 }
 
 // Cache is one node's file-system cache.
@@ -120,7 +133,7 @@ type Cache struct {
 	local  *lru.Cache[pageKey]
 	gmaCli *gma.Client
 	remote map[pageKey]*victim
-	fifo   []pageKey // victim eviction order
+	fifo   []fifoEntry // victim eviction order, oldest first
 	Stats  Stats
 }
 
@@ -162,9 +175,17 @@ func (c *Cache) Read(p *sim.Proc, file, page int) (Source, error) {
 
 	if c.cfg.Mode == RemoteMemory {
 		if v, ok := c.remote[key]; ok {
-			// One-sided read from the victim tier, then promote.
+			// One-sided read from the victim tier, then promote. Bump
+			// the generation first: the page's old fifo position turns
+			// stale, so a concurrent demotion's eviction scan cannot
+			// free the buffer while this read is in flight.
+			v.gen++
 			buf := make([]byte, c.cfg.PageSize)
-			if err := c.gmaCli.Read(p, buf, v.buf, 0); err != nil {
+			err := c.gmaCli.Read(p, buf, v.buf, 0)
+			// Re-enqueue at the fresh generation (even on a failed
+			// read, so the parked page keeps a live eviction slot).
+			c.fifo = append(c.fifo, fifoEntry{key: key, gen: v.gen})
+			if err != nil {
 				return FromRemote, err
 			}
 			if err := c.insertLocal(p, key); err != nil {
@@ -199,18 +220,16 @@ func (c *Cache) insertLocal(p *sim.Proc, key pageKey) error {
 
 // demote parks an evicted page in the remote victim tier.
 func (c *Cache) demote(p *sim.Proc, key pageKey) error {
-	if _, ok := c.remote[key]; ok {
-		return nil // already parked (e.g. promoted copy was read-only)
+	if v, ok := c.remote[key]; ok {
+		// Already parked (a promoted copy was read-only): refresh its
+		// eviction position instead of leaving the page to die at its
+		// old one — it was just the LRU's most recent victim.
+		v.gen++
+		c.fifo = append(c.fifo, fifoEntry{key: key, gen: v.gen})
+		return nil
 	}
-	for len(c.fifo) >= c.cfg.VictimPages {
-		oldest := c.fifo[0]
-		c.fifo = c.fifo[1:]
-		if v, ok := c.remote[oldest]; ok {
-			delete(c.remote, oldest)
-			if err := c.gmaCli.Free(p, v.buf); err != nil {
-				return err
-			}
-		}
+	if err := c.evictVictims(p); err != nil {
+		return err
 	}
 	buf, err := c.gmaCli.Alloc(p, int64(c.cfg.PageSize))
 	if err != nil {
@@ -221,7 +240,29 @@ func (c *Cache) demote(p *sim.Proc, key pageKey) error {
 		return err
 	}
 	c.remote[key] = &victim{key: key, buf: buf}
-	c.fifo = append(c.fifo, key)
+	c.fifo = append(c.fifo, fifoEntry{key: key})
+	return nil
+}
+
+// evictVictims frees the oldest live parked pages until the victim tier
+// is under capacity. Fifo entries whose generation no longer matches
+// the live victim's are tombstones — the page was promoted or re-parked
+// since — and are skipped without touching the (possibly reused)
+// buffer: freeing by stale position is exactly the corruption the
+// generation stamp exists to prevent.
+func (c *Cache) evictVictims(p *sim.Proc) error {
+	for len(c.remote) >= c.cfg.VictimPages && len(c.fifo) > 0 {
+		e := c.fifo[0]
+		c.fifo = c.fifo[1:]
+		v, ok := c.remote[e.key]
+		if !ok || v.gen != e.gen {
+			continue // tombstone: superseded or already gone
+		}
+		delete(c.remote, e.key)
+		if err := c.gmaCli.Free(p, v.buf); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

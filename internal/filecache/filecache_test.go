@@ -201,3 +201,63 @@ func TestStrings(t *testing.T) {
 		t.Fatal("source names wrong")
 	}
 }
+
+// Regression: a page demoted, promoted back, and re-victimized must not
+// be freed from the victim tier at its ORIGINAL fifo position. The old
+// eviction order kept the stale entry live, so the next victim-tier
+// eviction tore the just-re-parked page's buffer out from under the
+// remote map; generations tombstone the stale position and re-queue the
+// page at the back.
+func TestPromoteThenEvictKeepsVictimFresh(t *testing.T) {
+	env := sim.NewEnv(1)
+	nw := verbs.NewNetwork(env, fabric.DefaultParams())
+	var nodes []*cluster.Node
+	for i := 0; i < 3; i++ {
+		nodes = append(nodes, cluster.NewNode(env, i, 2, 64<<20))
+	}
+	agg, err := gma.New(nw, nodes, gma.Options{ArenaPerNode: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Mode: RemoteMemory, PageSize: 4 << 10, LocalPages: 2, VictimPages: 3}
+	c := New(cfg, nw, nodes[0], agg)
+	defer env.Shutdown()
+
+	read := func(p *sim.Proc, page int) Source {
+		src, err := c.Read(p, 0, page)
+		if err != nil {
+			t.Fatalf("read page %d: %v", page, err)
+		}
+		return src
+	}
+	env.Go("p", func(p *sim.Proc) {
+		const a, b, cc, d, e, f = 0, 1, 2, 3, 4, 5
+		read(p, a) // local {a}
+		read(p, b) // local {a,b}
+		read(p, cc) // a demoted: remote {a}
+		if src := read(p, a); src != FromRemote {
+			t.Fatalf("promote read source = %v, want remote", src)
+		}
+		// promote evicted b: remote {a(copy), b}; local {c... ,a}
+		read(p, d) // evicts c -> remote {a,b,c}; victim tier now full
+		read(p, e) // evicts a -> re-victimize: refreshed position, not a new buffer
+		if c.RemotePages() > cfg.VictimPages {
+			t.Fatalf("victim tier over capacity: %d > %d", c.RemotePages(), cfg.VictimPages)
+		}
+		read(p, f) // evicts d -> demote d must evict the oldest LIVE page (b), never a
+		if c.RemotePages() > cfg.VictimPages {
+			t.Fatalf("victim tier over capacity: %d > %d", c.RemotePages(), cfg.VictimPages)
+		}
+		// a was re-parked most recently: it must still be served remotely.
+		if src := read(p, a); src != FromRemote {
+			t.Fatalf("re-victimized page was evicted at its stale fifo position (read source = %v)", src)
+		}
+		// b was the oldest live victim: it is the one that went to disk.
+		if src := read(p, b); src != FromDisk {
+			t.Fatalf("oldest live victim should have been evicted, got %v", src)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

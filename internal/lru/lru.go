@@ -1,7 +1,10 @@
 // Package lru provides the byte-capacity LRU cache used by the caching
 // services (cooperative caching, the remote-memory file cache, the
-// integrated evaluation). Only metadata is tracked: the serving pipelines
-// charge transfer costs by size, payload bytes are synthetic.
+// integrated evaluation, the datacenter-at-scale cache tier). Only
+// metadata is tracked: the serving pipelines charge transfer costs by
+// size, payload bytes are synthetic. Entry nodes are recycled through a
+// free list, so a churning steady state (insert evicting an older entry
+// on every miss) allocates nothing per operation.
 package lru
 
 // Cache is a byte-capacity LRU over keys of type K.
@@ -11,6 +14,7 @@ type Cache[K comparable] struct {
 	items map[K]*node[K]
 	head  *node[K] // most recently used
 	tail  *node[K] // least recently used
+	free  *node[K] // recycled nodes, chained through next
 }
 
 type node[K comparable] struct {
@@ -54,10 +58,27 @@ func (c *Cache[K]) Get(key K) bool {
 
 // Put inserts (or resizes) an entry, evicting LRU entries to make room,
 // and returns the evicted keys. Entries larger than the whole cache are
-// not cached (nil return, nothing evicted).
+// not cached: a fresh oversized insert is a no-op (nil return, nothing
+// evicted), and resizing a resident entry beyond the capacity evicts it
+// (its own key is returned) — the entry cannot stay resident at a size
+// the cache could never admit.
 func (c *Cache[K]) Put(key K, size int64) (evicted []K) {
+	return c.PutInto(key, size, nil)
+}
+
+// PutInto is Put appending the evicted keys to a caller-owned slice, so
+// a churning request loop can reuse one scratch buffer instead of
+// allocating a result slice per eviction.
+func (c *Cache[K]) PutInto(key K, size int64, evicted []K) []K {
 	if size > c.cap {
-		return nil
+		if n, ok := c.items[key]; ok {
+			c.unlink(n)
+			delete(c.items, key)
+			c.used -= n.size
+			c.recycle(n)
+			evicted = append(evicted, key)
+		}
+		return evicted
 	}
 	if n, ok := c.items[key]; ok {
 		c.used += size - n.size
@@ -65,7 +86,7 @@ func (c *Cache[K]) Put(key K, size int64) (evicted []K) {
 		c.moveToFront(n)
 		return c.evictOverflow(evicted)
 	}
-	n := &node[K]{key: key, size: size}
+	n := c.newNode(key, size)
 	c.items[key] = n
 	c.pushFront(n)
 	c.used += size
@@ -79,6 +100,7 @@ func (c *Cache[K]) evictOverflow(out []K) []K {
 		delete(c.items, victim.key)
 		c.used -= victim.size
 		out = append(out, victim.key)
+		c.recycle(victim)
 	}
 	return out
 }
@@ -92,11 +114,18 @@ func (c *Cache[K]) Remove(key K) bool {
 	c.unlink(n)
 	delete(c.items, key)
 	c.used -= n.size
+	c.recycle(n)
 	return true
 }
 
-// Clear drops every entry.
+// Clear drops every entry. The dropped nodes feed the free list, so a
+// cache that clears and refills reuses its old storage.
 func (c *Cache[K]) Clear() {
+	for n := c.head; n != nil; {
+		next := n.next
+		c.recycle(n)
+		n = next
+	}
 	c.items = map[K]*node[K]{}
 	c.head, c.tail = nil, nil
 	c.used = 0
@@ -109,6 +138,26 @@ func (c *Cache[K]) Keys() []K {
 		out = append(out, n.key)
 	}
 	return out
+}
+
+// newNode pops a recycled node or allocates the cache's first of this
+// depth.
+func (c *Cache[K]) newNode(key K, size int64) *node[K] {
+	if n := c.free; n != nil {
+		c.free = n.next
+		n.key, n.size, n.prev, n.next = key, size, nil, nil
+		return n
+	}
+	return &node[K]{key: key, size: size}
+}
+
+// recycle parks an unlinked node on the free list. The key is zeroed so
+// pointer-typed keys don't pin their referents.
+func (c *Cache[K]) recycle(n *node[K]) {
+	var zero K
+	n.key, n.size, n.prev = zero, 0, nil
+	n.next = c.free
+	c.free = n
 }
 
 func (c *Cache[K]) pushFront(n *node[K]) {

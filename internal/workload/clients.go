@@ -90,6 +90,20 @@ func streamSeed(seed int64, shard int) int64 {
 	return int64(z & 0x7FFFFFFFFFFFFFFF)
 }
 
+// CoverageDocs returns the smallest number of hottest documents whose
+// combined popularity reaches frac of the traffic — the working-set
+// head a cache tier must hold to serve that traffic share. frac ≤ 0
+// returns 0; frac ≥ 1 returns the full working set.
+func (pp *Population) CoverageDocs(frac float64) int {
+	if frac <= 0 {
+		return 0
+	}
+	if frac >= 1 {
+		return pp.Docs
+	}
+	return sort.SearchFloat64s(pp.cdf, frac) + 1
+}
+
 // Next generates the shard's next request: a client drawn uniformly from
 // the shard and a document drawn from the shared popularity CDF.
 func (s *Stream) Next() Request {
