@@ -234,6 +234,15 @@ type benchSnapshot struct {
 	// working set) — the sustained evict/invalidate/install churn the
 	// directory protocol absorbs under capacity pressure.
 	CacheEvictionsPerSec float64 `json:"cache_evictions_per_sec"`
+	// SpillHitsPerSec is the virtual rate of requests served out of the
+	// cooperative victim tier in the same capacity-bounded cell with
+	// spill armed — the work the demotion pipeline turns from storage
+	// round-trips into one-hop remote cache reads.
+	SpillHitsPerSec float64 `json:"spill_hits_per_sec"`
+	// DirShardMaxOverMean is the hottest directory shard's load over the
+	// mean in a rebalanced α=1.2 hotspot cell — how flat the bucket
+	// migration/split machinery keeps the shard load under skew.
+	DirShardMaxOverMean float64 `json:"dir_shard_max_over_mean"`
 	// ConnBytesPerNode records average HCA connection-state memory per
 	// node at 64 and 1024 nodes in both transport modes — the
 	// connection-scaling trajectory (pooled must stay near-flat).
@@ -263,7 +272,8 @@ func runBench(jsonPath string) {
 		DLMLockOpsPerSec:       benchDLM(),
 		LiveReqsPerSec:         benchLive(),
 	}
-	snap.ClusterEventsPerSec, snap.CacheEvictionsPerSec, snap.ConnBytesPerNode = benchScale()
+	snap.ClusterEventsPerSec, snap.CacheEvictionsPerSec, snap.ConnBytesPerNode,
+		snap.SpillHitsPerSec, snap.DirShardMaxOverMean = benchScale()
 	fmt.Printf("engine            %14.0f events/s\n", snap.EngineEventsPerSec)
 	fmt.Printf("engine deep queue %14.0f events/s\n", snap.EngineDeepEventsPerSec)
 	fmt.Printf("verbs posted ops  %14.0f ops/s\n", snap.VerbsPostedOpsSec)
@@ -274,6 +284,8 @@ func runBench(jsonPath string) {
 	fmt.Printf("live serve        %14.0f reqs/s\n", snap.LiveReqsPerSec)
 	fmt.Printf("cluster engine    %14.0f events/s\n", snap.ClusterEventsPerSec)
 	fmt.Printf("cache churn       %14.0f evictions/s\n", snap.CacheEvictionsPerSec)
+	fmt.Printf("spill service     %14.0f hits/s\n", snap.SpillHitsPerSec)
+	fmt.Printf("dir shard skew    %14.2f max/mean\n", snap.DirShardMaxOverMean)
 	fmt.Printf("conn bytes/node   rc %.0f -> %.0f KB, pooled %.0f -> %.0f KB (64 -> 1024 nodes)\n",
 		snap.ConnBytesPerNode.RC64/1024, snap.ConnBytesPerNode.RC1024/1024,
 		snap.ConnBytesPerNode.Pooled64/1024, snap.ConnBytesPerNode.Pooled1024/1024)
@@ -521,7 +533,7 @@ func benchDLM() float64 {
 // in the 1024-node pooled cell (the datacenter-scale engine
 // throughput), the churn cell's virtual eviction rate, and the average
 // connection-state bytes per node of the four scaling cells.
-func benchScale() (float64, float64, connBytesPerNode) {
+func benchScale() (float64, float64, connBytesPerNode, float64, float64) {
 	probe, err := experiments.RunScaleProbe(1, runtime.GOMAXPROCS(0))
 	if err != nil {
 		fail(err)
@@ -531,11 +543,12 @@ func benchScale() (float64, float64, connBytesPerNode) {
 		eventsPerSec = float64(probe.Pooled1024.Events) / probe.Pooled1024.Wall.Seconds()
 	}
 	return eventsPerSec, probe.Churn.CacheEvictPerSec, connBytesPerNode{
-		RC64:       probe.RC64.ConnBytesAvg,
-		RC1024:     probe.RC1024.ConnBytesAvg,
-		Pooled64:   probe.Pooled64.ConnBytesAvg,
-		Pooled1024: probe.Pooled1024.ConnBytesAvg,
-	}
+			RC64:       probe.RC64.ConnBytesAvg,
+			RC1024:     probe.RC1024.ConnBytesAvg,
+			Pooled64:   probe.Pooled64.ConnBytesAvg,
+			Pooled1024: probe.Pooled1024.ConnBytesAvg,
+		},
+		probe.SpillChurn.SpillHitPerSec, probe.Hotspot.DirMaxOverMean
 }
 
 func fail(err error) {

@@ -3,9 +3,7 @@ package coopcache
 // Sharded RDMA-readable directory. The classic DataCenter keeps its
 // directory as per-proxy Go maps whose wire cost is charged by the
 // request chains — fine at testbed scale, but a web-scale cluster needs
-// the directory itself to be remotely operable state: front-ends far
-// from a directory home must resolve and install entries with one-sided
-// verbs, never a remote CPU. Directory provides that form: document →
+// the directory itself to be remotely operable state: document →
 // placement slots packed into registered memory regions, sharded across
 // a set of home nodes, read with RDMA read and installed with
 // compare-and-swap — the paper's "RDMA-based directory lookup delivers
@@ -18,9 +16,32 @@ package coopcache
 // exact observed word: a Clear races safely against concurrent
 // republishes because a stale word never compares equal (the slot bits
 // disambiguate re-installs of the same document at a new slab slot).
+//
+// Two addressing modes share this API:
+//
+//   - Direct (the default): document words interleave across the shards
+//     (doc % shards), fixed for the run.
+//   - Bucketed (DirConfig.BucketsPerShard > 0): documents hash into
+//     buckets and an indirection table maps each bucket to its current
+//     (shard, region position). The table is the lever hotspot-aware
+//     rebalancing pulls: a periodic tick migrates the hottest shard's
+//     buckets to the least-loaded host, or — when one bucket alone
+//     carries the skew — splits it by replicating its words read-only
+//     to extra hosts, spreading lookups across replicas. Every op
+//     captures the epoch counter before issuing; a migration bumps it,
+//     and the op re-validates afterwards (retrying once at the new home
+//     or undoing a word installed at a quarantined position), so
+//     in-flight operations stay safe without locks. Freed positions are
+//     quarantined — never reused — so a straggler CAS can corrupt
+//     nothing.
+//
+// Per-shard read/CAS load lives in plain counters updated as ops are
+// issued — modeling the target HCA counting operations against its own
+// region, so the accounting adds no wire traffic and no simulated time.
 
 import (
 	"encoding/binary"
+	"errors"
 
 	"ngdc/internal/cluster"
 	"ngdc/internal/sim"
@@ -32,10 +53,29 @@ import (
 // index in the high 32 bits.
 type Entry uint64
 
+// maxSlotStamp is the widest slot stamp a directory word can carry.
+// Slots at or beyond it saturate rather than wrap: a wrapped stamp
+// would alias a live low slot and reopen the ABA race the stamp exists
+// to close, while a saturated stamp only ever collides with other
+// saturated stamps — and no real slab has 2^32 slots.
+const maxSlotStamp = 1<<32 - 1
+
 // PackEntry builds the directory word for a copy of a document held at
-// slab slot `slot` of cache node `holder`.
+// slab slot `slot` of cache node `holder`. The holder must fit the
+// 32-bit holder field (it is a node index, so an overflow is a caller
+// bug); the slot saturates at maxSlotStamp.
 func PackEntry(holder, slot int) Entry {
-	return Entry(uint64(slot)<<32 | uint64(uint32(holder))+1)
+	if holder < 0 || uint64(holder) >= maxSlotStamp {
+		panic("coopcache: PackEntry holder out of range")
+	}
+	if slot < 0 {
+		panic("coopcache: PackEntry negative slot")
+	}
+	s := uint64(slot)
+	if s > maxSlotStamp {
+		s = maxSlotStamp
+	}
+	return Entry(s<<32 | uint64(holder)+1)
 }
 
 // Holder returns the holder node ID.
@@ -44,24 +84,110 @@ func (e Entry) Holder() int { return int(uint32(e)) - 1 }
 // Slot returns the holder-local slab slot index.
 func (e Entry) Slot() int { return int(e >> 32) }
 
+// DirConfig selects the directory's addressing mode.
+type DirConfig struct {
+	// BucketsPerShard > 0 enables bucketed addressing with this many
+	// initial buckets homed on each shard; 0 keeps the direct mode.
+	BucketsPerShard int
+	// SlackBuckets is the number of spare bucket positions per shard
+	// region, the headroom migrations and splits move into (default:
+	// BucketsPerShard). Freed positions are quarantined, so this also
+	// bounds the total inbound migrations+splits per shard.
+	SlackBuckets int
+	// MaxReplicas caps how many extra hosts one bucket can split across
+	// (default 8).
+	MaxReplicas int
+}
+
+func (c DirConfig) withDefaults() DirConfig {
+	if c.BucketsPerShard > 0 && c.SlackBuckets <= 0 {
+		c.SlackBuckets = c.BucketsPerShard
+	}
+	if c.MaxReplicas <= 0 {
+		c.MaxReplicas = 8
+	}
+	return c
+}
+
 // Directory is a sharded document→placement map in registered memory.
 type Directory struct {
 	shards []verbs.RemoteAddr
+	bufs   [][]byte // registered backing memory, for zero-cost audits
 	docs   int
+
+	// loadOps counts one-sided reads+CASes landing on each shard host
+	// over the whole run — the imbalance measurement (LoadMaxOverMean).
+	loadOps []int64
+
+	// Bucketed-mode state; nil/zero in direct mode.
+	cfg         DirConfig
+	buckets     int
+	bucketWords int
+	assign      []int32   // bucket → primary shard host
+	pos         []int32   // bucket → region position on that host
+	freePos     [][]int32 // per shard: spare positions (stack)
+	repHost     []int32   // bucket*MaxReplicas + i → replica host
+	repPos      []int32   // parallel replica positions
+	repCount    []int32   // bucket → live replica count
+	winShard    []int64   // per-shard load since the last tick
+	winBucket   []int64   // per-bucket load since the last tick
+	drain       []byte    // migration/split scratch, one bucket region
+	epoch       uint32    // bumped on every assignment/replica change
+	migrations  int64
+	splits      int64
+	tickSkips   int64 // control-plane ops degraded by unreachable hosts
 }
 
-// NewDirectory registers one directory shard on each home node, sized
-// for the given working set, and returns the sharded directory. Shard
-// memory is registered at setup (before the clock matters).
+// NewDirectory registers one direct-mode directory shard on each home
+// node, sized for the given working set. Shard memory is registered at
+// setup (before the clock matters).
 func NewDirectory(nw *verbs.Network, homes []*cluster.Node, docs int) *Directory {
+	return NewDirectoryWith(nw, homes, docs, DirConfig{})
+}
+
+// NewDirectoryWith is NewDirectory with an explicit addressing mode.
+func NewDirectoryWith(nw *verbs.Network, homes []*cluster.Node, docs int, cfg DirConfig) *Directory {
 	if len(homes) == 0 || docs <= 0 {
 		panic("coopcache: directory needs homes and docs")
 	}
-	perShard := (docs + len(homes) - 1) / len(homes)
-	d := &Directory{shards: make([]verbs.RemoteAddr, len(homes)), docs: docs}
+	cfg = cfg.withDefaults()
+	d := &Directory{
+		shards:  make([]verbs.RemoteAddr, len(homes)),
+		bufs:    make([][]byte, len(homes)),
+		docs:    docs,
+		cfg:     cfg,
+		loadOps: make([]int64, len(homes)),
+	}
+	words := (docs + len(homes) - 1) / len(homes)
+	if cfg.BucketsPerShard > 0 {
+		d.buckets = len(homes) * cfg.BucketsPerShard
+		d.bucketWords = (docs + d.buckets - 1) / d.buckets
+		words = (cfg.BucketsPerShard + cfg.SlackBuckets) * d.bucketWords
+		d.assign = make([]int32, d.buckets)
+		d.pos = make([]int32, d.buckets)
+		for b := range d.assign {
+			d.assign[b] = int32(b % len(homes))
+			d.pos[b] = int32(b / len(homes))
+		}
+		d.freePos = make([][]int32, len(homes))
+		for s := range d.freePos {
+			fp := make([]int32, cfg.SlackBuckets)
+			for i := range fp {
+				fp[i] = int32(cfg.BucketsPerShard + cfg.SlackBuckets - 1 - i) // pop lowest first
+			}
+			d.freePos[s] = fp
+		}
+		d.repHost = make([]int32, d.buckets*cfg.MaxReplicas)
+		d.repPos = make([]int32, d.buckets*cfg.MaxReplicas)
+		d.repCount = make([]int32, d.buckets)
+		d.winShard = make([]int64, len(homes))
+		d.winBucket = make([]int64, d.buckets)
+		d.drain = make([]byte, d.bucketWords*8)
+	}
 	for i, n := range homes {
-		mr := nw.Attach(n).RegisterAtSetup(make([]byte, perShard*8))
-		d.shards[i] = mr.Addr()
+		buf := make([]byte, words*8)
+		d.bufs[i] = buf
+		d.shards[i] = nw.Attach(n).RegisterAtSetup(buf).Addr()
 	}
 	return d
 }
@@ -69,49 +195,448 @@ func NewDirectory(nw *verbs.Network, homes []*cluster.Node, docs int) *Directory
 // Shards returns the shard count.
 func (d *Directory) Shards() int { return len(d.shards) }
 
-// HomeShard returns the shard index serving doc (the node index within
-// the homes slice NewDirectory was given).
-func (d *Directory) HomeShard(doc int) int { return doc % len(d.shards) }
+// Bucketed reports whether the rebalancing addressing mode is active.
+func (d *Directory) Bucketed() bool { return d.buckets > 0 }
 
-// slot resolves a document to its shard address and byte offset.
-func (d *Directory) slot(doc int) (verbs.RemoteAddr, int) {
-	return d.shards[doc%len(d.shards)], doc / len(d.shards) * 8
+// HomeShard returns the shard index currently serving doc's word (the
+// node index within the homes slice the constructor was given).
+func (d *Directory) HomeShard(doc int) int {
+	if d.buckets == 0 {
+		return doc % len(d.shards)
+	}
+	return int(d.assign[doc%d.buckets])
+}
+
+// locate resolves a document to its primary shard host and byte offset.
+func (d *Directory) locate(doc int) (host, off int) {
+	if d.buckets == 0 {
+		return doc % len(d.shards), doc / len(d.shards) * 8
+	}
+	b := doc % d.buckets
+	return int(d.assign[b]), (int(d.pos[b])*d.bucketWords + doc/d.buckets) * 8
+}
+
+// locateRead resolves the copy a read from the given requester should
+// use: the primary, or — for a split bucket — one of its replicas,
+// chosen by requester identity so a hot bucket's lookups spread across
+// all hosts deterministically.
+func (d *Directory) locateRead(doc, requester int) (host, off int) {
+	if d.buckets == 0 {
+		return doc % len(d.shards), doc / len(d.shards) * 8
+	}
+	b := doc % d.buckets
+	w := doc / d.buckets
+	if n := int(d.repCount[b]); n > 0 {
+		if idx := requester % (n + 1); idx > 0 {
+			ri := b*d.cfg.MaxReplicas + idx - 1
+			return int(d.repHost[ri]), (int(d.repPos[ri])*d.bucketWords + w) * 8
+		}
+	}
+	return int(d.assign[b]), (int(d.pos[b])*d.bucketWords + w) * 8
+}
+
+// note records one datapath op landing on a shard host.
+func (d *Directory) note(host, doc int) {
+	d.loadOps[host]++
+	if d.buckets > 0 {
+		d.winShard[host]++
+		d.winBucket[doc%d.buckets]++
+	}
+}
+
+// netDegradable reports the op-failure class rebalancing and replica
+// fan-out tolerate: the far side is gone (crashed/partitioned peer) or
+// our own device is down. Anything else is a programming error.
+func netDegradable(err error) bool {
+	var oe *verbs.OpError
+	return errors.As(err, &oe) && (oe.Reason == "peer unreachable" || oe.Reason == "local device down")
 }
 
 // Lookup resolves doc's placement with a one-sided read issued from dev.
 // scratch must be at least 8 bytes (caller-owned, so a steady-state
 // lookup loop allocates nothing). A zero Entry means no copy is
-// registered.
+// registered. An empty read that raced a bucket migration retries once
+// at the new home.
 func (d *Directory) Lookup(p *sim.Proc, dev *verbs.Device, doc int, scratch []byte) (Entry, error) {
-	r, off := d.slot(doc)
-	if err := dev.Read(p, scratch[:8], r, off); err != nil {
-		return 0, err
+	for attempt := 0; ; attempt++ {
+		ep := d.epoch
+		h, off := d.locateRead(doc, dev.Node.ID)
+		d.note(h, doc)
+		if err := dev.Read(p, scratch[:8], d.shards[h], off); err != nil {
+			return 0, err
+		}
+		e := Entry(binary.LittleEndian.Uint64(scratch))
+		if e != 0 || d.epoch == ep || attempt > 0 {
+			return e, nil
+		}
 	}
-	return Entry(binary.LittleEndian.Uint64(scratch)), nil
 }
 
 // Publish installs e as doc's placement with a compare-and-swap against
 // an empty word. won reports whether this caller's install took effect
 // (a concurrent publisher may have won the race — the directory keeps
 // the first — or a stale entry may still occupy the word; the loser
-// must roll back its local install).
+// must roll back its local install). A win that raced a bucket
+// migration is undone — the word landed at a quarantined position — and
+// reported as a loss.
 func (d *Directory) Publish(p *sim.Proc, dev *verbs.Device, doc int, e Entry) (won bool, err error) {
-	r, off := d.slot(doc)
-	old, err := dev.CompareSwap(p, r, off, 0, uint64(e))
+	ep := d.epoch
+	h, off := d.locate(doc)
+	d.note(h, doc)
+	old, err := dev.CompareSwap(p, d.shards[h], off, 0, uint64(e))
 	if err != nil {
 		return false, err
 	}
-	return old == 0, nil
+	if old != 0 {
+		return false, nil
+	}
+	if d.buckets == 0 {
+		return true, nil
+	}
+	if d.epoch != ep {
+		if nh, noff := d.locate(doc); nh != h || noff != off {
+			d.note(h, doc)
+			if _, cerr := dev.CompareSwap(p, d.shards[h], off, uint64(e), 0); cerr != nil && !netDegradable(cerr) {
+				return false, cerr
+			}
+			return false, nil
+		}
+	}
+	return true, d.mutateReplicas(p, dev, doc, uint64(e), 0, true)
 }
 
 // Clear removes doc's entry if the word still equals e (CAS e → 0) —
 // the eviction/invalidation path. A Clear racing a republish loses
-// cleanly: the new word no longer matches the observed one.
+// cleanly: the new word no longer matches the observed one. A loss that
+// raced a bucket migration retries once at the new home (the word may
+// have been drained there before our CAS landed).
 func (d *Directory) Clear(p *sim.Proc, dev *verbs.Device, doc int, e Entry) (cleared bool, err error) {
-	r, off := d.slot(doc)
-	old, err := dev.CompareSwap(p, r, off, uint64(e), 0)
+	ep := d.epoch
+	h, off := d.locate(doc)
+	d.note(h, doc)
+	old, err := dev.CompareSwap(p, d.shards[h], off, uint64(e), 0)
 	if err != nil {
 		return false, err
 	}
-	return Entry(old) == e, nil
+	cleared = Entry(old) == e
+	if d.buckets == 0 {
+		return cleared, nil
+	}
+	if !cleared && d.epoch != ep {
+		if nh, noff := d.locate(doc); nh != h || noff != off {
+			d.note(nh, doc)
+			old2, err2 := dev.CompareSwap(p, d.shards[nh], noff, uint64(e), 0)
+			if err2 != nil {
+				return false, err2
+			}
+			cleared = Entry(old2) == e
+		}
+	}
+	// Replica copies of e go regardless of who cleared the primary: a
+	// lingering replica word would keep serving a dead placement.
+	return cleared, d.mutateReplicas(p, dev, doc, uint64(e), 0, false)
+}
+
+// Redirect swings doc's word from the exact observed entry old to new
+// with one CAS — the cooperative-spill demotion path: the victim's word
+// moves from the evictor's slot to the spill slot without passing
+// through the empty state, so a concurrent lookup sees either the old
+// copy or the new one, never a gap. prev reports the word the CAS
+// observed: a caller whose redirect lost against prev == new knows a
+// concurrent refresher published the identical placement.
+func (d *Directory) Redirect(p *sim.Proc, dev *verbs.Device, doc int, old, new Entry) (won bool, prev Entry, err error) {
+	ep := d.epoch
+	h, off := d.locate(doc)
+	d.note(h, doc)
+	o, err := dev.CompareSwap(p, d.shards[h], off, uint64(old), uint64(new))
+	if err != nil {
+		return false, 0, err
+	}
+	won = Entry(o) == old
+	if d.buckets == 0 {
+		return won, Entry(o), nil
+	}
+	if !won && d.epoch != ep {
+		if nh, noff := d.locate(doc); nh != h || noff != off {
+			d.note(nh, doc)
+			o2, err2 := dev.CompareSwap(p, d.shards[nh], noff, uint64(old), uint64(new))
+			if err2 != nil {
+				return false, 0, err2
+			}
+			won, o = Entry(o2) == old, o2
+			h, off = nh, noff
+		}
+	}
+	if won {
+		if nh, noff := d.locate(doc); nh != h || noff != off {
+			// Moved after our CAS: the new word sits at a quarantined
+			// position no lookup will visit. Undo and report a loss.
+			d.note(h, doc)
+			if _, cerr := dev.CompareSwap(p, d.shards[h], off, uint64(new), 0); cerr != nil && !netDegradable(cerr) {
+				return false, 0, cerr
+			}
+			return false, Entry(o), nil
+		}
+		return true, Entry(o), d.mutateReplicas(p, dev, doc, uint64(old), uint64(new), false)
+	}
+	// Lost: scrub replicas still carrying the observed-stale old word
+	// rather than swinging them to a placement the caller will undo.
+	return false, Entry(o), d.mutateReplicas(p, dev, doc, uint64(old), 0, false)
+}
+
+// mutateReplicas CASes from→to on every replica copy of doc's word,
+// best-effort: an unreachable replica host is skipped (its stale word
+// self-heals through slab validation on the reader side). publish
+// selects the install flavor, CAS 0→from (the publish path passes its
+// entry as from and installs it against an empty replica word).
+func (d *Directory) mutateReplicas(p *sim.Proc, dev *verbs.Device, doc int, from, to uint64, publish bool) error {
+	b := doc % d.buckets
+	n := int(d.repCount[b])
+	if n == 0 {
+		return nil
+	}
+	w := doc / d.buckets
+	cmp, swp := from, to
+	if publish {
+		cmp, swp = 0, from
+	}
+	for i := 0; i < n; i++ {
+		ri := b*d.cfg.MaxReplicas + i
+		h := int(d.repHost[ri])
+		off := (int(d.repPos[ri])*d.bucketWords + w) * 8
+		d.note(h, doc)
+		if _, err := dev.CompareSwap(p, d.shards[h], off, cmp, swp); err != nil && !netDegradable(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// RebalanceTick is one control-plane pass of hotspot-aware shard
+// rebalancing, run on a periodic virtual-time tick: read the load
+// window, and if the hottest shard carries at least twice the mean,
+// either split the bucket responsible (replicate its words to a spare
+// host, spreading its reads) or migrate the hottest unsplit bucket to
+// the least-loaded host (flip the assignment, then drain: republish
+// every live word at the new home and clear it at the old). Unreachable
+// hosts degrade the pass to a no-op; the window resets either way.
+func (d *Directory) RebalanceTick(p *sim.Proc, dev *verbs.Device) error {
+	if d.buckets == 0 {
+		return nil
+	}
+	var total, maxLoad int64
+	src := -1
+	for s, v := range d.winShard {
+		total += v
+		if v > maxLoad {
+			maxLoad, src = v, s
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	defer d.resetWindow()
+	mean := total / int64(len(d.shards))
+	if src < 0 || maxLoad < 2*mean || maxLoad < 16 {
+		return nil // flat enough, or too few ops to act on
+	}
+	hot, hotLoad := -1, int64(0)
+	hotUnsplit, hotUnsplitLoad := -1, int64(0)
+	for b := 0; b < d.buckets; b++ {
+		if int(d.assign[b]) != src {
+			continue
+		}
+		if d.winBucket[b] > hotLoad {
+			hot, hotLoad = b, d.winBucket[b]
+		}
+		if d.repCount[b] == 0 && d.winBucket[b] > hotUnsplitLoad {
+			hotUnsplit, hotUnsplitLoad = b, d.winBucket[b]
+		}
+	}
+	if hot < 0 {
+		return nil
+	}
+	// Split when even a fair share of the hot bucket would keep its
+	// hosts above the mean — a bucket migration could only shuffle
+	// around; otherwise migrate the hottest unsplit bucket away.
+	if hotLoad/int64(d.repCount[hot]+1) > mean && int(d.repCount[hot]) < d.cfg.MaxReplicas {
+		if dst := d.pickTarget(src, hot); dst >= 0 {
+			return d.split(p, dev, hot, dst)
+		}
+	}
+	if hotUnsplit >= 0 {
+		if dst := d.pickTarget(src, -1); dst >= 0 {
+			return d.migrate(p, dev, hotUnsplit, dst)
+		}
+	}
+	return nil
+}
+
+// pickTarget returns the least-loaded shard with a spare bucket
+// position, excluding src and (when avoid ≥ 0) every current host of
+// bucket avoid; -1 when none qualifies.
+func (d *Directory) pickTarget(src, avoid int) int {
+	best, bestLoad := -1, int64(0)
+	for s := range d.shards {
+		if s == src || len(d.freePos[s]) == 0 {
+			continue
+		}
+		if avoid >= 0 && d.hostsBucket(avoid, s) {
+			continue
+		}
+		if best < 0 || d.winShard[s] < bestLoad {
+			best, bestLoad = s, d.winShard[s]
+		}
+	}
+	return best
+}
+
+func (d *Directory) hostsBucket(b, s int) bool {
+	if int(d.assign[b]) == s {
+		return true
+	}
+	for i := 0; i < int(d.repCount[b]); i++ {
+		if int(d.repHost[b*d.cfg.MaxReplicas+i]) == s {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *Directory) popPos(s int) int32 {
+	fp := d.freePos[s]
+	np := fp[len(fp)-1]
+	d.freePos[s] = fp[:len(fp)-1]
+	return np
+}
+
+// migrate moves bucket b to shard dst. The assignment flips at this
+// decision instant — new operations resolve to the new home immediately,
+// in-flight ones re-validate against the epoch bump — then the drain
+// republishes every live word at the new home and clears it at the old.
+// The old position is quarantined (never returned to the free list), so
+// an operation that captured it before the flip lands on dead memory,
+// not on an unrelated bucket.
+func (d *Directory) migrate(p *sim.Proc, dev *verbs.Device, b, dst int) error {
+	srcH, srcPos := int(d.assign[b]), int(d.pos[b])
+	np := d.popPos(dst)
+	d.assign[b], d.pos[b] = int32(dst), np
+	d.epoch++
+	d.migrations++
+	base := srcPos * d.bucketWords * 8
+	if err := dev.Read(p, d.drain, d.shards[srcH], base); err != nil {
+		return d.degrade(err)
+	}
+	for i := 0; i < d.bucketWords; i++ {
+		w := binary.LittleEndian.Uint64(d.drain[i*8:])
+		if w == 0 {
+			continue
+		}
+		// Either we install w at the new home or a fresh publish beat
+		// us there — both leave a single live word.
+		if _, err := dev.CompareSwap(p, d.shards[dst], (int(np)*d.bucketWords+i)*8, 0, w); err != nil {
+			return d.degrade(err)
+		}
+		if _, err := dev.CompareSwap(p, d.shards[srcH], base+i*8, w, 0); err != nil {
+			return d.degrade(err)
+		}
+	}
+	return nil
+}
+
+// split replicates bucket b onto shard dst: readers start picking the
+// replica at this decision instant, and the seed copy fills in behind
+// them (a not-yet-seeded replica word just reads as a miss).
+func (d *Directory) split(p *sim.Proc, dev *verbs.Device, b, dst int) error {
+	np := d.popPos(dst)
+	ri := b*d.cfg.MaxReplicas + int(d.repCount[b])
+	d.repHost[ri], d.repPos[ri] = int32(dst), np
+	d.repCount[b]++
+	d.epoch++
+	d.splits++
+	srcH, srcPos := int(d.assign[b]), int(d.pos[b])
+	if err := dev.Read(p, d.drain, d.shards[srcH], srcPos*d.bucketWords*8); err != nil {
+		return d.degrade(err)
+	}
+	for w := 0; w < d.bucketWords; w++ {
+		v := binary.LittleEndian.Uint64(d.drain[w*8:])
+		if v == 0 {
+			continue
+		}
+		if _, err := dev.CompareSwap(p, d.shards[dst], (int(np)*d.bucketWords+w)*8, 0, v); err != nil {
+			return d.degrade(err)
+		}
+	}
+	return nil
+}
+
+// degrade absorbs unreachable-host failures on the control plane — the
+// tick just gives up this round — and surfaces everything else.
+func (d *Directory) degrade(err error) error {
+	if netDegradable(err) {
+		d.tickSkips++
+		return nil
+	}
+	return err
+}
+
+func (d *Directory) resetWindow() {
+	for i := range d.winShard {
+		d.winShard[i] = 0
+	}
+	for i := range d.winBucket {
+		d.winBucket[i] = 0
+	}
+}
+
+// LoadMaxOverMean returns the per-shard load imbalance over the whole
+// run: the hottest shard's read+CAS count over the mean (0 before any
+// traffic).
+func (d *Directory) LoadMaxOverMean() float64 {
+	var total, max int64
+	for _, v := range d.loadOps {
+		total += v
+		if v > max {
+			max = v
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(max) * float64(len(d.loadOps)) / float64(total)
+}
+
+// Migrations returns how many bucket migrations have run.
+func (d *Directory) Migrations() int64 { return d.migrations }
+
+// Splits returns how many bucket splits have run.
+func (d *Directory) Splits() int64 { return d.splits }
+
+// TickSkips returns how many control-plane ops degraded against
+// unreachable hosts.
+func (d *Directory) TickSkips() int64 { return d.tickSkips }
+
+// DebugPlacements invokes fn for every nonzero directory word reachable
+// through the current addressing — each document's primary word plus
+// any replica copies. It inspects the registered backing memory
+// directly (zero simulated cost); audit/test use only.
+func (d *Directory) DebugPlacements(fn func(doc int, e Entry, replica bool)) {
+	for doc := 0; doc < d.docs; doc++ {
+		h, off := d.locate(doc)
+		if w := binary.LittleEndian.Uint64(d.bufs[h][off:]); w != 0 {
+			fn(doc, Entry(w), false)
+		}
+		if d.buckets == 0 {
+			continue
+		}
+		b := doc % d.buckets
+		wi := doc / d.buckets
+		for i := 0; i < int(d.repCount[b]); i++ {
+			ri := b*d.cfg.MaxReplicas + i
+			roff := (int(d.repPos[ri])*d.bucketWords + wi) * 8
+			if v := binary.LittleEndian.Uint64(d.bufs[int(d.repHost[ri])][roff:]); v != 0 {
+				fn(doc, Entry(v), true)
+			}
+		}
+	}
 }

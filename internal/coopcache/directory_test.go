@@ -13,13 +13,19 @@ import (
 // and returns requester devices on nodes 0 and 3.
 func dirEnv(t *testing.T, docs int) (*sim.Env, *Directory, *verbs.Device, *verbs.Device) {
 	t.Helper()
+	return dirEnvWith(t, docs, DirConfig{})
+}
+
+// dirEnvWith is dirEnv with an explicit addressing mode.
+func dirEnvWith(t *testing.T, docs int, cfg DirConfig) (*sim.Env, *Directory, *verbs.Device, *verbs.Device) {
+	t.Helper()
 	env := sim.NewEnv(1)
 	nw := verbs.NewNetwork(env, fabric.DefaultParams())
 	nodes := make([]*cluster.Node, 4)
 	for i := range nodes {
 		nodes[i] = cluster.NewNode(env, i, 2, 1<<24)
 	}
-	dir := NewDirectory(nw, nodes[1:3], docs)
+	dir := NewDirectoryWith(nw, nodes[1:3], docs, cfg)
 	return env, dir, nw.Attach(nodes[0]), nw.Attach(nodes[3])
 }
 
@@ -40,6 +46,69 @@ func TestEntryPacking(t *testing.T) {
 	// protection eviction/invalidation relies on.
 	if PackEntry(7, 3) == PackEntry(7, 4) {
 		t.Fatal("slot bits do not disambiguate re-installs")
+	}
+}
+
+// The slot stamp saturates instead of wrapping: a slot past the 32-bit
+// stamp width must never alias a live low slot, or the exact-word CAS
+// discipline reopens the ABA race it exists to close.
+func TestEntryPackingWrapGuard(t *testing.T) {
+	const wrapped = maxSlotStamp + 3 // would alias slot 3 under modular wrap
+	if got := PackEntry(7, wrapped); got == PackEntry(7, 3) {
+		t.Fatal("wrapped slot stamp aliases a live low slot")
+	} else if got.Slot() != maxSlotStamp {
+		t.Fatalf("oversized slot packs stamp %d, want saturation at %d", got.Slot(), maxSlotStamp)
+	}
+	// Saturated stamps only collide with each other — acceptable, since
+	// no real slab has 2^32 slots.
+	if PackEntry(7, maxSlotStamp) != PackEntry(7, maxSlotStamp+99) {
+		t.Fatal("saturated stamps should collide with each other only")
+	}
+	for _, bad := range []struct {
+		name         string
+		holder, slot int
+	}{
+		{"negative holder", -1, 0},
+		{"holder over stamp width", maxSlotStamp, 0},
+		{"negative slot", 0, -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PackEntry(%s) did not panic", bad.name)
+				}
+			}()
+			PackEntry(bad.holder, bad.slot)
+		}()
+	}
+}
+
+// Wrap interleaving: a holder whose slot counter ran past the stamp
+// width issues a stale clear carrying a saturated stamp — it must lose
+// against the live low-slot entry, and the live word must survive.
+func TestDirectoryWrapInterleaving(t *testing.T) {
+	env, dir, dev, _ := dirEnv(t, 64)
+	live := PackEntry(1, 3)
+	stale := PackEntry(1, maxSlotStamp+3)
+	env.Go("wrap", func(p *sim.Proc) {
+		if won, err := dir.Publish(p, dev, 12, live); err != nil || !won {
+			t.Fatalf("publish live: won=%v err=%v", won, err)
+		}
+		// The late invalidation from the wrapped-counter era arrives now.
+		if cleared, err := dir.Clear(p, dev, 12, stale); err != nil || cleared {
+			t.Errorf("stale saturated clear: cleared=%v err=%v, want false nil", cleared, err)
+		}
+		scratch := make([]byte, 8)
+		if e, err := dir.Lookup(p, dev, 12, scratch); err != nil || e != live {
+			t.Errorf("after stale clear entry = %x err=%v, want %x", e, err, live)
+		}
+		// And the genuine clear still lands.
+		if cleared, err := dir.Clear(p, dev, 12, live); err != nil || !cleared {
+			t.Errorf("live clear: cleared=%v err=%v", cleared, err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -142,6 +211,195 @@ func TestDirectoryConcurrentClear(t *testing.T) {
 	a, b := <-results, <-results
 	if a == b {
 		t.Fatalf("concurrent clears returned %v/%v, want exactly one success", a, b)
+	}
+}
+
+// Redirect swings a word between two placements without passing through
+// the empty state, loses cleanly against a stale observation, and
+// reports a concurrent refresher's identical install via prev.
+func TestDirectoryRedirect(t *testing.T) {
+	env, dir, dev, _ := dirEnv(t, 64)
+	old, spill := PackEntry(1, 2), PackEntry(2, 40)
+	env.Go("redirect", func(p *sim.Proc) {
+		scratch := make([]byte, 8)
+		if won, err := dir.Publish(p, dev, 9, old); err != nil || !won {
+			t.Fatalf("seed publish: won=%v err=%v", won, err)
+		}
+		won, prev, err := dir.Redirect(p, dev, 9, old, spill)
+		if err != nil || !won || prev != old {
+			t.Fatalf("redirect: won=%v prev=%x err=%v, want win over %x", won, prev, err, old)
+		}
+		if e, err := dir.Lookup(p, dev, 9, scratch); err != nil || e != spill {
+			t.Errorf("after redirect entry = %x err=%v, want %x", e, err, spill)
+		}
+		// A second demoter still carrying the pre-demotion word loses and
+		// sees the spill entry it was about to install: prev == new tells
+		// it a concurrent refresher already published the placement.
+		won, prev, err = dir.Redirect(p, dev, 9, old, spill)
+		if err != nil || won || prev != spill {
+			t.Errorf("stale redirect: won=%v prev=%x err=%v, want loss with prev=%x", won, prev, err, spill)
+		}
+		// The spill entry clears with its exact word, not the old one.
+		if cleared, err := dir.Clear(p, dev, 9, old); err != nil || cleared {
+			t.Errorf("clear with pre-redirect word: cleared=%v err=%v, want false", cleared, err)
+		}
+		if cleared, err := dir.Clear(p, dev, 9, spill); err != nil || !cleared {
+			t.Errorf("clear spill word: cleared=%v err=%v", cleared, err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Bucketed addressing without any rebalance traffic behaves exactly like
+// the direct mode for the publish/lookup/clear/redirect lifecycle.
+func TestDirectoryBucketedParity(t *testing.T) {
+	env, dir, dev, _ := dirEnvWith(t, 64, DirConfig{BucketsPerShard: 4})
+	if !dir.Bucketed() {
+		t.Fatal("BucketsPerShard > 0 should enable bucketed mode")
+	}
+	env.Go("cycle", func(p *sim.Proc) {
+		scratch := make([]byte, 8)
+		for doc := 0; doc < 64; doc += 7 {
+			e := PackEntry(doc%4, doc)
+			if won, err := dir.Publish(p, dev, doc, e); err != nil || !won {
+				t.Fatalf("doc %d publish: won=%v err=%v", doc, won, err)
+			}
+			if got, err := dir.Lookup(p, dev, doc, scratch); err != nil || got != e {
+				t.Fatalf("doc %d lookup = %x err=%v, want %x", doc, got, err, e)
+			}
+			ne := PackEntry(3, doc+64)
+			if won, _, err := dir.Redirect(p, dev, doc, e, ne); err != nil || !won {
+				t.Fatalf("doc %d redirect: won=%v err=%v", doc, won, err)
+			}
+			if cleared, err := dir.Clear(p, dev, doc, ne); err != nil || !cleared {
+				t.Fatalf("doc %d clear: cleared=%v err=%v", doc, cleared, err)
+			}
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dir.Migrations() != 0 || dir.Splits() != 0 {
+		t.Fatalf("idle bucketed directory ran %d migrations / %d splits", dir.Migrations(), dir.Splits())
+	}
+}
+
+// A rebalance tick under skew spread across several buckets migrates the
+// hottest bucket to the cold shard; entries published before the move
+// stay resolvable and still clear with their exact words.
+func TestDirectoryRebalanceMigrates(t *testing.T) {
+	// 2 shards × 2 buckets: docs 0,4,8,… → bucket 0 (shard 0), docs
+	// 2,6,10,… → bucket 2 (shard 0); odd docs land on shard 1.
+	env, dir, dev, _ := dirEnvWith(t, 64, DirConfig{BucketsPerShard: 2})
+	e0, e2 := PackEntry(1, 10), PackEntry(1, 11)
+	env.Go("drive", func(p *sim.Proc) {
+		scratch := make([]byte, 8)
+		if won, err := dir.Publish(p, dev, 0, e0); err != nil || !won {
+			t.Fatalf("publish doc 0: won=%v err=%v", won, err)
+		}
+		if won, err := dir.Publish(p, dev, 2, e2); err != nil || !won {
+			t.Fatalf("publish doc 2: won=%v err=%v", won, err)
+		}
+		// Even skew across shard 0's two buckets: max = 2×mean, but no
+		// single bucket dominates, so the tick migrates rather than splits.
+		for i := 0; i < 16; i++ {
+			if _, err := dir.Lookup(p, dev, 0, scratch); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := dir.Lookup(p, dev, 2, scratch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before := dir.HomeShard(0)
+		if err := dir.RebalanceTick(p, dev); err != nil {
+			t.Fatal(err)
+		}
+		if dir.Migrations() != 1 || dir.Splits() != 0 {
+			t.Fatalf("tick ran %d migrations / %d splits, want 1 / 0", dir.Migrations(), dir.Splits())
+		}
+		if after := dir.HomeShard(0); after == before {
+			t.Fatalf("bucket 0 still homed on shard %d after migration", after)
+		}
+		// The drained word still resolves at its new home and clears with
+		// the exact pre-migration entry.
+		if got, err := dir.Lookup(p, dev, 0, scratch); err != nil || got != e0 {
+			t.Errorf("post-migration lookup = %x err=%v, want %x", got, err, e0)
+		}
+		if cleared, err := dir.Clear(p, dev, 0, e0); err != nil || !cleared {
+			t.Errorf("post-migration clear: cleared=%v err=%v", cleared, err)
+		}
+		if got, err := dir.Lookup(p, dev, 2, scratch); err != nil || got != e2 {
+			t.Errorf("unmigrated doc 2 lookup = %x err=%v, want %x", got, err, e2)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Audit: no document may keep two live primary placements.
+	seen := map[int]int{}
+	dir.DebugPlacements(func(doc int, e Entry, replica bool) {
+		if !replica {
+			seen[doc]++
+		}
+	})
+	for doc, n := range seen {
+		if n > 1 {
+			t.Errorf("doc %d has %d primary placements after migration", doc, n)
+		}
+	}
+}
+
+// A single dominant bucket splits instead: a replica host starts serving
+// reads for some requesters, and publishes/clears fan out to it.
+func TestDirectoryRebalanceSplits(t *testing.T) {
+	env, dir, devA, devB := dirEnvWith(t, 64, DirConfig{BucketsPerShard: 2})
+	e := PackEntry(1, 10)
+	env.Go("drive", func(p *sim.Proc) {
+		scratch := make([]byte, 8)
+		if won, err := dir.Publish(p, devA, 0, e); err != nil || !won {
+			t.Fatalf("publish doc 0: won=%v err=%v", won, err)
+		}
+		// All the heat on bucket 0: even a fair split of its load would
+		// exceed the mean, so the tick replicates rather than migrates.
+		for i := 0; i < 32; i++ {
+			if _, err := dir.Lookup(p, devA, 0, scratch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := dir.RebalanceTick(p, devA); err != nil {
+			t.Fatal(err)
+		}
+		if dir.Splits() != 1 || dir.Migrations() != 0 {
+			t.Fatalf("tick ran %d splits / %d migrations, want 1 / 0", dir.Splits(), dir.Migrations())
+		}
+		// Requesters on both sides of the replica-picking hash see the
+		// seeded copy (devA is node 0 → primary, devB node 3 → replica).
+		if got, err := dir.Lookup(p, devA, 0, scratch); err != nil || got != e {
+			t.Errorf("primary-side lookup = %x err=%v, want %x", got, err, e)
+		}
+		if got, err := dir.Lookup(p, devB, 0, scratch); err != nil || got != e {
+			t.Errorf("replica-side lookup = %x err=%v, want %x", got, err, e)
+		}
+		// A fresh publish into the split bucket reaches both copies…
+		e4 := PackEntry(2, 7)
+		if won, err := dir.Publish(p, devA, 4, e4); err != nil || !won {
+			t.Fatalf("publish doc 4: won=%v err=%v", won, err)
+		}
+		if got, err := dir.Lookup(p, devB, 4, scratch); err != nil || got != e4 {
+			t.Errorf("replica-side lookup of fresh publish = %x err=%v, want %x", got, err, e4)
+		}
+		// …and a clear scrubs both, so no replica serves a dead placement.
+		if cleared, err := dir.Clear(p, devA, 4, e4); err != nil || !cleared {
+			t.Fatalf("clear doc 4: cleared=%v err=%v", cleared, err)
+		}
+		if got, err := dir.Lookup(p, devB, 4, scratch); err != nil || got != 0 {
+			t.Errorf("replica-side lookup after clear = %x err=%v, want empty", got, err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
 	}
 }
 

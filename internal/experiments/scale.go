@@ -81,6 +81,22 @@ type ScaleConfig struct {
 	// A fraction < 1 bounds the slab and turns misses into
 	// evict/invalidate churn.
 	CacheFrac float64
+	// Spill enables the cooperative victim tier: each cache node
+	// reserves a spill region past its LRU slots, and an eviction
+	// demotes the victim into a rack neighbor's region (one-sided Write
+	// + CAS directory redirect) instead of dropping it. Off by default.
+	Spill bool
+	// SpillFrac sizes the reserved region as a fraction of the node's
+	// main slot count (default 1.5; only meaningful with Spill). The
+	// region models the rack's idle memory, so it is deliberately larger
+	// than the hot set a node keeps under LRU.
+	SpillFrac float64
+	// Rebalance enables hotspot-aware directory rebalancing: bucketed
+	// shard addressing plus a periodic tick that migrates or splits the
+	// hottest shard's buckets. Off by default.
+	Rebalance bool
+	// RebalanceEvery is the virtual tick period (default 200µs).
+	RebalanceEvery time.Duration
 	// FrontCPU is the per-request front-end admission/parse cost
 	// (default 3µs).
 	FrontCPU time.Duration
@@ -114,6 +130,12 @@ func (c ScaleConfig) withDefaults() ScaleConfig {
 	}
 	if c.ZipfAlpha == 0 {
 		c.ZipfAlpha = 0.99
+	}
+	if c.SpillFrac <= 0 {
+		c.SpillFrac = 1.5
+	}
+	if c.RebalanceEvery <= 0 {
+		c.RebalanceEvery = 200 * time.Microsecond
 	}
 	if c.FrontCPU <= 0 {
 		c.FrontCPU = 3 * time.Microsecond
@@ -171,6 +193,29 @@ type ScaleResult struct {
 	DeadFallbacks    int64
 	Rollbacks        int64
 	CacheEvictPerSec float64
+	// Cooperative-spill telemetry. SpillEnabled echoes the config;
+	// SpillSlots is the reserved victim capacity across the tier.
+	// Spills counts successful demotions, SpillHits the requests served
+	// from a spill slot, SpillDrops the demotions degraded to a plain
+	// drop (dead/full neighbors, queue overflow), SpillRedirectLost the
+	// demotions undone after losing the directory redirect CAS, and
+	// SpillReclaims the oldest-resident evictions a full region made
+	// room with.
+	SpillEnabled      bool
+	SpillSlots        int64
+	Spills            int64
+	SpillHits         int64
+	SpillDrops        int64
+	SpillRedirectLost int64
+	SpillReclaims     int64
+	SpillHitPerSec    float64
+	// Directory-rebalancing telemetry. DirMaxOverMean is the hottest
+	// shard's read+CAS load over the mean (measured in every cell);
+	// migrations/splits only move with Rebalance on.
+	RebalanceOn    bool
+	DirMaxOverMean float64
+	DirMigrations  int64
+	DirSplits      int64
 	// Events is the engine's processed-event count; Wall the host time
 	// of the run — together the cluster_events_per_sec bench key.
 	Events uint64
@@ -197,7 +242,7 @@ type scaleCache struct {
 
 	lrus     []*lru.Cache[int32] // per cache node, byte capacity = slots×DocBytes
 	slotDoc  [][]int32           // per node: slot → resident doc, -1 free
-	freeSlot [][]int32           // per node: stack of free slot indices
+	freeSlot [][]int32           // per node: stack of free main-slot indices
 	docNode  []int32             // doc → cache node index holding it, -1 none
 	docSlot  []int32             // doc → slot on docNode
 	// dead marks cache nodes observed unreachable; installs skip them.
@@ -209,7 +254,56 @@ type scaleCache struct {
 	frac       float64 // effective fraction (1.0 when exact-sized)
 	totalSlots int64
 
+	// Cooperative-spill state (nil/empty when disabled). Slots past
+	// mainSlots[i] on node i are its reserved spill region; spilled
+	// documents sit outside the LRU and are reclaimed FIFO by the
+	// region manager. Each node runs one demotion worker daemon fed by
+	// a fixed ring, so the evictor's request never waits on the spill
+	// wire ops; a full ring degrades to a plain drop.
+	env        *sim.Env
+	devs       []*verbs.Device // per cache node, the demotion issuers
+	mainSlots  []int32         // per node: first spill slot index
+	spill      *coopcache.SpillRegions
+	spillSlots int64
+	rackPeers  [][]int32 // rack → cache-node indices in it
+	rackOf     []int32   // cache-node index → rack
+	spillQ     []spillRing
+	workers    []*sim.Proc
+	workerIdle []bool
+	// fail surfaces worker errors that are not degradable faults; set
+	// by the cell runner (tests may override).
+	fail func(error)
+
 	evictions, invalidations, staleReads, deadFallbacks, rollbacks int64
+
+	spills, spillHits, spillDrops, spillRedirectLost, spillReclaims int64
+}
+
+// spillRing is one node's fixed-capacity demotion queue.
+type spillRing struct {
+	buf     []spillJob
+	head, n int
+}
+
+type spillJob struct{ doc, slot int32 }
+
+func (q *spillRing) push(j spillJob) bool {
+	if q.n == len(q.buf) {
+		return false
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = j
+	q.n++
+	return true
+}
+
+func (q *spillRing) pop() (spillJob, bool) {
+	if q.n == 0 {
+		return spillJob{}, false
+	}
+	j := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return j, true
 }
 
 // cacheScratch is one driver's reusable buffers, so the churn path
@@ -228,25 +322,43 @@ func newCacheScratch() *cacheScratch {
 	}
 }
 
+// scaleCacheConfig is the cache-tier slice of a cell's config.
+type scaleCacheConfig struct {
+	docs, docBytes int
+	frac           float64
+	spillFrac      float64 // > 0 reserves spill regions and arms the demotion workers
+	rackSize       int
+	rebalance      bool // bucketed directory + hotspot rebalancing
+}
+
 // newScaleCache registers the directory and the per-node slabs. Each
-// node's slot count is its exact share of the working set (the number
-// of documents hashing to it) scaled by frac, floored at one slot.
-func newScaleCache(nw *verbs.Network, caches []*cluster.Node, docs, docBytes int, frac float64) *scaleCache {
+// node's main slot count is its exact share of the working set (the
+// number of documents hashing to it) scaled by frac, floored at one
+// slot; with spill enabled the slab grows by a reserved victim region
+// of spillFrac × that.
+func newScaleCache(nw *verbs.Network, caches []*cluster.Node, cc scaleCacheConfig) *scaleCache {
 	nc := len(caches)
-	sc := &scaleCache{
-		dir:      coopcache.NewDirectory(nw, caches, docs),
-		slabs:    make([]verbs.RemoteAddr, nc),
-		lrus:     make([]*lru.Cache[int32], nc),
-		slotDoc:  make([][]int32, nc),
-		freeSlot: make([][]int32, nc),
-		docNode:  make([]int32, docs),
-		docSlot:  make([]int32, docs),
-		dead:     make([]bool, nc),
-		docBytes: docBytes,
-		frac:     1,
+	docs, docBytes := cc.docs, cc.docBytes
+	var dirCfg coopcache.DirConfig
+	if cc.rebalance {
+		dirCfg.BucketsPerShard = 8
 	}
-	if frac > 0 && frac < 1 {
-		sc.frac = frac
+	sc := &scaleCache{
+		dir:       coopcache.NewDirectoryWith(nw, caches, docs, dirCfg),
+		slabs:     make([]verbs.RemoteAddr, nc),
+		lrus:      make([]*lru.Cache[int32], nc),
+		slotDoc:   make([][]int32, nc),
+		freeSlot:  make([][]int32, nc),
+		docNode:   make([]int32, docs),
+		docSlot:   make([]int32, docs),
+		dead:      make([]bool, nc),
+		mainSlots: make([]int32, nc),
+		docBytes:  docBytes,
+		frac:      1,
+		fail:      func(err error) { panic(err) },
+	}
+	if cc.frac > 0 && cc.frac < 1 {
+		sc.frac = cc.frac
 	}
 	for d := range sc.docNode {
 		sc.docNode[d] = -1
@@ -256,27 +368,95 @@ func newScaleCache(nw *verbs.Network, caches []*cluster.Node, docs, docBytes int
 	for d := 0; d < docs; d++ {
 		homeLoad[sc.home(d)]++
 	}
+	spillCount := make([]int32, nc)
 	for i, n := range caches {
 		slots := homeLoad[i]
-		if frac > 0 && frac < 1 {
-			slots = int(frac * float64(homeLoad[i]))
+		if cc.frac > 0 && cc.frac < 1 {
+			slots = int(cc.frac * float64(homeLoad[i]))
 		}
 		if slots < 1 {
 			slots = 1
 		}
-		sc.slabs[i] = nw.Attach(n).RegisterAtSetup(make([]byte, slots*docBytes)).Addr()
+		sc.mainSlots[i] = int32(slots)
+		spillSlots := 0
+		if cc.spillFrac > 0 {
+			spillSlots = int(cc.spillFrac*float64(slots) + 0.5)
+			if spillSlots < 1 {
+				spillSlots = 1
+			}
+		}
+		spillCount[i] = int32(spillSlots)
+		total := slots + spillSlots
+		sc.slabs[i] = nw.Attach(n).RegisterAtSetup(make([]byte, total*docBytes)).Addr()
 		sc.lrus[i] = lru.New[int32](int64(slots) * int64(docBytes))
-		sd := make([]int32, slots)
+		sd := make([]int32, total)
 		fs := make([]int32, slots)
 		for j := range sd {
 			sd[j] = -1
+		}
+		for j := range fs {
 			fs[j] = int32(slots - 1 - j) // pop order: slot 0 first
 		}
 		sc.slotDoc[i] = sd
 		sc.freeSlot[i] = fs
 		sc.totalSlots += int64(slots)
+		sc.spillSlots += int64(spillSlots)
+	}
+	if cc.spillFrac > 0 {
+		sc.spill = coopcache.NewSpillRegions(sc.mainSlots, spillCount)
+		sc.devs = make([]*verbs.Device, nc)
+		for i, n := range caches {
+			sc.devs[i] = nw.Attach(n)
+		}
+		rackSize := cc.rackSize
+		if rackSize <= 0 {
+			rackSize = 32
+		}
+		sc.rackOf = make([]int32, nc)
+		racks := 0
+		for i, n := range caches {
+			r := n.ID / rackSize
+			sc.rackOf[i] = int32(r)
+			if r+1 > racks {
+				racks = r + 1
+			}
+		}
+		sc.rackPeers = make([][]int32, racks)
+		for i := range caches {
+			r := sc.rackOf[i]
+			sc.rackPeers[r] = append(sc.rackPeers[r], int32(i))
+		}
+		sc.spillQ = make([]spillRing, nc)
+		for i := range sc.spillQ {
+			sc.spillQ[i].buf = make([]spillJob, 32)
+		}
+		sc.workers = make([]*sim.Proc, nc)
+		sc.workerIdle = make([]bool, nc)
+	}
+	if cc.rebalance && sc.devs == nil {
+		// The rebalance tick issues from a cache-tier device even when
+		// spill is off.
+		sc.devs = make([]*verbs.Device, nc)
+		for i, n := range caches {
+			sc.devs[i] = nw.Attach(n)
+		}
 	}
 	return sc
+}
+
+// startSpillWorkers spawns the per-node demotion daemons. A no-op when
+// spill is disabled.
+func (sc *scaleCache) startSpillWorkers(env *sim.Env) {
+	sc.env = env
+	if sc.spill == nil {
+		return
+	}
+	for n := range sc.lrus {
+		nn := n
+		sc.workers[n] = env.GoDaemon(fmt.Sprintf("spill-%d", nn), func(p *sim.Proc) {
+			sc.spillWorker(p, nn)
+		})
+	}
 }
 
 // home maps a document to its preferred holder (a cache node index).
@@ -289,6 +469,14 @@ func (sc *scaleCache) home(doc int) int {
 func unreachable(err error) bool {
 	var oe *verbs.OpError
 	return errors.As(err, &oe) && oe.Reason == "peer unreachable"
+}
+
+// degradable widens unreachable with "local device down" — the spill
+// workers issue from cache-node devices, so a crash of their own node
+// must degrade the demotion (plain drop), not fail the cell.
+func degradable(err error) bool {
+	var oe *verbs.OpError
+	return errors.As(err, &oe) && (oe.Reason == "peer unreachable" || oe.Reason == "local device down")
 }
 
 // lookup resolves doc's directory word. A lookup against a crashed
@@ -335,6 +523,15 @@ func (sc *scaleCache) serveHit(p *sim.Proc, dev *verbs.Device, doc int, e coopca
 		// read belong to another document.
 		sc.staleReads++
 		return false, sc.clearEntry(p, dev, doc, e)
+	}
+	if s >= int(sc.mainSlots[h]) {
+		// Served from the holder's spill region: the victim tier paid
+		// off. Re-stamp the claim so reclaim order approximates LRU over
+		// the victim tier — without this, a hot resident is dropped just
+		// because it was demoted early.
+		sc.spillHits++
+		sc.spill.Touch(h, int32(s))
+		return true, nil
 	}
 	sc.lrus[h].Get(int32(doc)) // touch recency; metadata-only
 	return true, nil
@@ -410,10 +607,17 @@ func (sc *scaleCache) install(p *sim.Proc, dev *verbs.Device, doc int, buf []byt
 	sc.docNode[doc] = int32(n)
 	sc.docSlot[doc] = s
 
-	// Invalidate the victims' directory words before publishing the
-	// new document: a reader must never find a committed word naming a
-	// slot the tier has already handed out.
+	// Deal with the victims' directory words before publishing the new
+	// document. With spill enabled the victim is handed to the node's
+	// demotion worker — its word stays up until the worker redirects it
+	// to the spill copy (a reader racing the turnover fails slab
+	// validation and degrades to a miss, exactly the stale-read path).
+	// Otherwise invalidate eagerly: a reader must never find a
+	// committed word naming a slot the tier has already handed out.
 	for i, v := range scr.ev {
+		if sc.enqueueSpill(n, v, scr.evSlots[i]) {
+			continue
+		}
 		if err := sc.clearEntry(p, dev, int(v), coopcache.PackEntry(n, int(scr.evSlots[i]))); err != nil {
 			return err
 		}
@@ -470,24 +674,211 @@ func (sc *scaleCache) clearEntry(p *sim.Proc, dev *verbs.Device, doc int, e coop
 }
 
 // dropIfAt undoes doc's local placement if it still is (n, s): the LRU
-// entry, the slot claim and the doc→node map. A no-op if a concurrent
-// evictor already recycled the slot.
+// entry (or spill claim), the slot claim and the doc→node map. A no-op
+// if a concurrent evictor already recycled the slot.
 func (sc *scaleCache) dropIfAt(doc, n int, s int32) {
 	if sc.docNode[doc] != int32(n) || sc.docSlot[doc] != s {
 		return
 	}
-	sc.lrus[n].Remove(int32(doc))
+	if s >= sc.mainSlots[n] {
+		sc.spill.Release(n, s)
+	} else {
+		sc.lrus[n].Remove(int32(doc))
+		sc.freeSlot[n] = append(sc.freeSlot[n], s)
+	}
 	sc.slotDoc[n][s] = -1
-	sc.freeSlot[n] = append(sc.freeSlot[n], s)
 	sc.docNode[doc] = -1
 	sc.docSlot[doc] = -1
 }
 
+// enqueueSpill hands an evicted victim to node n's demotion worker.
+// false when spill is off or the ring is full (the caller invalidates
+// eagerly — a plain drop).
+func (sc *scaleCache) enqueueSpill(n int, doc, slot int32) bool {
+	if sc.spill == nil {
+		return false
+	}
+	if !sc.spillQ[n].push(spillJob{doc: doc, slot: slot}) {
+		sc.spillDrops++
+		return false
+	}
+	if sc.workerIdle[n] {
+		sc.workerIdle[n] = false
+		sc.env.Wake(sc.workers[n])
+	}
+	return true
+}
+
+const parkSpillIdle = "spill-idle"
+
+// spillWorker is node n's demotion daemon: it drains the ring, parking
+// when idle. The payload buffer is per-worker, so demotions allocate
+// nothing in steady state.
+func (sc *scaleCache) spillWorker(p *sim.Proc, n int) {
+	buf := make([]byte, sc.docBytes)
+	for {
+		j, ok := sc.spillQ[n].pop()
+		if !ok {
+			sc.workerIdle[n] = true
+			p.Park(parkSpillIdle)
+			continue
+		}
+		sc.runSpill(p, n, j, buf)
+	}
+}
+
+// runSpill demotes one victim: claim a spill slot on a rack neighbor
+// (reclaiming the neighbor's oldest spill resident when the region is
+// full), write the bytes, and swing the victim's directory word from
+// the evicted slot to the spill slot with one CAS. Every failure mode
+// — no viable neighbor, unreachable target, lost redirect — degrades
+// to the plain drop the tier did before spill existed.
+func (sc *scaleCache) runSpill(p *sim.Proc, n int, j spillJob, buf []byte) {
+	doc := int(j.doc)
+	dev := sc.devs[n]
+	old := coopcache.PackEntry(n, int(j.slot))
+	if sc.docNode[doc] != -1 {
+		if sc.docNode[doc] == int32(n) && sc.docSlot[doc] == j.slot {
+			// Re-installed at the very same placement while queued: the
+			// old word IS the live word — leave it alone.
+			return
+		}
+		// The doc was re-installed elsewhere while queued; our stale
+		// word is whatever the installer raced against. Just take it out.
+		if err := sc.clearEntry(p, dev, doc, old); err != nil {
+			sc.fail(err)
+		}
+		return
+	}
+	t := sc.pickSpillTarget(n)
+	if t < 0 {
+		sc.spillDrops++
+		if err := sc.clearEntry(p, dev, doc, old); err != nil {
+			sc.fail(err)
+		}
+		return
+	}
+	ss, ok := sc.spill.Claim(t)
+	odDoc := int32(-1)
+	if !ok {
+		ss, ok = sc.spill.Reclaim(t)
+		if ok {
+			if od := sc.slotDoc[t][ss]; od >= 0 {
+				// Drop the oldest spill resident to make room. Only the
+				// metadata moves at this instant; its directory word is
+				// invalidated below, after the slot is ours — issuing the
+				// CAS first would open a window where a racing installer
+				// rebinds the victim while this worker still assumes it
+				// owns the claim.
+				sc.spillReclaims++
+				sc.docNode[od] = -1
+				sc.docSlot[od] = -1
+				odDoc = od
+			}
+		}
+	}
+	if !ok {
+		sc.spillDrops++
+		if err := sc.clearEntry(p, dev, doc, old); err != nil {
+			sc.fail(err)
+		}
+		return
+	}
+	// Claim the placement at this decision instant, before any costed
+	// op, so concurrent readers validate consistently.
+	sc.slotDoc[t][ss] = j.doc
+	sc.docNode[doc] = int32(t)
+	sc.docSlot[doc] = ss
+	if odDoc >= 0 {
+		// The reclaimed resident's word still names this slot; take it
+		// out so lookups stop chasing a placement that now holds doc.
+		// (A reader that races this clear fails slab validation anyway.)
+		if err := sc.clearEntry(p, dev, int(odDoc), coopcache.PackEntry(t, int(ss))); err != nil {
+			sc.fail(err)
+			return
+		}
+	}
+	if err := dev.Write(p, sc.slabs[t], int(ss)*sc.docBytes, buf); err != nil {
+		if !degradable(err) {
+			sc.fail(err)
+			return
+		}
+		if unreachable(err) {
+			sc.dead[t] = true
+		}
+		sc.deadFallbacks++
+		sc.spillDrops++
+		sc.dropIfAt(doc, t, ss)
+		if err := sc.clearEntry(p, dev, doc, old); err != nil {
+			sc.fail(err)
+		}
+		return
+	}
+	ne := coopcache.PackEntry(t, int(ss))
+	won, prev, err := sc.dir.Redirect(p, dev, doc, old, ne)
+	if err != nil {
+		if !degradable(err) {
+			sc.fail(err)
+			return
+		}
+		if unreachable(err) {
+			sc.dead[sc.dir.HomeShard(doc)] = true
+		}
+		sc.deadFallbacks++
+		sc.spillDrops++
+		sc.dropIfAt(doc, t, ss)
+		return
+	}
+	if won || prev == ne {
+		// Won outright, or a concurrent refresher already published the
+		// identical placement — either way the spill copy is live.
+		sc.spills++
+		return
+	}
+	// The word changed under us (cleared by a racing reader, or the doc
+	// was reinstalled): undo the claim, the demotion degrades to a drop.
+	sc.spillRedirectLost++
+	sc.dropIfAt(doc, t, ss)
+}
+
+// pickSpillTarget ranks node n's live rack neighbors by spill-region
+// free slots, then LRU headroom, preferring the lowest index on ties —
+// the per-rack pressure hint. Falls back to n's own region when no
+// neighbor qualifies; -1 degrades the demotion to a drop.
+func (sc *scaleCache) pickSpillTarget(n int) int {
+	best, bestFree, bestHead := -1, -1, -1
+	for _, t32 := range sc.rackPeers[sc.rackOf[n]] {
+		t := int(t32)
+		if t == n || sc.dead[t] {
+			continue
+		}
+		free, live := sc.spill.Free(t), sc.spill.Live(t)
+		if free == 0 && live == 0 {
+			continue // no region at all
+		}
+		head := sc.lrus[t].FreeSlots(int64(sc.docBytes))
+		if free > bestFree || (free == bestFree && head > bestHead) {
+			best, bestFree, bestHead = t, free, head
+		}
+	}
+	if best < 0 && !sc.dead[n] && (sc.spill.Free(n) > 0 || sc.spill.Live(n) > 0) {
+		best = n
+	}
+	return best
+}
+
 // RunScaleCell builds and runs one datacenter-at-scale cell.
 func RunScaleCell(cfg ScaleConfig) (ScaleResult, error) {
+	res, _, err := runScaleCell(cfg)
+	return res, err
+}
+
+// runScaleCell is RunScaleCell also returning the cache tier, so tests
+// can audit directory/metadata coherence after the run.
+func runScaleCell(cfg ScaleConfig) (ScaleResult, *scaleCache, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Nodes < 8 {
-		return ScaleResult{}, fmt.Errorf("scale: need ≥ 8 nodes for all tiers, got %d", cfg.Nodes)
+		return ScaleResult{}, nil, fmt.Errorf("scale: need ≥ 8 nodes for all tiers, got %d", cfg.Nodes)
 	}
 	env := sim.NewEnv(cfg.Seed)
 	faults.Install(env, cfg.Faults)
@@ -512,7 +903,14 @@ func RunScaleCell(cfg ScaleConfig) (ScaleResult, error) {
 	}
 	// Cache tier: the sharded RDMA-readable directory plus one
 	// capacity-bounded multi-slot document slab per cache node.
-	sc := newScaleCache(nw, caches, cfg.Docs, cfg.DocBytes, cfg.CacheFrac)
+	cc := scaleCacheConfig{
+		docs: cfg.Docs, docBytes: cfg.DocBytes, frac: cfg.CacheFrac,
+		rackSize: cfg.RackSize, rebalance: cfg.Rebalance,
+	}
+	if cfg.Spill {
+		cc.spillFrac = cfg.SpillFrac
+	}
+	sc := newScaleCache(nw, caches, cc)
 	// Storage tier: DDSS segments spread rack-aware across the storage
 	// nodes of every rack.
 	ss := ddss.New(nw, nodes, ddss.Options{})
@@ -548,7 +946,30 @@ func RunScaleCell(cfg ScaleConfig) (ScaleResult, error) {
 	lat := make([][]time.Duration, drivers)
 	var start sim.Time
 
+	// liveDrivers gates the periodic daemons: Run ends only when the
+	// event queue drains, so an unbounded Sleep loop would keep the cell
+	// alive forever — the ticker exits after the last driver finishes.
+	liveDrivers := drivers
+
+	sc.fail = fail
+	sc.startSpillWorkers(env)
+	if cfg.Rebalance {
+		// The rebalance tick issues its control-plane ops from the first
+		// cache node's device; an unreachable host just skips the pass.
+		rdev := sc.devs[0]
+		env.GoDaemon("rebalance", func(p *sim.Proc) {
+			for liveDrivers > 0 {
+				p.Sleep(cfg.RebalanceEvery)
+				if err := sc.dir.RebalanceTick(p, rdev); err != nil {
+					fail(err)
+					return
+				}
+			}
+		})
+	}
+
 	driver := func(p *sim.Proc, k int) {
+		defer func() { liveDrivers-- }()
 		st := pop.Stream(k, drivers)
 		nReq := cfg.Requests / drivers
 		if k < cfg.Requests%drivers {
@@ -630,10 +1051,10 @@ func RunScaleCell(cfg ScaleConfig) (ScaleResult, error) {
 
 	wallStart := time.Now()
 	if err := env.Run(); err != nil {
-		return ScaleResult{}, err
+		return ScaleResult{}, nil, err
 	}
 	if firstErr != nil {
-		return ScaleResult{}, firstErr
+		return ScaleResult{}, nil, firstErr
 	}
 
 	var sample metrics.Sample
@@ -647,32 +1068,46 @@ func RunScaleCell(cfg ScaleConfig) (ScaleResult, error) {
 		Nodes: cfg.Nodes, FrontEnds: len(fes), CacheNodes: len(caches), StoreNodes: len(stores),
 		Transport: nw.Transport().Mode.String(),
 		Requests:  hits + misses, Hits: hits, Misses: misses,
-		Elapsed: elapsed,
-		P50:     time.Duration(sample.Percentile(50) * float64(time.Microsecond)),
-		P99:     time.Duration(sample.Percentile(99) * float64(time.Microsecond)),
-		CacheFrac:      sc.frac,
-		ZipfAlpha:      cfg.ZipfAlpha,
-		CacheSlots:     sc.totalSlots,
-		CacheEvictions: sc.evictions,
-		Invalidations:  sc.invalidations,
-		StaleReads:     sc.staleReads,
-		DeadFallbacks:  sc.deadFallbacks,
-		Rollbacks:      sc.rollbacks,
-		Events:         env.Stats().EventsProcessed,
-		Wall:           time.Since(wallStart),
+		Elapsed:           elapsed,
+		P50:               time.Duration(sample.Percentile(50) * float64(time.Microsecond)),
+		P99:               time.Duration(sample.Percentile(99) * float64(time.Microsecond)),
+		CacheFrac:         sc.frac,
+		ZipfAlpha:         cfg.ZipfAlpha,
+		CacheSlots:        sc.totalSlots,
+		CacheEvictions:    sc.evictions,
+		Invalidations:     sc.invalidations,
+		StaleReads:        sc.staleReads,
+		DeadFallbacks:     sc.deadFallbacks,
+		Rollbacks:         sc.rollbacks,
+		SpillEnabled:      cfg.Spill,
+		SpillSlots:        sc.spillSlots,
+		Spills:            sc.spills,
+		SpillHits:         sc.spillHits,
+		SpillDrops:        sc.spillDrops,
+		SpillRedirectLost: sc.spillRedirectLost,
+		SpillReclaims:     sc.spillReclaims,
+		RebalanceOn:       cfg.Rebalance,
+		DirMaxOverMean:    sc.dir.LoadMaxOverMean(),
+		DirMigrations:     sc.dir.Migrations(),
+		DirSplits:         sc.dir.Splits(),
+		Events:            env.Stats().EventsProcessed,
+		Wall:              time.Since(wallStart),
 	}
 	if elapsed > 0 {
 		res.ReqsPerSec = float64(res.Requests) / elapsed.Seconds()
 		res.CacheEvictPerSec = float64(res.CacheEvictions) / elapsed.Seconds()
+		res.SpillHitPerSec = float64(res.SpillHits) / elapsed.Seconds()
 	}
 	res.ConnBytesAvg, res.ConnBytesMax = nw.ConnBytesPerNode()
 	res.Establishes, res.Evictions, res.UDOps, res.CacheMisses = nw.ConnTotals()
-	return res, nil
+	return res, sc, nil
 }
 
 // DCScale regenerates E18: the cluster-size × transport-mode sweep,
-// plus a cache-capacity axis (slab fraction of the working set) and a
-// hotter Zipf point that drive the eviction/invalidation churn loop.
+// plus a cache-capacity axis (slab fraction of the working set), a
+// hotter Zipf point that drives the eviction/invalidation churn loop,
+// and a cooperative-spill × rebalancing axis that toggles the two
+// mechanisms over the capacity/hotspot cells.
 func DCScale(o Options) (*metrics.Table, error) {
 	type cell struct {
 		nodes int
@@ -680,6 +1115,8 @@ func DCScale(o Options) (*metrics.Table, error) {
 		frac  float64
 		alpha float64
 		docs  int
+		spill bool
+		reb   bool
 	}
 	modes := []verbs.TransportConfig{{}, verbs.PooledTransport()}
 	var cells []cell
@@ -716,6 +1153,29 @@ func DCScale(o Options) (*metrics.Table, error) {
 	for _, tc := range modes {
 		cells = append(cells, cell{nodes: churnNodes, tc: tc, frac: hotFrac, alpha: hotAlpha})
 	}
+	// Cooperative-spill × rebalancing axis: capacity-pressured cells on
+	// the pooled transport with each mechanism toggled. The off/off rows
+	// are the drop-on-evict baselines the spill rows are judged against.
+	spillFracs := []float64{0.1, 0.05}
+	spillAlphas := []float64{1.01, 1.2}
+	spillNodes, spillDocs := churnNodes, 0
+	if o.Quick {
+		spillFracs = []float64{0.05}
+		spillAlphas = []float64{1.2}
+		// The quick budget touches few distinct docs; shrink the working
+		// set so eviction churn (and thus spill re-reads) still happens.
+		spillDocs = 4096
+	}
+	for _, f := range spillFracs {
+		for _, a := range spillAlphas {
+			for _, m := range [][2]bool{{false, false}, {true, false}, {false, true}, {true, true}} {
+				cells = append(cells, cell{
+					nodes: spillNodes, tc: verbs.PooledTransport(),
+					frac: f, alpha: a, docs: spillDocs, spill: m[0], reb: m[1],
+				})
+			}
+		}
+	}
 	res := make([]ScaleResult, len(cells))
 	err := runCells(o, len(cells), func(i int, o Options) error {
 		c := cells[i]
@@ -727,6 +1187,8 @@ func DCScale(o Options) (*metrics.Table, error) {
 			Docs:      c.docs,
 			ZipfAlpha: c.alpha,
 			CacheFrac: c.frac,
+			Spill:     c.spill,
+			Rebalance: c.reb,
 			Seed:      o.seed(),
 		}
 		var err error
@@ -736,37 +1198,52 @@ func DCScale(o Options) (*metrics.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	tb := metrics.NewTable("E18 — datacenter at scale: cluster size × transport mode × cache capacity (Zipf traffic, "+
+	tb := metrics.NewTable("E18 — datacenter at scale: cluster size × transport mode × cache capacity × spill/rebalance (Zipf traffic, "+
 		fmt.Sprintf("%d modeled clients)", clients),
-		"nodes", "transport", "cap", "alpha", "reqs/s", "p50 (µs)", "p99 (µs)", "hit %",
-		"evict/s", "inval", "conn KB/node", "ud ops")
+		"nodes", "transport", "cap", "alpha", "spill", "reb", "reqs/s", "p50 (µs)", "p99 (µs)",
+		"hit %", "spill %", "evict/s", "sphit/s", "dir mx/mn", "conn KB/node")
 	for _, r := range res {
 		tb.AddRow(r.Nodes, r.Transport,
 			r.CacheFrac, r.ZipfAlpha,
+			onoff(r.SpillEnabled), onoff(r.RebalanceOn),
 			r.ReqsPerSec,
 			float64(r.P50)/float64(time.Microsecond),
 			float64(r.P99)/float64(time.Microsecond),
 			metrics.Ratio(float64(r.Hits)*100, float64(r.Requests)),
+			metrics.Ratio(float64(r.SpillHits)*100, float64(r.Requests)),
 			r.CacheEvictPerSec,
-			r.Invalidations,
-			r.ConnBytesAvg/1024,
-			r.UDOps)
+			r.SpillHitPerSec,
+			r.DirMaxOverMean,
+			r.ConnBytesAvg/1024)
 	}
 	return tb, nil
 }
 
+func onoff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
 // ScaleProbe holds the connection-scaling measurements the bench
-// snapshot publishes: both transport modes at 64 and 1024 nodes, plus
-// one capacity-bounded churn cell (the cache_evictions_per_sec key).
+// snapshot publishes: both transport modes at 64 and 1024 nodes, one
+// capacity-bounded churn cell (the cache_evictions_per_sec key), the
+// same cell with cooperative spill armed (spill_hits_per_sec), and a
+// rebalanced hotspot cell (dir_shard_max_over_mean).
 type ScaleProbe struct {
 	RC64, RC1024, Pooled64, Pooled1024 ScaleResult
 	Churn                              ScaleResult
+	SpillChurn                         ScaleResult
+	Hotspot                            ScaleResult
 }
 
 // RunScaleProbe measures connection state and event throughput at 64
 // and 1024 nodes in both transport modes (the conn_bytes_per_node and
-// cluster_events_per_sec bench keys) and eviction churn in a
-// capacity-bounded cell (the cache_evictions_per_sec key).
+// cluster_events_per_sec bench keys), eviction churn in a
+// capacity-bounded cell (cache_evictions_per_sec), spill service rate
+// with the victim tier armed (spill_hits_per_sec) and directory-shard
+// imbalance under a rebalanced hotspot (dir_shard_max_over_mean).
 func RunScaleProbe(seed int64, parallel int) (ScaleProbe, error) {
 	cfgs := []ScaleConfig{
 		{Nodes: 64, Transport: verbs.TransportConfig{}},
@@ -774,6 +1251,8 @@ func RunScaleProbe(seed int64, parallel int) (ScaleProbe, error) {
 		{Nodes: 64, Transport: verbs.PooledTransport()},
 		{Nodes: 1024, Transport: verbs.PooledTransport()},
 		{Nodes: 256, Transport: verbs.TransportConfig{}, Docs: 8192, CacheFrac: 0.1},
+		{Nodes: 256, Transport: verbs.TransportConfig{}, Docs: 8192, CacheFrac: 0.1, Spill: true},
+		{Nodes: 256, Transport: verbs.TransportConfig{}, Docs: 8192, CacheFrac: 0.1, ZipfAlpha: 1.2, Rebalance: true},
 	}
 	res := make([]ScaleResult, len(cfgs))
 	err := runCells(Options{Seed: seed, Parallel: parallel}, len(cfgs), func(i int, o Options) error {
@@ -790,6 +1269,6 @@ func RunScaleProbe(seed int64, parallel int) (ScaleProbe, error) {
 	}
 	return ScaleProbe{
 		RC64: res[0], RC1024: res[1], Pooled64: res[2], Pooled1024: res[3],
-		Churn: res[4],
+		Churn: res[4], SpillChurn: res[5], Hotspot: res[6],
 	}, nil
 }

@@ -37,6 +37,21 @@ func (c *Cache[K]) Used() int64 { return c.used }
 // Free returns the remaining capacity.
 func (c *Cache[K]) Free() int64 { return c.cap - c.used }
 
+// FreeSlots returns how many entries of a uniform entryBytes size fit in
+// the remaining capacity — the O(1) occupancy hint spill-target selection
+// ranks neighbors by. It reads two counters, touches no recency state,
+// and returns 0 for non-positive sizes or a full cache.
+func (c *Cache[K]) FreeSlots(entryBytes int64) int {
+	if entryBytes <= 0 {
+		return 0
+	}
+	free := c.cap - c.used
+	if free <= 0 {
+		return 0
+	}
+	return int(free / entryBytes)
+}
+
 // Cap returns the configured capacity.
 func (c *Cache[K]) Cap() int64 { return c.cap }
 

@@ -104,6 +104,21 @@ func (pp *Population) CoverageDocs(frac float64) int {
 	return sort.SearchFloat64s(pp.cdf, frac) + 1
 }
 
+// DocShare returns the popularity share of one document rank — the
+// fraction of all requests that hit it. Hotspot-aware services use it to
+// reason about skew: under a heavy-tailed alpha the head rank alone can
+// carry a double-digit share, concentrating directory traffic on that
+// rank's home shard. Out-of-range ranks return 0.
+func (pp *Population) DocShare(doc int) float64 {
+	if doc < 0 || doc >= pp.Docs {
+		return 0
+	}
+	if doc == 0 {
+		return pp.cdf[0]
+	}
+	return pp.cdf[doc] - pp.cdf[doc-1]
+}
+
 // Next generates the shard's next request: a client drawn uniformly from
 // the shard and a document drawn from the shared popularity CDF.
 func (s *Stream) Next() Request {
